@@ -1,0 +1,44 @@
+//! Criterion benches over the Fig. 8 measurement loop (reduced sizes so
+//! `cargo bench` stays quick; the full sweep lives in the `fig8` binary).
+//!
+//! Note: what is measured here is the *wall time of the simulation* of
+//! each transfer; the simulated (virtual) bandwidths are printed by the
+//! `fig8` harness. Tracking wall time keeps the simulator itself honest —
+//! regressions in the engine show up here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clmpi::{SystemConfig, TransferStrategy};
+use clmpi_bench::measure_p2p;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_p2p");
+    g.sample_size(10);
+    for (sys_name, sys) in [
+        ("cichlid", SystemConfig::cichlid()),
+        ("ricc", SystemConfig::ricc()),
+    ] {
+        for st in [
+            TransferStrategy::Pinned,
+            TransferStrategy::Mapped,
+            TransferStrategy::Pipelined(1 << 20),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(sys_name, st.name()),
+                &st,
+                |b, &st| b.iter(|| measure_p2p(&sys, st, 4 << 20, 1)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_auto_selection(c: &mut Criterion) {
+    let sys = SystemConfig::ricc();
+    c.bench_function("fig8_auto_4M", |b| {
+        b.iter(|| measure_p2p(&sys, TransferStrategy::Auto, 4 << 20, 1))
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_auto_selection);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates Fig. 3: the Himeno domain decomposition — 1-D split along
+//! the first axis, each rank's slab halved into lower part B and upper
+//! part A, ghost planes exchanged with neighbors.
+//!
+//! Usage: `fig3 [--size xs|s|m|l] [--nodes N]`
+
+use himeno::GridSize;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut size = GridSize::M;
+    let mut nodes = 4usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--size" => size = GridSize::by_name(it.next().expect("value")).expect("xs|s|m|l"),
+            "--nodes" => nodes = it.next().expect("value").parse().expect("node count"),
+            _ => {}
+        }
+    }
+    let (mi, mj, mk) = size.dims();
+    let interior = mi - 2;
+    let base = interior / nodes;
+    let rem = interior % nodes;
+    println!("Fig. 3 — domain decomposition: {mi}x{mj}x{mk} grid, {nodes} ranks");
+    println!("(planes are {mj}x{mk} = {} KiB of f32 each)\n", mj * mk * 4 / 1024);
+    for r in (0..nodes).rev() {
+        let n = base + usize::from(r < rem);
+        let start = 1 + r * base + r.min(rem);
+        let half = n / 2;
+        let even = r % 2 == 0;
+        println!("  +--------------------------------------+");
+        if r + 1 < nodes {
+            println!("  | ghost (from rank {})                 |", r + 1);
+        } else {
+            println!("  | fixed boundary plane                 |");
+        }
+        println!(
+            "  | A: planes {:>3}..{:<3} ({} planes){}    |",
+            start + half,
+            start + n - 1,
+            n - half,
+            if even { " [1st]" } else { " [2nd]" }
+        );
+        println!("  |--------------------------------------|");
+        println!(
+            "  | B: planes {:>3}..{:<3} ({} planes){}    |",
+            start,
+            start + half - 1,
+            half,
+            if even { " [2nd]" } else { " [1st]" }
+        );
+        if r > 0 {
+            println!("  | ghost (from rank {})                 |", r - 1);
+        } else {
+            println!("  | fixed boundary plane                 |");
+        }
+        println!("  +--------------------------------------+  rank {r} ({})", if even { "even: A then B" } else { "odd: B then A" });
+    }
+    println!("\nHalo planes exchanged every iteration: the top plane of A travels up,");
+    println!("the bottom plane of B travels down; even ranks exchange B's halo while");
+    println!("computing A (and vice versa for odd ranks), pairing each link's endpoints.");
+}

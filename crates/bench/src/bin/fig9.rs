@@ -1,0 +1,99 @@
+//! Regenerates Fig. 9: Himeno benchmark (M size) sustained GFLOPS vs
+//! node count for the serial, hand-optimized, and clMPI implementations,
+//! with the serial comp/comm ratio annotation of Fig. 9(a).
+//!
+//! Usage: `fig9 [cichlid|ricc] [--size xs|s|m|l] [--iters N]`
+
+use clmpi::SystemConfig;
+use clmpi_bench::CsvOut;
+use himeno::{run_himeno, GridSize, HimenoConfig, Variant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut size = GridSize::M;
+    let mut iters = 12usize;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--size" => {
+                let v = it.next().expect("--size needs a value");
+                size = GridSize::by_name(v).expect("size is xs|s|m|l");
+            }
+            "--iters" => {
+                iters = it.next().expect("--iters needs a value").parse().expect("iter count");
+            }
+            "--csv" => {
+                it.next(); // value consumed by CsvOut::from_args
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = vec!["cichlid".into(), "ricc".into()];
+    }
+    let mut csv = CsvOut::from_args(&args);
+    csv.row(["system", "nodes", "variant", "gflops", "comp_comm_ratio"]);
+    for name in names {
+        let sys = SystemConfig::by_name(&name)
+            .unwrap_or_else(|| panic!("unknown system '{name}' (cichlid|ricc)"));
+        run_system(sys, size, iters, &mut csv);
+    }
+    csv.finish();
+}
+
+fn run_system(sys: SystemConfig, size: GridSize, iters: usize, csv: &mut CsvOut) {
+    let nodes: Vec<usize> = if sys.cluster.name == "Cichlid" {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    println!();
+    println!(
+        "Fig. 9({}) — Himeno {:?} sustained GFLOPS, {} (iters={iters})",
+        if sys.cluster.name == "Cichlid" { "a" } else { "b" },
+        size,
+        sys.cluster.name
+    );
+    println!(
+        "{:>6}  {:>10}  {:>15}  {:>10}  {:>12}  {:>10}",
+        "nodes", "serial", "hand-optimized", "clMPI", "clMPI/hand", "comp/comm"
+    );
+    for &n in &nodes {
+        let cfg = |strategy| HimenoConfig {
+            size,
+            iters,
+            sys: sys.clone(),
+            nodes: n,
+            strategy,
+        };
+        let serial = run_himeno(Variant::Serial, cfg(None));
+        let hand = run_himeno(Variant::HandOptimized, cfg(None));
+        let cl = run_himeno(Variant::ClMpi, cfg(None));
+        let ratio = if serial.comm_ns > 0 {
+            serial.comp_ns as f64 / serial.comm_ns as f64
+        } else {
+            f64::INFINITY
+        };
+        for (v, r) in [("serial", &serial), ("hand-optimized", &hand), ("clMPI", &cl)] {
+            csv.row([
+                sys.cluster.name.to_string(),
+                n.to_string(),
+                v.to_string(),
+                format!("{:.3}", r.gflops),
+                format!("{ratio:.3}"),
+            ]);
+        }
+        println!(
+            "{:>6}  {:>10.2}  {:>15.2}  {:>10.2}  {:>12.3}  {:>10.2}",
+            n,
+            serial.gflops,
+            hand.gflops,
+            cl.gflops,
+            cl.gflops / hand.gflops,
+            ratio
+        );
+    }
+    println!("(comp/comm: serial-variant kernel time over communication time per iteration;");
+    println!(" the paper's +14% clMPI/hand gap appears where this ratio drops below 1)");
+}

@@ -1,0 +1,57 @@
+//! Regenerates Table I: system specifications of Cichlid and RICC, as
+//! encoded by the simulation presets.
+
+use clmpi::SystemConfig;
+
+fn main() {
+    let systems = [SystemConfig::cichlid(), SystemConfig::ricc()];
+    println!("Table I — System specifications (simulation presets)");
+    println!("{:<22} {:<34} {:<34}", "", systems[0].cluster.name, systems[1].cluster.name);
+    type RowFn = Box<dyn Fn(&SystemConfig) -> String>;
+    let rows: Vec<(&str, RowFn)> = vec![
+        ("Nodes", Box::new(|s| s.cluster.nodes.to_string())),
+        ("CPU", Box::new(|s| s.cluster.cpu.to_string())),
+        ("GPU", Box::new(|s| s.cluster.gpu.to_string())),
+        ("NIC", Box::new(|s| s.cluster.nic.to_string())),
+        ("MPI", Box::new(|s| s.cluster.mpi.to_string())),
+        (
+            "Net bandwidth",
+            Box::new(|s| format!("{:.1} MB/s", s.cluster.link.bandwidth_bps / 1e6)),
+        ),
+        (
+            "Net latency",
+            Box::new(|s| format!("{} us", s.cluster.link.latency_ns / 1000)),
+        ),
+        (
+            "Per-msg overhead",
+            Box::new(|s| format!("{} us", s.cluster.link.per_msg_overhead_ns / 1000)),
+        ),
+        (
+            "GPU mem bandwidth",
+            Box::new(|s| format!("{:.0} GB/s", s.device.mem_bw_bps / 1e9)),
+        ),
+        (
+            "PCIe pinned",
+            Box::new(|s| format!("{:.1} GB/s", s.device.pcie.pinned_bps / 1e9)),
+        ),
+        (
+            "PCIe pageable",
+            Box::new(|s| format!("{:.1} GB/s", s.device.pcie.pageable_bps / 1e9)),
+        ),
+        (
+            "PCIe mapped",
+            Box::new(|s| format!("{:.1} GB/s", s.device.pcie.mapped_bps / 1e9)),
+        ),
+        (
+            "Small-msg strategy",
+            Box::new(|s| s.small_message_strategy.name()),
+        ),
+        (
+            "Pipeline threshold",
+            Box::new(|s| format!("{} MiB", s.pipeline_threshold >> 20)),
+        ),
+    ];
+    for (label, f) in rows {
+        println!("{:<22} {:<34} {:<34}", label, f(&systems[0]), f(&systems[1]));
+    }
+}

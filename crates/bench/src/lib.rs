@@ -1,0 +1,176 @@
+//! Shared measurement helpers for the figure/table harnesses.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index); this library holds the
+//! measurement loops they share with the criterion benches.
+
+use clmpi::{ClMpi, SystemConfig, TransferStrategy};
+use minimpi::{run_world_sized, Process};
+use simtime::SimNs;
+
+/// Measured sustained bandwidth of repeated device→device transfers.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthPoint {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Sustained bandwidth in MB/s (size×reps ÷ virtual elapsed).
+    pub mbps: f64,
+    /// Virtual time of one transfer (average).
+    pub per_transfer_ns: SimNs,
+}
+
+/// Measure `reps` serialized device→device transfers of `size` bytes
+/// between two ranks under `strategy` (the Fig. 8 measurement loop: each
+/// transfer completes — data in remote device memory — before the next
+/// starts).
+pub fn measure_p2p(sys: &SystemConfig, strategy: TransferStrategy, size: usize, reps: usize) -> BandwidthPoint {
+    let sys2 = sys.clone();
+    let res = run_world_sized(sys.cluster.clone(), 2, move |p: Process| {
+        let rt = ClMpi::new(&p, sys2.clone());
+        rt.set_forced_strategy(Some(strategy));
+        let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+        let buf = rt.context().create_buffer(size.max(1));
+        p.comm.barrier(&p.actor);
+        let t0 = p.actor.now_ns();
+        for i in 0..reps {
+            let tag = i as i32;
+            if p.rank() == 0 {
+                rt.enqueue_send_buffer(&q, &buf, true, 0, size, 1, tag, &[], &p.actor)
+                    .expect("send");
+                // Wait for the remote completion signal so transfers are
+                // fully serialized (one-way latency measured honestly).
+                p.comm.recv(&p.actor, Some(1), Some(tag + 1000));
+            } else {
+                rt.enqueue_recv_buffer(&q, &buf, true, 0, size, 0, tag, &[], &p.actor)
+                    .expect("recv");
+                p.comm.send(&p.actor, 0, tag + 1000, &[]);
+            }
+        }
+        rt.shutdown(&p.actor);
+        p.actor.now_ns() - t0
+    });
+    let elapsed = res.outputs.iter().copied().max().unwrap_or(1).max(1);
+    // Subtract the ack cost (one small message per rep) analytically.
+    let ack = sys.cluster.link.message_ns(0);
+    let per = (elapsed / reps as u64).saturating_sub(ack).max(1);
+    BandwidthPoint {
+        size,
+        mbps: size as f64 * 1e3 / per as f64, // bytes/ns → MB/s
+        per_transfer_ns: per,
+    }
+}
+
+/// The strategy set plotted in Fig. 8.
+pub fn fig8_strategies() -> Vec<TransferStrategy> {
+    vec![
+        TransferStrategy::Pinned,
+        TransferStrategy::Mapped,
+        TransferStrategy::Pipelined(1 << 20),
+        TransferStrategy::Pipelined(4 << 20),
+        TransferStrategy::Pipelined(16 << 20),
+    ]
+}
+
+/// The message-size axis of Fig. 8.
+pub fn fig8_sizes() -> Vec<usize> {
+    (16..=26).map(|s| 1usize << s).collect() // 64 KiB … 64 MiB
+}
+
+/// Minimal CSV writer for the `--csv <path>` option of the harnesses:
+/// plotting-ready series without extra dependencies.
+pub struct CsvOut {
+    path: Option<String>,
+    rows: Vec<String>,
+}
+
+impl CsvOut {
+    /// Parse `--csv <path>` out of `args` (returns a no-op writer if
+    /// absent).
+    pub fn from_args(args: &[String]) -> Self {
+        let path = args
+            .windows(2)
+            .find(|w| w[0] == "--csv")
+            .map(|w| w[1].clone());
+        CsvOut { path, rows: Vec::new() }
+    }
+
+    /// Append one row of cells (quoted/escaped as needed).
+    pub fn row<S: AsRef<str>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        if self.path.is_none() {
+            return;
+        }
+        let line = cells
+            .into_iter()
+            .map(|c| {
+                let c = c.as_ref();
+                if c.contains([',', '"', '\n']) {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        self.rows.push(line);
+    }
+
+    /// Write the collected rows (no-op without `--csv`).
+    pub fn finish(self) {
+        if let Some(path) = self.path {
+            let data = self.rows.join("\n") + "\n";
+            std::fs::write(&path, data).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("(csv written to {path})");
+        }
+    }
+}
+
+/// Render a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Format bytes human-readably (powers of two).
+pub fn fmt_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_measurement_reports_sane_bandwidth() {
+        let sys = SystemConfig::cichlid();
+        let bp = measure_p2p(&sys, TransferStrategy::Mapped, 1 << 20, 2);
+        // On GbE sustained bandwidth must be below the wire limit and
+        // above a tenth of it for a 1 MiB message.
+        assert!(bp.mbps < 118.0, "below GbE: {}", bp.mbps);
+        assert!(bp.mbps > 20.0, "not absurdly slow: {}", bp.mbps);
+    }
+
+    #[test]
+    fn fmt_size_renders() {
+        assert_eq!(fmt_size(64 << 10), "64K");
+        assert_eq!(fmt_size(16 << 20), "16M");
+        assert_eq!(fmt_size(17), "17B");
+    }
+
+    #[test]
+    fn fig8_axes_cover_paper_ranges() {
+        assert_eq!(fig8_strategies().len(), 5);
+        let sizes = fig8_sizes();
+        assert_eq!(*sizes.first().unwrap(), 64 << 10);
+        assert_eq!(*sizes.last().unwrap(), 64 << 20);
+    }
+}

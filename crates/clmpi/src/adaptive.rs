@@ -1,0 +1,180 @@
+//! Measurement-based strategy selection.
+//!
+//! §V-B: "An automatic selection mechanism of the data transfer
+//! implementations can be adopted behind the interfaces." The static
+//! policy in [`crate::SystemConfig`] encodes the paper's per-system
+//! choice; this module goes one step further: an online tuner that
+//! *probes* each candidate strategy for a message-size class and then
+//! sticks with the fastest — so applications inherit the best path on
+//! systems no preset exists for, without any code change (the paper's
+//! performance-portability argument, §IV advantage 1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simtime::SimNs;
+
+use crate::strategy::TransferStrategy;
+use crate::system::SystemConfig;
+
+/// Size classes: transfers are bucketed by power-of-two message size, so
+/// measurements for 1 MiB transfers don't steer 64 MiB ones.
+fn size_class(size: usize) -> u32 {
+    (usize::BITS - size.max(1).leading_zeros()).max(1)
+}
+
+#[derive(Default)]
+struct ClassState {
+    /// Strategies not yet probed for this class.
+    pending: Vec<TransferStrategy>,
+    /// (strategy, observed ns) of finished probes.
+    observed: Vec<(TransferStrategy, SimNs)>,
+    /// Chosen winner once probing is done.
+    winner: Option<TransferStrategy>,
+}
+
+/// An online per-size-class strategy tuner.
+///
+/// `choose(size)` returns the strategy to use now; `observe(size,
+/// strategy, ns)` feeds back the measured duration. During the probe
+/// phase each candidate runs once (in rotation); afterwards the winner is
+/// locked in for that class.
+pub struct AdaptiveSelector {
+    candidates: Vec<TransferStrategy>,
+    classes: Arc<Mutex<HashMap<u32, ClassState>>>,
+}
+
+impl AdaptiveSelector {
+    /// Tuner over the standard candidate set for `sys`: pinned, mapped,
+    /// and pipelined with the system's default block.
+    pub fn for_system(sys: &SystemConfig) -> Self {
+        Self::with_candidates(vec![
+            TransferStrategy::Pinned,
+            TransferStrategy::Mapped,
+            TransferStrategy::Pipelined(sys.default_pipeline_block),
+        ])
+    }
+
+    /// Tuner over an explicit candidate set (must be concrete strategies).
+    pub fn with_candidates(candidates: Vec<TransferStrategy>) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        assert!(
+            !candidates.contains(&TransferStrategy::Auto),
+            "candidates must be concrete"
+        );
+        AdaptiveSelector {
+            candidates,
+            classes: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The strategy to use for a transfer of `size` bytes.
+    pub fn choose(&self, size: usize) -> TransferStrategy {
+        let class = size_class(size);
+        let mut st = self.classes.lock();
+        let cs = st.entry(class).or_insert_with(|| ClassState {
+            pending: self.candidates.clone(),
+            ..Default::default()
+        });
+        if let Some(w) = cs.winner {
+            return w;
+        }
+        // Probe phase: hand out the next unprobed candidate (it stays in
+        // `pending` until its observation arrives, so concurrent chooses
+        // of the same class re-probe rather than starve).
+        cs.pending
+            .first()
+            .copied()
+            .unwrap_or_else(|| self.candidates[0])
+    }
+
+    /// Feed back a measured duration.
+    pub fn observe(&self, size: usize, strategy: TransferStrategy, dur_ns: SimNs) {
+        let class = size_class(size);
+        let mut st = self.classes.lock();
+        let Some(cs) = st.get_mut(&class) else { return };
+        if cs.winner.is_some() {
+            return;
+        }
+        if let Some(pos) = cs.pending.iter().position(|&s| s == strategy) {
+            cs.pending.remove(pos);
+            cs.observed.push((strategy, dur_ns));
+        }
+        if cs.pending.is_empty() {
+            cs.winner = cs
+                .observed
+                .iter()
+                .min_by_key(|(_, ns)| *ns)
+                .map(|(s, _)| *s);
+        }
+    }
+
+    /// The locked-in winner for `size`'s class, if probing finished.
+    pub fn winner_for(&self, size: usize) -> Option<TransferStrategy> {
+        self.classes
+            .lock()
+            .get(&size_class(size))
+            .and_then(|c| c.winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_separate_magnitudes() {
+        assert_eq!(size_class(1024), size_class(1500));
+        assert_ne!(size_class(1 << 20), size_class(64 << 20));
+        assert_eq!(size_class(0), size_class(1), "degenerate sizes share a class");
+    }
+
+    #[test]
+    fn probes_each_candidate_then_locks_winner() {
+        let sel = AdaptiveSelector::with_candidates(vec![
+            TransferStrategy::Pinned,
+            TransferStrategy::Mapped,
+        ]);
+        let s1 = sel.choose(1 << 20);
+        assert_eq!(s1, TransferStrategy::Pinned);
+        sel.observe(1 << 20, s1, 500);
+        let s2 = sel.choose(1 << 20);
+        assert_eq!(s2, TransferStrategy::Mapped);
+        sel.observe(1 << 20, s2, 300);
+        // Mapped measured faster: locked in.
+        assert_eq!(sel.winner_for(1 << 20), Some(TransferStrategy::Mapped));
+        for _ in 0..5 {
+            assert_eq!(sel.choose(1 << 20), TransferStrategy::Mapped);
+        }
+    }
+
+    #[test]
+    fn classes_tune_independently() {
+        let sel = AdaptiveSelector::with_candidates(vec![
+            TransferStrategy::Pinned,
+            TransferStrategy::Mapped,
+        ]);
+        // Small class: mapped wins.
+        sel.observe(4 << 10, sel.choose(4 << 10), 100);
+        sel.observe(4 << 10, sel.choose(4 << 10), 50);
+        // Large class: pinned wins.
+        sel.observe(32 << 20, sel.choose(32 << 20), 10);
+        sel.observe(32 << 20, sel.choose(32 << 20), 20);
+        assert_eq!(sel.winner_for(4 << 10), Some(TransferStrategy::Mapped));
+        assert_eq!(sel.winner_for(32 << 20), Some(TransferStrategy::Pinned));
+    }
+
+    #[test]
+    fn unsolicited_observations_are_ignored() {
+        let sel = AdaptiveSelector::with_candidates(vec![TransferStrategy::Pinned]);
+        sel.observe(1 << 10, TransferStrategy::Mapped, 1); // never offered
+        assert_eq!(sel.winner_for(1 << 10), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "concrete")]
+    fn auto_candidate_rejected() {
+        AdaptiveSelector::with_candidates(vec![TransferStrategy::Auto]);
+    }
+}

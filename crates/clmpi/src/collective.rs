@@ -1,0 +1,110 @@
+//! Future-work extension (paper §IV-C / §VI): a collective communication
+//! command for device buffers.
+//!
+//! The paper deliberately ships no collective commands — blocking MPI
+//! collectives need no OpenCL-side synchronization — but notes that once
+//! non-blocking collectives exist, "it will be effective to further
+//! extend OpenCL to use its event management mechanism for the
+//! synchronization". This module prototypes that extension:
+//! [`ClMpi::enqueue_bcast_buffer`] broadcasts a device buffer from a root
+//! rank to every rank's device, returning an ordinary event so kernels
+//! can chain on its completion — the same programming model as the
+//! point-to-point commands.
+
+use minicl::{Buffer, ClError, ClResult, CommandQueue, Event};
+use minimpi::{Datatype, Rank, Tag};
+use simtime::Actor;
+
+use crate::data_tag;
+use crate::runtime::ClMpi;
+use crate::strategy::{ResolvedStrategy, TransferStrategy};
+
+impl ClMpi {
+    /// Broadcast `size` bytes at `offset` of `buf` from `root`'s device
+    /// to the same region of every rank's `buf`. Non-blocking: returns an
+    /// event that completes when this rank's part is done (root: all
+    /// sends injected; others: data in device memory). Gated on
+    /// `wait_list`. Every rank must call this collectively with the same
+    /// `size` and `tag`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_bcast_buffer(
+        &self,
+        queue: &CommandQueue,
+        buf: &Buffer,
+        offset: usize,
+        size: usize,
+        root: Rank,
+        tag: Tag,
+        wait_list: &[Event],
+        actor: &Actor,
+    ) -> ClResult<Event> {
+        buf.check_range(offset, size)?;
+        if root >= self.comm().size() {
+            return Err(ClError::InvalidValue(format!("root {root} out of range")));
+        }
+        if self.rank() != root {
+            // Receivers reuse the point-to-point receive path: the wire
+            // chunks are whatever the root produced.
+            return self.enqueue_recv_buffer(queue, buf, false, offset, size, root, tag, wait_list, actor);
+        }
+        // Root: one device→host staging pass, then per-destination
+        // network injections (serialized on the root's NIC, as a flat
+        // broadcast is). Runs on a runtime thread like every command.
+        let ue = self
+            .context()
+            .create_user_event(format!("bcast→all#{tag}"));
+        let event = ue.event();
+        let inner = self.inner_handle();
+        let strategy = self.resolved_for(size);
+        let wait: Vec<Event> = wait_list.to_vec();
+        let buf = buf.clone();
+        let device = queue.device().clone();
+        let nranks = self.comm().size();
+        let me = self.rank();
+        self.spawn_runtime_job(format!("clmpi-bcast-r{me}-t{tag}"), move |a| {
+            Event::wait_all(&wait, a);
+            let plan = ResolvedStrategy::plan(strategy, size);
+            let pcie = device.spec().pcie;
+            let t0 = a.now_ns();
+            let mut done_at = t0;
+            // Stage each chunk once; send it to every destination.
+            let mut first = true;
+            for &(coff, clen) in &plan.chunks {
+                let bytes = buf
+                    .load(offset + coff, clen)
+                    .expect("range checked at enqueue");
+                let staged_end = match strategy {
+                    TransferStrategy::Mapped => t0 + pcie.map_setup_ns,
+                    _ => {
+                        let earliest = if first { t0 + pcie.pin_setup_ns } else { t0 };
+                        device
+                            .d2h_link()
+                            .reserve_duration(pcie.staged_ns(clen, true), earliest)
+                            .end
+                    }
+                };
+                first = false;
+                for r in 0..nranks {
+                    if r == me {
+                        // Local copy: the root's own region already holds
+                        // the data.
+                        continue;
+                    }
+                    let req = inner.comm_handle().isend_raw(
+                        a,
+                        r,
+                        data_tag(tag),
+                        Datatype::ClMem,
+                        &bytes,
+                        staged_end,
+                        None,
+                    );
+                    done_at = done_at.max(req.known_completion().expect("send known"));
+                }
+            }
+            a.advance_until(done_at);
+            ue.set_complete(a.now_ns()).expect("bcast completed once");
+        });
+        Ok(event)
+    }
+}

@@ -1,0 +1,236 @@
+//! Future-work extension (paper §VI): file-I/O commands.
+//!
+//! "Not only MPI peer-to-peer communications but also other
+//! time-consuming tasks such as file I/O would be encapsulated in other
+//! additional OpenCL commands." This module prototypes that: a simulated
+//! node-local storage device ([`SimStorage`]) and
+//! [`ClMpi::enqueue_write_file`] / [`ClMpi::enqueue_read_file`] commands
+//! that move device buffers to/from it, returning ordinary events — so
+//! checkpointing overlaps computation exactly like communication does.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use minicl::{Buffer, ClResult, CommandQueue, Event};
+use parking_lot::Mutex;
+use simnet::{Link, LinkSpec};
+use simtime::{Actor, SimClock, SimNs};
+
+/// A simulated node-local storage device: an in-memory "filesystem" plus
+/// a serialized bandwidth/latency timeline (one head, like a real disk or
+/// a shared SSD namespace).
+#[derive(Clone)]
+pub struct SimStorage {
+    files: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+    link: Arc<Link>,
+}
+
+impl SimStorage {
+    /// A ~2012 cluster-node local disk array: ~200 MB/s streaming,
+    /// ~4 ms access latency, small per-op overhead.
+    pub fn node_local_disk(clock: SimClock) -> Self {
+        Self::with_spec(
+            clock,
+            LinkSpec {
+                latency_ns: 4_000_000,
+                bandwidth_bps: 200.0e6,
+                per_msg_overhead_ns: 100_000,
+            },
+        )
+    }
+
+    /// Storage with an explicit cost model.
+    pub fn with_spec(clock: SimClock, spec: LinkSpec) -> Self {
+        SimStorage {
+            files: Arc::new(Mutex::new(HashMap::new())),
+            link: Arc::new(Link::new(clock, spec)),
+        }
+    }
+
+    /// Bytes currently stored under `path`.
+    pub fn file_len(&self, path: &str) -> Option<usize> {
+        self.files.lock().get(path).map(|v| v.len())
+    }
+
+    /// Snapshot a file's contents.
+    pub fn read_file(&self, path: &str) -> Option<Vec<u8>> {
+        self.files.lock().get(path).cloned()
+    }
+
+    /// Store raw bytes (host-side write, no device involved).
+    pub fn write_file(&self, path: &str, data: Vec<u8>) {
+        self.files.lock().insert(path.to_string(), data);
+    }
+
+    fn reserve(&self, bytes: usize, earliest: SimNs) -> SimNs {
+        let r = self.link.reserve(bytes, earliest);
+        r.arrival
+    }
+}
+
+impl crate::runtime::ClMpi {
+    /// Write `size` bytes at `offset` of device buffer `buf` to
+    /// `storage` under `path` (a checkpoint). Non-blocking: the returned
+    /// event completes when the data is durable; gate subsequent commands
+    /// on it (or don't, and keep computing — that is the point).
+    ///
+    /// Cost: device→host staging (pinned path) then the storage stream,
+    /// serialized on the storage timeline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_write_file(
+        &self,
+        queue: &CommandQueue,
+        buf: &Buffer,
+        offset: usize,
+        size: usize,
+        storage: &SimStorage,
+        path: impl Into<String>,
+        wait_list: &[Event],
+        _actor: &Actor,
+    ) -> ClResult<Event> {
+        buf.check_range(offset, size)?;
+        let ue = self.context().create_user_event(format!("write-file {size}B"));
+        let event = ue.event();
+        let wait: Vec<Event> = wait_list.to_vec();
+        let buf = buf.clone();
+        let storage = storage.clone();
+        let device = queue.device().clone();
+        let path = path.into();
+        self.spawn_runtime_job(format!("clmpi-fwrite-r{}", self.rank()), move |a| {
+            Event::wait_all(&wait, a);
+            let pcie = device.spec().pcie;
+            let staged = device
+                .d2h_link()
+                .reserve_duration(pcie.staged_ns(size, true), a.now_ns() + pcie.pin_setup_ns);
+            let bytes = buf.load(offset, size).expect("range checked at enqueue");
+            let durable_at = storage.reserve(size, staged.end);
+            a.advance_until(durable_at);
+            storage.write_file(&path, bytes);
+            ue.set_complete(a.now_ns()).expect("file write completed once");
+        });
+        Ok(event)
+    }
+
+    /// Read a file from `storage` into `offset` of device buffer `buf`.
+    /// The file must hold at least `size` bytes *by the time the command
+    /// runs* (its wait list has completed).
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_read_file(
+        &self,
+        queue: &CommandQueue,
+        buf: &Buffer,
+        offset: usize,
+        size: usize,
+        storage: &SimStorage,
+        path: impl Into<String>,
+        wait_list: &[Event],
+        _actor: &Actor,
+    ) -> ClResult<Event> {
+        buf.check_range(offset, size)?;
+        let ue = self.context().create_user_event(format!("read-file {size}B"));
+        let event = ue.event();
+        let wait: Vec<Event> = wait_list.to_vec();
+        let buf = buf.clone();
+        let storage = storage.clone();
+        let device = queue.device().clone();
+        let path = path.into();
+        self.spawn_runtime_job(format!("clmpi-fread-r{}", self.rank()), move |a| {
+            Event::wait_all(&wait, a);
+            let data = storage
+                .read_file(&path)
+                .unwrap_or_else(|| panic!("enqueue_read_file: no file '{path}'"));
+            assert!(
+                data.len() >= size,
+                "file '{path}' holds {} bytes, {size} requested",
+                data.len()
+            );
+            let pcie = device.spec().pcie;
+            let read_done = storage.reserve(size, a.now_ns());
+            let h2d = device
+                .h2d_link()
+                .reserve_duration(pcie.staged_ns(size, true), read_done + pcie.pin_setup_ns);
+            a.advance_until(h2d.end);
+            buf.store(offset, &data[..size]).expect("range checked");
+            ue.set_complete(a.now_ns()).expect("file read completed once");
+        });
+        Ok(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemConfig;
+    use minimpi::run_world_sized;
+
+    #[test]
+    fn checkpoint_roundtrip_through_storage() {
+        run_world_sized(SystemConfig::ricc().cluster.clone(), 1, |p| {
+            let rt = crate::ClMpi::new(&p, SystemConfig::ricc());
+            let q = rt.context().create_queue(0, "q");
+            let storage = SimStorage::node_local_disk(p.clock().clone());
+            let a = rt.context().create_buffer(1 << 20);
+            let b = rt.context().create_buffer(1 << 20);
+            a.store(0, &vec![42u8; 1 << 20]).unwrap();
+            let ew = rt
+                .enqueue_write_file(&q, &a, 0, 1 << 20, &storage, "ckpt.bin", &[], &p.actor)
+                .unwrap();
+            let er = rt
+                .enqueue_read_file(&q, &b, 0, 1 << 20, &storage, "ckpt.bin", &[ew], &p.actor)
+                .unwrap();
+            er.wait(&p.actor);
+            assert_eq!(b.load(0, 1 << 20).unwrap(), vec![42u8; 1 << 20]);
+            assert_eq!(storage.file_len("ckpt.bin"), Some(1 << 20));
+            rt.shutdown(&p.actor);
+        });
+    }
+
+    #[test]
+    fn checkpoint_overlaps_computation() {
+        run_world_sized(SystemConfig::ricc().cluster.clone(), 1, |p| {
+            let rt = crate::ClMpi::new(&p, SystemConfig::ricc());
+            let q = rt.context().create_queue(0, "q");
+            let storage = SimStorage::node_local_disk(p.clock().clone());
+            let buf = rt.context().create_buffer(8 << 20);
+            // 8 MiB at ~200 MB/s ≈ 40 ms of storage time…
+            let ew = rt
+                .enqueue_write_file(&q, &buf, 0, 8 << 20, &storage, "c", &[], &p.actor)
+                .unwrap();
+            // …hidden under 50 ms of computation on the same device.
+            let ek = q.enqueue_kernel("compute", 50_000_000, &[], || {});
+            ek.wait(&p.actor);
+            ew.wait(&p.actor);
+            assert!(
+                p.actor.now_ns() < 60_000_000,
+                "checkpoint hidden under compute: {}",
+                p.actor.now_ns()
+            );
+            rt.shutdown(&p.actor);
+        });
+    }
+
+    #[test]
+    fn storage_operations_serialize_on_the_device() {
+        let clock = SimClock::new();
+        let s = SimStorage::node_local_disk(clock);
+        let a = s.reserve(1 << 20, 0);
+        let b = s.reserve(1 << 20, 0);
+        assert!(b > a, "second op queues behind the first");
+    }
+
+    #[test]
+    #[should_panic(expected = "a rank panicked")]
+    fn reading_missing_file_fails() {
+        run_world_sized(SystemConfig::ricc().cluster.clone(), 1, |p| {
+            let rt = crate::ClMpi::new(&p, SystemConfig::ricc());
+            let q = rt.context().create_queue(0, "q");
+            let storage = SimStorage::node_local_disk(p.clock().clone());
+            let buf = rt.context().create_buffer(64);
+            let e = rt
+                .enqueue_read_file(&q, &buf, 0, 64, &storage, "nope", &[], &p.actor)
+                .unwrap();
+            e.wait(&p.actor);
+            rt.shutdown(&p.actor);
+        });
+    }
+}

@@ -1,0 +1,126 @@
+//! Runtime transfer statistics: counts, bytes and virtual time per
+//! transfer strategy and direction. Attach with [`crate::ClMpi::enable_stats`]
+//! to audit which paths the automatic selection actually took — the
+//! observability a production runtime would ship with.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simtime::SimNs;
+
+/// Per-(direction, strategy) accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StrategyStats {
+    /// Transfers recorded.
+    pub count: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Summed virtual duration (start of execution to completion).
+    pub total_ns: SimNs,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    entries: BTreeMap<(String, String), StrategyStats>,
+}
+
+/// A shareable statistics collector. Cloning shares the store.
+#[derive(Clone, Default)]
+pub struct TransferStats {
+    inner: Arc<Mutex<StatsInner>>,
+}
+
+impl TransferStats {
+    /// New empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record(&self, direction: &str, strategy: &str, bytes: usize, dur_ns: SimNs) {
+        let mut st = self.inner.lock();
+        let e = st
+            .entries
+            .entry((direction.to_string(), strategy.to_string()))
+            .or_default();
+        e.count += 1;
+        e.bytes += bytes as u64;
+        e.total_ns += dur_ns;
+    }
+
+    /// Stats for one (direction, strategy) pair, if any were recorded.
+    pub fn get(&self, direction: &str, strategy: &str) -> Option<StrategyStats> {
+        self.inner
+            .lock()
+            .entries
+            .get(&(direction.to_string(), strategy.to_string()))
+            .copied()
+    }
+
+    /// Total transfers recorded.
+    pub fn total_count(&self) -> u64 {
+        self.inner.lock().entries.values().map(|e| e.count).sum()
+    }
+
+    /// Total payload bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().entries.values().map(|e| e.bytes).sum()
+    }
+
+    /// Render a report table (sorted by direction then strategy).
+    pub fn report(&self) -> String {
+        let st = self.inner.lock();
+        let mut out = String::from(
+            "direction  strategy            count        bytes     avg MB/s\n",
+        );
+        for ((dir, strat), e) in &st.entries {
+            let mbps = if e.total_ns > 0 {
+                e.bytes as f64 * 1e3 / e.total_ns as f64
+            } else {
+                f64::INFINITY
+            };
+            out.push_str(&format!(
+                "{dir:<9}  {strat:<18}  {:>5}  {:>11}  {mbps:>11.1}\n",
+                e.count, e.bytes
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let s = TransferStats::new();
+        s.record("send", "pinned", 1000, 10_000);
+        s.record("send", "pinned", 3000, 30_000);
+        s.record("recv", "mapped", 500, 5_000);
+        let e = s.get("send", "pinned").unwrap();
+        assert_eq!(e.count, 2);
+        assert_eq!(e.bytes, 4000);
+        assert_eq!(e.total_ns, 40_000);
+        assert_eq!(s.total_count(), 3);
+        assert_eq!(s.total_bytes(), 4500);
+        assert!(s.get("send", "mapped").is_none());
+    }
+
+    #[test]
+    fn report_renders_rows() {
+        let s = TransferStats::new();
+        s.record("send", "pipelined(4M)", 4 << 20, 4_000_000);
+        let r = s.report();
+        assert!(r.contains("pipelined(4M)"));
+        assert!(r.contains("send"));
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let s = TransferStats::new();
+        let s2 = s.clone();
+        s2.record("recv", "pinned", 1, 1);
+        assert_eq!(s.total_count(), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Single-threaded reference solver used to validate every distributed
+//! variant.
+
+use crate::grid::{copy_shell, jacobi_sweep, GridSize, HimenoGrid};
+
+/// Result of the reference run: final pressure field and last residual.
+pub struct ReferenceResult {
+    /// Final pressure field (`mimax × mjmax × mkmax`).
+    pub p: Vec<f32>,
+    /// `gosa` of the final iteration.
+    pub gosa: f64,
+}
+
+/// Run `iters` Jacobi sweeps on a full grid, double-buffered exactly like
+/// the distributed variants (so results are bitwise comparable).
+pub fn reference_jacobi(size: GridSize, iters: usize) -> ReferenceResult {
+    let (mi, mj, mk) = size.dims();
+    let g = HimenoGrid::new(size);
+    let mut old = g.p.clone();
+    let mut new = g.p.clone(); // carries boundary values from init
+    let mut gosa = 0.0;
+    for _ in 0..iters {
+        gosa = jacobi_sweep(&old, &mut new, mj, mk, 1, mi - 1);
+        copy_shell(&old, &mut new, mj, mk, 0, mi);
+        std::mem::swap(&mut old, &mut new);
+    }
+    ReferenceResult { p: old, gosa }
+}
+
+/// Order-independent checksum of a pressure field (sum of |p| as f64).
+pub fn checksum(p: &[f32]) -> f64 {
+    p.iter().map(|&x| x.abs() as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_converges() {
+        let r1 = reference_jacobi(GridSize::Custom(17, 17, 33), 1);
+        let r10 = reference_jacobi(GridSize::Custom(17, 17, 33), 10);
+        assert!(r10.gosa < r1.gosa, "residual shrinks with iterations");
+    }
+
+    #[test]
+    fn reference_is_deterministic() {
+        let a = reference_jacobi(GridSize::Xs, 3);
+        let b = reference_jacobi(GridSize::Xs, 3);
+        assert_eq!(a.p, b.p);
+        assert_eq!(a.gosa, b.gosa);
+    }
+
+    #[test]
+    fn checksum_positive_and_stable() {
+        let r = reference_jacobi(GridSize::Custom(9, 9, 9), 2);
+        let c = checksum(&r.p);
+        assert!(c > 0.0);
+        assert_eq!(c, checksum(&r.p));
+    }
+}

@@ -1,0 +1,641 @@
+//! The three distributed Himeno implementations (paper Fig. 1/2/6).
+//!
+//! ## Decomposition (paper Fig. 3)
+//!
+//! Global interior planes are split contiguously along the first axis.
+//! Each rank's slab has `n` interior planes plus ghost planes at local
+//! index `0` (from the lower neighbor) and `n+1` (from the upper one).
+//! The slab is halved: **B** = lower planes `[1, ha)`, **A** = upper
+//! planes `[ha, n+1)` ("the top plane of A and the bottom plane of B are
+//! halo regions"). Even ranks compute A first, odd ranks B first, so each
+//! phase pairs neighbors exchanging the same boundary.
+//!
+//! ## Buffering
+//!
+//! Double-buffered pressure (`old`/`new` swap each iteration): kernels
+//! read `old` and write `new`, halo exchanges carry freshly-written
+//! boundary planes into the ghost planes of the same buffer generation.
+//! All three variants perform identical arithmetic, so their pressure
+//! fields match the single-threaded reference bitwise.
+
+use std::sync::Arc;
+
+use clmpi::{ClMpi, SystemConfig, TransferStrategy};
+use minicl::{Buffer, CommandQueue, Event, HostBuffer};
+use minimpi::{run_world_sized, Process, Tag};
+use parking_lot::Mutex;
+use simtime::SimNs;
+
+use crate::grid::{jacobi_sweep, GridSize, HimenoGrid, BYTES_PER_POINT, FLOPS_PER_POINT};
+
+const TAG_DOWN: Tag = 100; // payload travels towards rank 0
+const TAG_UP: Tag = 101; // payload travels towards rank P-1
+
+/// Which implementation to run (paper §V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Everything serialized (Fig. 1 structure).
+    Serial,
+    /// Two-queue host-managed overlap (Fig. 2, from \[13\]).
+    HandOptimized,
+    /// Event-chained clMPI commands (Fig. 6).
+    ClMpi,
+    /// Ablation: clMPI commands, but the host waits for every exchange at
+    /// each iteration end — reintroducing the Fig. 4(b) serialization the
+    /// event chains are meant to remove.
+    ClMpiBlocked,
+    /// Comparator from the paper's §II related work: GPU-aware MPI
+    /// (cudaMPI / MPI-ACC / MVAPICH2-GPU style). MPI calls take device
+    /// buffers and use the optimized transfer paths, but run on the host
+    /// thread, which must first block on the producing kernel's event.
+    GpuAwareMpi,
+}
+
+impl Variant {
+    /// Display name used by the harnesses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Serial => "serial",
+            Variant::HandOptimized => "hand-optimized",
+            Variant::ClMpi => "clMPI",
+            Variant::ClMpiBlocked => "clMPI-blocked",
+            Variant::GpuAwareMpi => "gpu-aware-mpi",
+        }
+    }
+}
+
+/// Parameters of one Himeno run.
+#[derive(Clone)]
+pub struct HimenoConfig {
+    /// Grid size (the paper uses M).
+    pub size: GridSize,
+    /// Timed Jacobi iterations.
+    pub iters: usize,
+    /// System preset (Cichlid or RICC).
+    pub sys: SystemConfig,
+    /// Number of ranks/nodes.
+    pub nodes: usize,
+    /// Force a clMPI transfer strategy (ablation); `None` = Auto.
+    pub strategy: Option<TransferStrategy>,
+}
+
+/// Measured output of one run.
+#[derive(Debug, Clone)]
+pub struct HimenoResult {
+    /// Sustained GFLOPS over the timed loop (the Fig. 9 metric).
+    pub gflops: f64,
+    /// Virtual time of the timed loop.
+    pub elapsed_ns: SimNs,
+    /// Final-iteration residual (summed over ranks).
+    pub gosa: f64,
+    /// Order-tolerant checksum of the final interior pressure field.
+    pub checksum: f64,
+    /// Σ of kernel device time per iteration, max over ranks (serial
+    /// variant only; used for the Fig. 9(a) comp/comm ratio annotation).
+    pub comp_ns: SimNs,
+    /// Σ of host-side communication time, max over ranks (serial only).
+    pub comm_ns: SimNs,
+    /// Activity trace of the run (GPU lanes always recorded; comm lanes
+    /// recorded by the clMPI runtime) — renders the Fig. 4 timelines.
+    pub trace: simtime::Trace,
+}
+
+struct Slab {
+    /// Interior planes owned by this rank.
+    n: usize,
+    /// First local plane of the upper half A (`B = [1, ha)`,
+    /// `A = [ha, n+1)`).
+    ha: usize,
+    mj: usize,
+    mk: usize,
+    plane_bytes: usize,
+    down: Option<usize>,
+    up: Option<usize>,
+}
+
+impl Slab {
+    fn new(cfg: &HimenoConfig, rank: usize) -> Self {
+        let (mi, mj, mk) = cfg.size.dims();
+        let interior = mi - 2;
+        let p = cfg.nodes;
+        assert!(
+            interior >= 2 * p,
+            "grid too small: {interior} interior planes for {p} ranks"
+        );
+        let base = interior / p;
+        let rem = interior % p;
+        let n = base + usize::from(rank < rem);
+        Slab {
+            n,
+            ha: n / 2 + 1,
+            mj,
+            mk,
+            plane_bytes: mj * mk * 4,
+            down: (rank > 0).then(|| rank - 1),
+            up: (rank + 1 < p).then(|| rank + 1),
+        }
+    }
+
+    fn global_start(cfg: &HimenoConfig, rank: usize) -> usize {
+        let (mi, _, _) = cfg.size.dims();
+        let interior = mi - 2;
+        let p = cfg.nodes;
+        let base = interior / p;
+        let rem = interior % p;
+        1 + rank * base + rank.min(rem)
+    }
+
+    fn slab_bytes(&self) -> usize {
+        (self.n + 2) * self.plane_bytes
+    }
+
+    fn plane_off(&self, local_plane: usize) -> usize {
+        local_plane * self.plane_bytes
+    }
+}
+
+/// Enqueue one half-sweep kernel; the body performs the real stencil and
+/// records the partial residual into `gosa_acc[iter]`.
+#[allow(clippy::too_many_arguments)]
+fn enqueue_half_kernel(
+    q: &CommandQueue,
+    name: &'static str,
+    old: &Buffer,
+    new: &Buffer,
+    slab: &Slab,
+    lo: usize,
+    hi: usize,
+    gosa_acc: Arc<Vec<Mutex<f64>>>,
+    iter: usize,
+    waits: &[Event],
+) -> Event {
+    let (mj, mk) = (slab.mj, slab.mk);
+    let points = (hi - lo) * (mj - 2) * (mk - 2);
+    let cost = q.device().spec().stencil_kernel_ns(points, BYTES_PER_POINT);
+    let old = old.clone();
+    let new = new.clone();
+    q.enqueue_kernel(name, cost, waits, move || {
+        let g = old.read(|o| new.write(|n| jacobi_sweep(o.as_f32(), n.as_f32_mut(), mj, mk, lo, hi)));
+        *gosa_acc[iter].lock() += g;
+    })
+}
+
+/// Host-side staged halo exchange (serial & hand-optimized variants):
+/// blocking device→host read of `send_plane`, `MPI_Sendrecv`, blocking
+/// host→device write into `ghost_plane`. Stages through reusable pinned
+/// buffers, exactly the conventional joint-programming pattern of Fig. 1.
+#[allow(clippy::too_many_arguments)]
+fn host_exchange(
+    p: &Process,
+    q: &CommandQueue,
+    buf: &Buffer,
+    slab: &Slab,
+    neighbor: Option<usize>,
+    send_plane: usize,
+    ghost_plane: usize,
+    send_tag: Tag,
+    recv_tag: Tag,
+    stage: &HostBuffer,
+) {
+    let Some(nb) = neighbor else { return };
+    q.enqueue_read_buffer(
+        &p.actor,
+        buf,
+        true,
+        slab.plane_off(send_plane),
+        slab.plane_bytes,
+        stage,
+        0,
+        &[],
+    )
+    .expect("read boundary plane");
+    let out = stage.to_vec();
+    let got = p
+        .comm
+        .sendrecv(&p.actor, nb, send_tag, &out, Some(nb), Some(recv_tag));
+    assert_eq!(got.data.len(), slab.plane_bytes, "halo plane size");
+    stage.fill_from(&got.data);
+    q.enqueue_write_buffer(
+        &p.actor,
+        buf,
+        true,
+        slab.plane_off(ghost_plane),
+        slab.plane_bytes,
+        stage,
+        0,
+        &[],
+    )
+    .expect("write ghost plane");
+}
+
+/// Run `variant` under `cfg`; aggregates per-rank measurements.
+pub fn run_himeno(variant: Variant, cfg: HimenoConfig) -> HimenoResult {
+    let cluster = cfg.sys.cluster.clone();
+    let nodes = cfg.nodes;
+    let cfg = Arc::new(cfg);
+    let interior_global: usize = cfg.size.interior_points();
+    let iters = cfg.iters;
+    let res = run_world_sized(cluster, nodes, move |p: Process| {
+        rank_main(variant, &cfg, p)
+    });
+    // Per-rank outputs: (gosa, checksum, comp, comm, loop_ns).
+    let gosa: f64 = res.outputs.iter().map(|o| o.0).sum();
+    let checksum: f64 = res.outputs.iter().map(|o| o.1).sum();
+    let comp_ns = res.outputs.iter().map(|o| o.2).max().unwrap_or(0);
+    let comm_ns = res.outputs.iter().map(|o| o.3).max().unwrap_or(0);
+    let elapsed_ns = res.outputs.iter().map(|o| o.4).max().unwrap_or(1).max(1);
+    let flops = FLOPS_PER_POINT * interior_global as f64 * iters as f64;
+    HimenoResult {
+        gflops: flops / elapsed_ns as f64, // flops/ns == Gflop/s
+        elapsed_ns,
+        gosa,
+        checksum,
+        comp_ns,
+        comm_ns,
+        trace: res.trace,
+    }
+}
+
+type RankOut = (f64, f64, SimNs, SimNs, SimNs);
+
+fn rank_main(variant: Variant, cfg: &HimenoConfig, p: Process) -> RankOut {
+    let rank = p.rank();
+    let slab = Slab::new(cfg, rank);
+    let rt = ClMpi::new(&p, cfg.sys.clone());
+    if let Some(s) = cfg.strategy {
+        rt.set_forced_strategy(Some(s));
+    }
+    let ctx = rt.context().clone();
+    // Initialize both pressure buffers from the identical global grid.
+    let start = Slab::global_start(cfg, rank);
+    let init = {
+        let g = HimenoGrid::new(cfg.size);
+        g.planes(start - 1, start + slab.n + 1).to_vec()
+    };
+    let bufs = [ctx.create_buffer(slab.slab_bytes()), ctx.create_buffer(slab.slab_bytes())];
+    for b in &bufs {
+        b.store(0, minimpi::datatype::f32_as_bytes(&init)).unwrap();
+    }
+    let gosa_acc: Arc<Vec<Mutex<f64>>> =
+        Arc::new((0..cfg.iters).map(|_| Mutex::new(0.0)).collect());
+
+    // Warm-up alignment, then the timed loop.
+    p.comm.barrier(&p.actor);
+    let t0 = p.actor.now_ns();
+    let (comp_ns, comm_ns) = match variant {
+        Variant::Serial => run_serial(cfg, &p, &rt, &slab, &bufs, &gosa_acc),
+        Variant::HandOptimized => run_hand(cfg, &p, &rt, &slab, &bufs, &gosa_acc),
+        Variant::ClMpi => run_clmpi(cfg, &p, &rt, &slab, &bufs, &gosa_acc, false),
+        Variant::ClMpiBlocked => run_clmpi(cfg, &p, &rt, &slab, &bufs, &gosa_acc, true),
+        Variant::GpuAwareMpi => run_gpu_aware(cfg, &p, &rt, &slab, &bufs, &gosa_acc),
+    };
+    rt.shutdown(&p.actor);
+    p.comm.barrier(&p.actor);
+    let loop_ns = p.actor.now_ns() - t0;
+
+    // Validation data: final field lives in bufs[iters % 2] (the last
+    // "new"), interior planes only.
+    let final_buf = &bufs[cfg.iters % 2];
+    let checksum = final_buf.read(|d| {
+        let f = d.as_f32();
+        let plane = slab.mj * slab.mk;
+        let mut sum = 0.0f64;
+        for i in 1..=slab.n {
+            for j in 1..slab.mj - 1 {
+                for k in 1..slab.mk - 1 {
+                    sum += f[i * plane + j * slab.mk + k].abs() as f64;
+                }
+            }
+        }
+        sum
+    });
+    let gosa = *gosa_acc[cfg.iters - 1].lock();
+    (gosa, checksum, comp_ns, comm_ns, loop_ns)
+}
+
+/// Fig. 1 structure: kernel, halo reads, MPI, halo writes — serialized.
+fn run_serial(
+    cfg: &HimenoConfig,
+    p: &Process,
+    rt: &ClMpi,
+    slab: &Slab,
+    bufs: &[Buffer; 2],
+    gosa: &Arc<Vec<Mutex<f64>>>,
+) -> (SimNs, SimNs) {
+    let q = rt.context().create_queue(0, format!("r{}q0", p.rank()));
+    q.set_trace(p.comm.world().trace().clone(), format!("r{}.gpu", p.rank()));
+    let stage = HostBuffer::pinned(slab.plane_bytes);
+    let (mut comp, mut comm) = (0, 0);
+    for t in 0..cfg.iters {
+        let (old, new) = (&bufs[t % 2], &bufs[(t + 1) % 2]);
+        let k0 = p.actor.now_ns();
+        let e = enqueue_half_kernel(&q, "jacobi", old, new, slab, 1, slab.n + 1, gosa.clone(), t, &[]);
+        e.wait(&p.actor);
+        comp += p.actor.now_ns() - k0;
+        let c0 = p.actor.now_ns();
+        // Exchange the freshly-written buffer's boundary planes.
+        host_exchange(p, &q, new, slab, slab.down, 1, 0, TAG_DOWN, TAG_UP, &stage);
+        host_exchange(p, &q, new, slab, slab.up, slab.n, slab.n + 1, TAG_UP, TAG_DOWN, &stage);
+        comm += p.actor.now_ns() - c0;
+    }
+    q.finish(&p.actor);
+    (comp, comm)
+}
+
+/// Fig. 2 structure: two queues, host-managed overlap. Phase 1 computes
+/// the first half while the host exchanges the other half's halo (on the
+/// *old* buffer); phase 2 computes the second half while exchanging the
+/// first half's product (on the *new* buffer).
+fn run_hand(
+    cfg: &HimenoConfig,
+    p: &Process,
+    rt: &ClMpi,
+    slab: &Slab,
+    bufs: &[Buffer; 2],
+    gosa: &Arc<Vec<Mutex<f64>>>,
+) -> (SimNs, SimNs) {
+    let rank = p.rank();
+    let even = rank.is_multiple_of(2);
+    let q0 = rt.context().create_queue(0, format!("r{rank}q0"));
+    let q1 = rt.context().create_queue(0, format!("r{rank}q1"));
+    q0.set_trace(p.comm.world().trace().clone(), format!("r{rank}.gpu0"));
+    q1.set_trace(p.comm.world().trace().clone(), format!("r{rank}.gpu1"));
+    let stage0 = HostBuffer::pinned(slab.plane_bytes);
+    let stage1 = HostBuffer::pinned(slab.plane_bytes);
+    // Cross-queue ordering events from the previous iteration.
+    let mut e_first_prev: Option<Event> = None;
+    let mut e_second_prev: Option<Event> = None;
+    for t in 0..cfg.iters {
+        let (old, new) = (&bufs[t % 2], &bufs[(t + 1) % 2]);
+        let waits_first: Vec<Event> = e_second_prev.iter().cloned().collect();
+        let mut waits_second: Vec<Event> = e_first_prev.iter().cloned().collect();
+        // Phase 1: first-half kernel on q0; host exchanges the second
+        // half's halo of `old` through q1 (which serializes after the
+        // previous second-half kernel).
+        let e_first = if even {
+            enqueue_half_kernel(&q0, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &waits_first)
+        } else {
+            enqueue_half_kernel(&q0, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &waits_first)
+        };
+        if even {
+            // B's halo: bottom ghost of `old` from the down neighbor.
+            host_exchange(p, &q1, old, slab, slab.down, 1, 0, TAG_DOWN, TAG_UP, &stage1);
+        } else {
+            // A's halo: top ghost of `old` from the up neighbor.
+            host_exchange(p, &q1, old, slab, slab.up, slab.n, slab.n + 1, TAG_UP, TAG_DOWN, &stage1);
+        }
+        // Phase 2: second-half kernel on q1; host exchanges the first
+        // half's product (boundary of `new`) through q0.
+        // Gate the second kernel on the first: a single compute engine
+        // dispatches kernels in issue order on real GPUs, and the overlap
+        // scheme relies on phase 1 executing first.
+        waits_second.push(e_first.clone());
+        let e_second = if even {
+            enqueue_half_kernel(&q1, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &waits_second)
+        } else {
+            enqueue_half_kernel(&q1, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &waits_second)
+        };
+        if even {
+            host_exchange(p, &q0, new, slab, slab.up, slab.n, slab.n + 1, TAG_UP, TAG_DOWN, &stage0);
+        } else {
+            host_exchange(p, &q0, new, slab, slab.down, 1, 0, TAG_DOWN, TAG_UP, &stage0);
+        }
+        e_first_prev = Some(e_first);
+        e_second_prev = Some(e_second);
+    }
+    q0.finish(&p.actor);
+    q1.finish(&p.actor);
+    (0, 0)
+}
+
+/// Fig. 6 structure: one in-order queue, every dependency expressed as an
+/// event, all calls non-blocking; the host thread only calls `clFinish`
+/// at the end of each iteration.
+fn run_clmpi(
+    cfg: &HimenoConfig,
+    p: &Process,
+    rt: &ClMpi,
+    slab: &Slab,
+    bufs: &[Buffer; 2],
+    gosa: &Arc<Vec<Mutex<f64>>>,
+    block_each_iter: bool,
+) -> (SimNs, SimNs) {
+    let rank = p.rank();
+    let even = rank.is_multiple_of(2);
+    let q = rt.context().create_queue(0, format!("r{rank}q"));
+    q.set_trace(p.comm.world().trace().clone(), format!("r{rank}.gpu"));
+    // Events of the previous iteration's exchanges and kernels.
+    let mut e_phase2_xfer: Vec<Event> = Vec::new(); // gate next first kernel
+    let mut e_first_prev: Option<Event> = None;
+    let mut e_second_prev: Option<Event> = None;
+    for t in 0..cfg.iters {
+        let (old, new) = (&bufs[t % 2], &bufs[(t + 1) % 2]);
+        // Phase 1 kernel: waits the previous phase-2 exchange (it filled
+        // the ghost this kernel reads / sent the planes it overwrites)
+        // and the previous second-half kernel (internal boundary plane).
+        let mut w1: Vec<Event> = std::mem::take(&mut e_phase2_xfer);
+        w1.extend(e_second_prev.iter().cloned());
+        let e_first = if even {
+            enqueue_half_kernel(&q, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &w1)
+        } else {
+            enqueue_half_kernel(&q, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &w1)
+        };
+        // Phase 1 exchange on `old` (the other half's halo), gated on the
+        // previous iteration's second-half kernel which produced the data.
+        let gate1: Vec<Event> = e_second_prev.iter().cloned().collect();
+        let x1 = if even {
+            exchange_clmpi(rt, &q, p, old, slab, slab.down, 1, 0, TAG_DOWN, &gate1)
+        } else {
+            exchange_clmpi(rt, &q, p, old, slab, slab.up, slab.n, slab.n + 1, TAG_UP, &gate1)
+        };
+        // Phase 2 kernel: waits the phase-1 exchange (its ghost/planes)
+        // and the previous first-half kernel (internal boundary).
+        let mut w2: Vec<Event> = x1.clone();
+        w2.extend(e_first_prev.iter().cloned());
+        let e_second = if even {
+            enqueue_half_kernel(&q, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &w2)
+        } else {
+            enqueue_half_kernel(&q, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &w2)
+        };
+        // Phase 2 exchange on `new` (first half's freshly computed
+        // boundary), gated on this iteration's first kernel.
+        let gate2 = vec![e_first.clone()];
+        let x2 = if even {
+            exchange_clmpi(rt, &q, p, new, slab, slab.up, slab.n, slab.n + 1, TAG_UP, &gate2)
+        } else {
+            exchange_clmpi(rt, &q, p, new, slab, slab.down, 1, 0, TAG_DOWN, &gate2)
+        };
+        e_phase2_xfer = x2;
+        e_first_prev = Some(e_first);
+        e_second_prev = Some(e_second);
+        // The host's only synchronization: drain the queue (kernels); the
+        // exchanges keep flowing on their event chains (paper Fig. 4(c)).
+        q.finish(&p.actor);
+        if block_each_iter {
+            // Ablation: serialize the host on every exchange completion.
+            Event::wait_all(&x1, &p.actor);
+            Event::wait_all(&e_phase2_xfer, &p.actor);
+        }
+    }
+    // Drain the final exchanges before validation.
+    Event::wait_all(&e_phase2_xfer, &p.actor);
+    (0, 0)
+}
+
+/// One clMPI halo exchange: `enqueue_send_buffer` of the boundary plane
+/// and `enqueue_recv_buffer` into the ghost plane, both gated on `gate`.
+/// Returns the exchange's events (empty if no neighbor).
+#[allow(clippy::too_many_arguments)]
+fn exchange_clmpi(
+    rt: &ClMpi,
+    q: &CommandQueue,
+    p: &Process,
+    buf: &Buffer,
+    slab: &Slab,
+    neighbor: Option<usize>,
+    send_plane: usize,
+    ghost_plane: usize,
+    dir_tag: Tag,
+    gate: &[Event],
+) -> Vec<Event> {
+    let Some(nb) = neighbor else {
+        return Vec::new();
+    };
+    // Tag convention: a plane travelling down is sent with TAG_DOWN and
+    // received (from the up-neighbor's perspective) with TAG_DOWN too.
+    let (send_tag, recv_tag) = if dir_tag == TAG_DOWN {
+        (TAG_DOWN, TAG_UP)
+    } else {
+        (TAG_UP, TAG_DOWN)
+    };
+    let es = rt
+        .enqueue_send_buffer(
+            q,
+            buf,
+            false,
+            slab.plane_off(send_plane),
+            slab.plane_bytes,
+            nb,
+            send_tag,
+            gate,
+            &p.actor,
+        )
+        .expect("send boundary plane");
+    let er = rt
+        .enqueue_recv_buffer(
+            q,
+            buf,
+            false,
+            slab.plane_off(ghost_plane),
+            slab.plane_bytes,
+            nb,
+            recv_tag,
+            gate,
+            &p.actor,
+        )
+        .expect("recv ghost plane");
+    vec![es, er]
+}
+
+/// GPU-aware-MPI comparator (paper §II): the same two-queue overlap
+/// structure as the hand-optimized code, but halo exchanges are direct
+/// MPI-on-device-buffer calls ([`ClMpi::gpu_aware_send`] /
+/// [`ClMpi::gpu_aware_recv`]) — no manual staging, optimized transfer
+/// paths — executed by the host thread, which must first wait on the
+/// producing kernel's event (the serialization clMPI's events remove).
+fn run_gpu_aware(
+    cfg: &HimenoConfig,
+    p: &Process,
+    rt: &ClMpi,
+    slab: &Slab,
+    bufs: &[Buffer; 2],
+    gosa: &Arc<Vec<Mutex<f64>>>,
+) -> (SimNs, SimNs) {
+    let rank = p.rank();
+    let even = rank.is_multiple_of(2);
+    let q0 = rt.context().create_queue(0, format!("r{rank}q0"));
+    let q1 = rt.context().create_queue(0, format!("r{rank}q1"));
+    let mut e_first_prev: Option<Event> = None;
+    let mut e_second_prev: Option<Event> = None;
+    for t in 0..cfg.iters {
+        let (old, new) = (&bufs[t % 2], &bufs[(t + 1) % 2]);
+        let waits_first: Vec<Event> = e_second_prev.iter().cloned().collect();
+        let e_first = if even {
+            enqueue_half_kernel(&q0, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &waits_first)
+        } else {
+            enqueue_half_kernel(&q0, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &waits_first)
+        };
+        // Phase-1 exchange on `old`: the host must wait for the kernel
+        // that produced the boundary plane (§II's limitation), then the
+        // GPU-aware MPI calls transfer device memory directly.
+        if let Some(e) = &e_second_prev {
+            e.wait(&p.actor);
+        }
+        if even {
+            exchange_gpu_aware(rt, &q1, p, old, slab, slab.down, 1, 0, TAG_DOWN);
+        } else {
+            exchange_gpu_aware(rt, &q1, p, old, slab, slab.up, slab.n, slab.n + 1, TAG_UP);
+        }
+        let mut waits_second: Vec<Event> = e_first_prev.iter().cloned().collect();
+        waits_second.push(e_first.clone());
+        let e_second = if even {
+            enqueue_half_kernel(&q1, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &waits_second)
+        } else {
+            enqueue_half_kernel(&q1, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &waits_second)
+        };
+        // Phase-2 exchange on `new`: wait the first kernel, then transfer.
+        e_first.wait(&p.actor);
+        if even {
+            exchange_gpu_aware(rt, &q0, p, new, slab, slab.up, slab.n, slab.n + 1, TAG_UP);
+        } else {
+            exchange_gpu_aware(rt, &q0, p, new, slab, slab.down, 1, 0, TAG_DOWN);
+        }
+        e_first_prev = Some(e_first);
+        e_second_prev = Some(e_second);
+    }
+    q0.finish(&p.actor);
+    q1.finish(&p.actor);
+    (0, 0)
+}
+
+/// One GPU-aware halo exchange: blocking device-buffer send + receive on
+/// the host thread.
+#[allow(clippy::too_many_arguments)]
+fn exchange_gpu_aware(
+    rt: &ClMpi,
+    q: &CommandQueue,
+    p: &Process,
+    buf: &Buffer,
+    slab: &Slab,
+    neighbor: Option<usize>,
+    send_plane: usize,
+    ghost_plane: usize,
+    dir_tag: Tag,
+) {
+    let Some(nb) = neighbor else { return };
+    let (send_tag, recv_tag) = if dir_tag == TAG_DOWN {
+        (TAG_DOWN, TAG_UP)
+    } else {
+        (TAG_UP, TAG_DOWN)
+    };
+    rt.gpu_aware_send(
+        &p.actor,
+        q,
+        buf,
+        slab.plane_off(send_plane),
+        slab.plane_bytes,
+        nb,
+        send_tag,
+    )
+    .expect("gpu-aware send");
+    rt.gpu_aware_recv(
+        &p.actor,
+        q,
+        buf,
+        slab.plane_off(ghost_plane),
+        slab.plane_bytes,
+        nb,
+        recv_tag,
+    )
+    .expect("gpu-aware recv");
+}

@@ -1,0 +1,30 @@
+//! Runtime error codes (subset of OpenCL's `CL_*` errors).
+
+use std::fmt;
+
+/// Errors surfaced by runtime calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClError {
+    /// A size/offset pair exceeds a buffer (`CL_INVALID_VALUE`).
+    InvalidValue(String),
+    /// An operation used an object from a different context
+    /// (`CL_INVALID_CONTEXT`).
+    InvalidContext,
+    /// The queue has been shut down (`CL_INVALID_COMMAND_QUEUE`).
+    QueueShutDown,
+    /// A user event was completed twice (`CL_INVALID_OPERATION`).
+    InvalidOperation(String),
+}
+
+impl fmt::Display for ClError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClError::InvalidValue(m) => write!(f, "invalid value: {m}"),
+            ClError::InvalidContext => write!(f, "object used outside its context"),
+            ClError::QueueShutDown => write!(f, "command queue already shut down"),
+            ClError::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClError {}

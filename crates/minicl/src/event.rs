@@ -1,0 +1,286 @@
+//! Event objects: the dependency mechanism of the OpenCL execution model.
+//!
+//! Every enqueued command is bound to an [`Event`]; commands may name
+//! other events in a *wait list* and only start once all of them complete.
+//! [`UserEvent`]s are completable from application (or clMPI runtime)
+//! code — the paper's implementation makes inter-node communication
+//! commands return user events that "mimic event objects of standard
+//! OpenCL commands" (§V-A); this module is exactly that mimicry.
+
+use std::sync::Arc;
+
+use simtime::{Actor, Monitor, SimClock, SimNs};
+
+use crate::{ClError, ClResult};
+
+/// Command execution status (`CL_QUEUED` … `CL_COMPLETE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandStatus {
+    /// Enqueued, not yet seen by the executor.
+    Queued,
+    /// Picked up by the executor, waiting on its wait list.
+    Submitted,
+    /// Executing on the device.
+    Running,
+    /// Finished; timestamps final.
+    Complete,
+}
+
+/// Profiling timestamps in virtual ns (`CL_PROFILING_COMMAND_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfilingInfo {
+    /// When the command was enqueued.
+    pub queued: SimNs,
+    /// When the executor picked it up.
+    pub submitted: SimNs,
+    /// When execution began (wait list satisfied).
+    pub started: SimNs,
+    /// When execution finished.
+    pub completed: SimNs,
+}
+
+struct EventState {
+    status: CommandStatus,
+    profiling: ProfilingInfo,
+    #[allow(clippy::type_complexity)]
+    callbacks: Vec<Box<dyn FnOnce(CommandStatus) + Send>>,
+    label: String,
+}
+
+/// A command's status handle. Cheap to clone; all clones observe the same
+/// state (like `cl_event` handles with retain/release).
+#[derive(Clone)]
+pub struct Event {
+    core: Arc<Monitor<EventState>>,
+}
+
+impl Event {
+    pub(crate) fn new_queued(clock: SimClock, label: impl Into<String>) -> Self {
+        let queued = clock.now_ns();
+        Event {
+            core: Arc::new(Monitor::new(
+                clock,
+                EventState {
+                    status: CommandStatus::Queued,
+                    profiling: ProfilingInfo {
+                        queued,
+                        ..Default::default()
+                    },
+                    callbacks: Vec::new(),
+                    label: label.into(),
+                },
+            )),
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> CommandStatus {
+        self.core.peek(|st| st.status)
+    }
+
+    /// True once complete.
+    pub fn is_complete(&self) -> bool {
+        self.status() == CommandStatus::Complete
+    }
+
+    /// Profiling timestamps; `None` until complete (as in OpenCL, where
+    /// querying before completion is undefined — we make it checkable).
+    pub fn profiling(&self) -> Option<ProfilingInfo> {
+        self.core.peek(|st| {
+            (st.status == CommandStatus::Complete).then_some(st.profiling)
+        })
+    }
+
+    /// Completion instant, if complete.
+    pub fn completion_time(&self) -> Option<SimNs> {
+        self.profiling().map(|p| p.completed)
+    }
+
+    /// Diagnostic label ("kernel jacobi", "recv-buffer from 3", …).
+    pub fn label(&self) -> String {
+        self.core.peek(|st| st.label.clone())
+    }
+
+    /// Block the calling actor until the command completes
+    /// (`clWaitForEvents` with a single event).
+    pub fn wait(&self, actor: &Actor) {
+        self.core.wait_labeled(actor, "event wait", |st| {
+            (st.status == CommandStatus::Complete).then_some(())
+        });
+    }
+
+    /// Block until every event in `events` completes (`clWaitForEvents`).
+    pub fn wait_all(events: &[Event], actor: &Actor) {
+        for e in events {
+            e.wait(actor);
+        }
+    }
+
+    /// Register a completion callback (`clSetEventCallback` for
+    /// `CL_COMPLETE`). Runs immediately if already complete; otherwise on
+    /// the thread that completes the event.
+    pub fn on_complete(&self, cb: impl FnOnce(CommandStatus) + Send + 'static) {
+        let mut cb = Some(Box::new(cb) as Box<dyn FnOnce(CommandStatus) + Send>);
+        let deferred = self.core.with(|st| {
+            if st.status == CommandStatus::Complete {
+                false
+            } else {
+                st.callbacks.push(cb.take().expect("callback present"));
+                true
+            }
+        });
+        if !deferred {
+            // Completed before registration: OpenCL runs it immediately.
+            (cb.take().expect("callback present"))(CommandStatus::Complete);
+        }
+    }
+
+    pub(crate) fn mark_submitted(&self, at: SimNs) {
+        self.core.with(|st| {
+            debug_assert_eq!(st.status, CommandStatus::Queued);
+            st.status = CommandStatus::Submitted;
+            st.profiling.submitted = at;
+        });
+    }
+
+    pub(crate) fn mark_running(&self, at: SimNs) {
+        self.core.with(|st| {
+            st.status = CommandStatus::Running;
+            st.profiling.started = at;
+        });
+    }
+
+    /// Complete the event at virtual instant `at` (callers have already
+    /// advanced to `at`). Runs callbacks outside the lock.
+    pub(crate) fn complete(&self, at: SimNs) {
+        let cbs = self.core.with(|st| {
+            debug_assert_ne!(st.status, CommandStatus::Complete, "double completion");
+            if st.profiling.submitted == 0 {
+                st.profiling.submitted = st.profiling.queued;
+            }
+            if st.profiling.started == 0 {
+                st.profiling.started = st.profiling.submitted;
+            }
+            st.status = CommandStatus::Complete;
+            st.profiling.completed = at;
+            std::mem::take(&mut st.callbacks)
+        });
+        for cb in cbs {
+            cb(CommandStatus::Complete);
+        }
+    }
+
+}
+
+/// A user event (`clCreateUserEvent`): an [`Event`] completable from
+/// application code. The clMPI runtime returns these from its inter-node
+/// communication commands.
+pub struct UserEvent {
+    event: Event,
+}
+
+impl UserEvent {
+    /// Create an incomplete user event on `clock`.
+    pub fn new(clock: SimClock, label: impl Into<String>) -> Self {
+        UserEvent {
+            event: Event::new_queued(clock, label),
+        }
+    }
+
+    /// The underlying event handle to hand to wait lists.
+    pub fn event(&self) -> Event {
+        self.event.clone()
+    }
+
+    /// Complete the event now (`clSetUserEventStatus(CL_COMPLETE)`).
+    /// Fails on double completion.
+    pub fn set_complete(&self, at: SimNs) -> ClResult<()> {
+        if self.event.is_complete() {
+            return Err(ClError::InvalidOperation(
+                "user event already complete".into(),
+            ));
+        }
+        self.event.complete(at);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_profiling() {
+        let clock = SimClock::new();
+        let a = clock.register("t");
+        a.advance_ns(10);
+        let e = Event::new_queued(clock.clone(), "k");
+        assert_eq!(e.status(), CommandStatus::Queued);
+        assert!(e.profiling().is_none());
+        e.mark_submitted(12);
+        assert_eq!(e.status(), CommandStatus::Submitted);
+        e.mark_running(20);
+        e.complete(35);
+        let p = e.profiling().expect("complete");
+        assert_eq!(p.queued, 10);
+        assert_eq!(p.submitted, 12);
+        assert_eq!(p.started, 20);
+        assert_eq!(p.completed, 35);
+    }
+
+    #[test]
+    fn wait_blocks_until_completion() {
+        let clock = SimClock::new();
+        let waiter = clock.register("w");
+        let setter = clock.register("s");
+        let e = Event::new_queued(clock.clone(), "x");
+        let e2 = e.clone();
+        let t = std::thread::spawn(move || {
+            setter.advance_ns(500);
+            e2.complete(setter.now_ns());
+        });
+        e.wait(&waiter);
+        assert_eq!(waiter.now_ns(), 500);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn user_event_mimics_command_event() {
+        let clock = SimClock::new();
+        let a = clock.register("a");
+        let ue = UserEvent::new(clock.clone(), "clmpi send");
+        let handle = ue.event();
+        assert!(!handle.is_complete());
+        a.advance_ns(100);
+        ue.set_complete(a.now_ns()).unwrap();
+        assert!(handle.is_complete());
+        assert_eq!(handle.completion_time(), Some(100));
+        assert!(ue.set_complete(101).is_err(), "double completion rejected");
+    }
+
+    #[test]
+    fn callbacks_run_on_completion() {
+        let clock = SimClock::new();
+        let fired = Arc::new(parking_lot::Mutex::new(false));
+        let e = Event::new_queued(clock, "cb");
+        let f2 = fired.clone();
+        e.on_complete(move |s| {
+            assert_eq!(s, CommandStatus::Complete);
+            *f2.lock() = true;
+        });
+        assert!(!*fired.lock());
+        e.complete(1);
+        assert!(*fired.lock());
+    }
+
+    #[test]
+    fn wait_all_waits_for_every_event() {
+        let clock = SimClock::new();
+        let a = clock.register("a");
+        let e1 = Event::new_queued(clock.clone(), "1");
+        let e2 = Event::new_queued(clock.clone(), "2");
+        e1.complete(0);
+        e2.complete(0);
+        Event::wait_all(&[e1, e2], &a); // returns immediately
+    }
+}

@@ -1,0 +1,259 @@
+//! Collective operations built over point-to-point messaging.
+//!
+//! The paper's clMPI deliberately offers **no** collective commands
+//! (§IV-C): collectives stay ordinary MPI calls. These implementations
+//! exist so the applications (Himeno, nanopowder) and tests can use them.
+//!
+//! Tags above [`crate::MAX_USER_TAG`] are reserved; collectives use the
+//! `COLL_*` bases so they never collide with application traffic.
+
+use simtime::Actor;
+
+use crate::world::Comm;
+use crate::{Rank, Tag};
+
+const COLL_BARRIER: Tag = (1 << 20) + 0x100;
+const COLL_BCAST: Tag = (1 << 20) + 0x200;
+const COLL_REDUCE: Tag = (1 << 20) + 0x300;
+const COLL_GATHER: Tag = (1 << 20) + 0x400;
+const COLL_ALLREDUCE: Tag = (1 << 20) + 0x500;
+const COLL_SCATTER: Tag = (1 << 20) + 0x600;
+const COLL_ALLGATHER: Tag = (1 << 20) + 0x700;
+
+/// Reduction operator for [`Comm::reduce`] / [`Comm::allreduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    fn fold(self, acc: &mut [f64], other: &[f64]) {
+        assert_eq!(acc.len(), other.len(), "reduce length mismatch");
+        for (a, b) in acc.iter_mut().zip(other) {
+            *a = match self {
+                ReduceOp::Sum => *a + *b,
+                ReduceOp::Min => a.min(*b),
+                ReduceOp::Max => a.max(*b),
+            };
+        }
+    }
+}
+
+impl Comm {
+    /// Synchronize all ranks (binomial gather to 0, then broadcast).
+    /// Every rank leaves at the same virtual instant or later.
+    pub fn barrier(&self, actor: &Actor) {
+        self.barrier_tagged(actor, 0);
+    }
+
+    /// Barrier with a caller-chosen sub-tag so independent subsystems can
+    /// synchronize without cross-talk.
+    pub fn barrier_tagged(&self, actor: &Actor, sub: Tag) {
+        let tag = COLL_BARRIER + sub;
+        // Flat gather-then-release. Worlds here are ≤ 40 ranks and barrier
+        // payloads are empty, so the flat form is simplest and its timing
+        // (serialized on rank 0's NIC) is an honest model.
+        let n = self.size();
+        if self.rank() == 0 {
+            for _ in 1..n {
+                self.recv(actor, None, Some(tag));
+            }
+            for r in 1..n {
+                self.send(actor, r, tag + 1, &[]);
+            }
+        } else {
+            self.send(actor, 0, tag, &[]);
+            self.recv(actor, Some(0), Some(tag + 1));
+        }
+    }
+
+    /// Broadcast `data` from `root` to all ranks (binomial tree). Returns
+    /// the payload on every rank (the root gets its own copy back).
+    pub fn bcast(&self, actor: &Actor, root: Rank, data: Option<&[u8]>) -> Vec<u8> {
+        assert!(root < self.size(), "bcast root out of range");
+        let n = self.size();
+        // Rotate so the tree is rooted at 0.
+        let vrank = (self.rank() + n - root) % n;
+        let mut payload: Option<Vec<u8>> = if self.rank() == root {
+            Some(
+                data.expect("root must supply the broadcast payload")
+                    .to_vec(),
+            )
+        } else {
+            None
+        };
+        let npow = next_pow2(n);
+        // Receive from parent (higher bits cleared), then forward to
+        // children in decreasing mask order.
+        let mut mask = 1;
+        while mask < npow {
+            if vrank & mask != 0 {
+                let vparent = vrank & !mask;
+                let parent = (vparent + root) % n;
+                let res = self.recv(actor, Some(parent), Some(COLL_BCAST));
+                payload = Some(res.data);
+                break;
+            }
+            mask <<= 1;
+        }
+        let received_mask = mask;
+        let mut mask = received_mask >> 1;
+        if vrank == 0 {
+            mask = npow >> 1;
+        }
+        let payload = payload.expect("broadcast payload must exist by now");
+        while mask > 0 {
+            let vchild = vrank | mask;
+            if vchild < n && vchild != vrank {
+                let child = (vchild + root) % n;
+                self.send(actor, child, COLL_BCAST, &payload);
+            }
+            mask >>= 1;
+        }
+        payload
+    }
+
+    /// Reduce `contrib` elementwise to `root` (linear gather at root —
+    /// adequate for the world sizes in this workspace). Returns the result
+    /// at the root, `None` elsewhere.
+    pub fn reduce(
+        &self,
+        actor: &Actor,
+        root: Rank,
+        op: ReduceOp,
+        contrib: &[f64],
+    ) -> Option<Vec<f64>> {
+        if self.rank() == root {
+            let mut acc = contrib.to_vec();
+            for _ in 0..self.size() - 1 {
+                let res = self.recv(actor, None, Some(COLL_REDUCE));
+                op.fold(&mut acc, &crate::datatype::bytes_to_f64(&res.data));
+            }
+            Some(acc)
+        } else {
+            self.send(actor, root, COLL_REDUCE, crate::datatype::f64_as_bytes(contrib));
+            None
+        }
+    }
+
+    /// Allreduce: reduce to rank 0 then broadcast the result.
+    pub fn allreduce(&self, actor: &Actor, op: ReduceOp, contrib: &[f64]) -> Vec<f64> {
+        match self.reduce(actor, 0, op, contrib) {
+            Some(acc) => {
+                let bytes = crate::datatype::f64_as_bytes(&acc).to_vec();
+                // Reuse bcast's tree but on the ALLREDUCE tag via payload
+                // broadcast (distinct tag avoids interleaving with user
+                // bcasts of the same iteration).
+                self.bcast_tagged(actor, 0, Some(&bytes), COLL_ALLREDUCE)
+                    .chunks_exact(8)
+                    .map(|c| f64::from_ne_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect()
+            }
+            None => {
+                let data = self.bcast_tagged(actor, 0, None, COLL_ALLREDUCE);
+                crate::datatype::bytes_to_f64(&data)
+            }
+        }
+    }
+
+    /// Gather each rank's `contrib` at `root`, concatenated in rank order.
+    /// Returns `Some` at the root, `None` elsewhere.
+    pub fn gather(&self, actor: &Actor, root: Rank, contrib: &[u8]) -> Option<Vec<Vec<u8>>> {
+        if self.rank() == root {
+            let mut out: Vec<Option<Vec<u8>>> = vec![None; self.size()];
+            out[root] = Some(contrib.to_vec());
+            for _ in 0..self.size() - 1 {
+                let res = self.recv(actor, None, Some(COLL_GATHER));
+                out[res.status.source] = Some(res.data);
+            }
+            Some(
+                out.into_iter()
+                    .map(|o| o.expect("every rank contributes"))
+                    .collect(),
+            )
+        } else {
+            self.send(actor, root, COLL_GATHER, contrib);
+            None
+        }
+    }
+
+    /// Scatter: `root` holds one chunk per rank (in rank order); every
+    /// rank receives its chunk. `chunks` must be `Some` at the root with
+    /// exactly `size()` entries.
+    pub fn scatter(&self, actor: &Actor, root: Rank, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+        if self.rank() == root {
+            let chunks = chunks.expect("root supplies the scatter chunks");
+            assert_eq!(chunks.len(), self.size(), "one chunk per rank");
+            for (r, c) in chunks.iter().enumerate() {
+                if r != root {
+                    self.send(actor, r, COLL_SCATTER, c);
+                }
+            }
+            chunks[root].clone()
+        } else {
+            self.recv(actor, Some(root), Some(COLL_SCATTER)).data
+        }
+    }
+
+    /// Allgather: every rank contributes `contrib`; every rank receives
+    /// all contributions in rank order (gather to 0, then broadcast).
+    pub fn allgather(&self, actor: &Actor, contrib: &[u8]) -> Vec<Vec<u8>> {
+        match self.gather(actor, 0, contrib) {
+            Some(all) => {
+                let lens: Vec<u32> = all.iter().map(|v| v.len() as u32).collect();
+                let mut flat: Vec<u8> = Vec::with_capacity(4 * lens.len());
+                for l in &lens {
+                    flat.extend_from_slice(&l.to_ne_bytes());
+                }
+                for v in &all {
+                    flat.extend_from_slice(v);
+                }
+                self.bcast_tagged(actor, 0, Some(&flat), COLL_ALLGATHER);
+                all
+            }
+            None => {
+                let flat = self.bcast_tagged(actor, 0, None, COLL_ALLGATHER);
+                let n = self.size();
+                let mut lens = Vec::with_capacity(n);
+                for i in 0..n {
+                    lens.push(u32::from_ne_bytes(
+                        flat[4 * i..4 * i + 4].try_into().expect("length header"),
+                    ) as usize);
+                }
+                let mut off = 4 * n;
+                lens.into_iter()
+                    .map(|l| {
+                        let v = flat[off..off + l].to_vec();
+                        off += l;
+                        v
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn bcast_tagged(&self, actor: &Actor, root: Rank, data: Option<&[u8]>, tag: Tag) -> Vec<u8> {
+        // Linear broadcast on a private tag; used by allreduce only, where
+        // payloads are small.
+        if self.rank() == root {
+            let payload = data.expect("root supplies payload").to_vec();
+            for r in 0..self.size() {
+                if r != root {
+                    self.send(actor, r, tag, &payload);
+                }
+            }
+            payload
+        } else {
+            self.recv(actor, Some(root), Some(tag)).data
+        }
+    }
+}
+
+fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}

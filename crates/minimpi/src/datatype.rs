@@ -1,0 +1,94 @@
+//! Datatype tags and typed byte-slice helpers.
+//!
+//! minimpi moves raw bytes; a [`Datatype`] tag travels with every message.
+//! The tag matters for one thing above all: [`Datatype::ClMem`] is the
+//! paper's special `MPI_CL_MEM` value, telling the receiving side that the
+//! peer is a *communicator device* and that the runtime should engage the
+//! optimized host↔device transfer path (paper §IV-C).
+
+/// Tag describing a message's payload (subset of `MPI_Datatype`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Datatype {
+    /// Untyped bytes (`MPI_BYTE`).
+    #[default]
+    Bytes,
+    /// 32-bit floats (`MPI_FLOAT`); length must be a multiple of 4.
+    F32,
+    /// 64-bit floats (`MPI_DOUBLE`); length must be a multiple of 8.
+    F64,
+    /// The paper's `MPI_CL_MEM`: the buffer lives in (or is destined for)
+    /// device memory and the endpoints collaborate on an optimized,
+    /// possibly pipelined, transfer.
+    ClMem,
+}
+
+impl Datatype {
+    /// Size in bytes of one element, if the type has a fixed extent.
+    pub fn extent(self) -> Option<usize> {
+        match self {
+            Datatype::Bytes | Datatype::ClMem => Some(1),
+            Datatype::F32 => Some(4),
+            Datatype::F64 => Some(8),
+        }
+    }
+}
+
+/// View a `f32` slice as bytes (little-endian host layout).
+pub fn f32_as_bytes(v: &[f32]) -> &[u8] {
+    // SAFETY: f32 has no padding or invalid bit patterns as bytes; the
+    // length is scaled by size_of::<f32>.
+    unsafe { std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), std::mem::size_of_val(v)) }
+}
+
+/// View a `f64` slice as bytes.
+pub fn f64_as_bytes(v: &[f64]) -> &[u8] {
+    // SAFETY: as above for f64.
+    unsafe { std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), std::mem::size_of_val(v)) }
+}
+
+/// Copy bytes into a `f32` vector (panics if not a multiple of 4).
+pub fn bytes_to_f32(b: &[u8]) -> Vec<f32> {
+    assert_eq!(b.len() % 4, 0, "byte length {} not a multiple of 4", b.len());
+    b.chunks_exact(4)
+        .map(|c| f32::from_ne_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Copy bytes into a `f64` vector (panics if not a multiple of 8).
+pub fn bytes_to_f64(b: &[u8]) -> Vec<f64> {
+    assert_eq!(b.len() % 8, 0, "byte length {} not a multiple of 8", b.len());
+    b.chunks_exact(8)
+        .map(|c| f64::from_ne_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extents() {
+        assert_eq!(Datatype::Bytes.extent(), Some(1));
+        assert_eq!(Datatype::F32.extent(), Some(4));
+        assert_eq!(Datatype::F64.extent(), Some(8));
+        assert_eq!(Datatype::ClMem.extent(), Some(1));
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let v = vec![1.5f32, -2.25, 0.0, f32::MAX];
+        assert_eq!(bytes_to_f32(f32_as_bytes(&v)), v);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let v = vec![std::f64::consts::PI, -0.5, 1e300];
+        assert_eq!(bytes_to_f64(f64_as_bytes(&v)), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn misaligned_f32_panics() {
+        bytes_to_f32(&[0u8; 7]);
+    }
+}

@@ -1,0 +1,444 @@
+//! Point-to-point messaging: posting, matching, requests.
+//!
+//! Matching model (faithful to MPI):
+//!
+//! * Every incoming message gets a **receiver-side sequence number** at
+//!   post (send) time; posted receives get a **posting order**. The
+//!   matcher pairs posted receives, in posting order, with the
+//!   lowest-sequence matching message — so same-signature traffic is
+//!   non-overtaking on both sides.
+//! * A message may be *matched* while still in flight; the receive only
+//!   *completes* when the virtual clock reaches the message's arrival
+//!   instant. (Real MPI matches on arrival of the envelope; the observable
+//!   completion times are the same.)
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use simtime::{Actor, Monitor, SimNs};
+
+use crate::world::Comm;
+use crate::{Datatype, Rank, Tag};
+
+/// Delivery information of a completed receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Sending rank.
+    pub source: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Datatype tag the sender attached.
+    pub datatype: Datatype,
+}
+
+/// Payload + status from a completed receive.
+#[derive(Debug, Clone)]
+pub struct RecvResult {
+    /// The received bytes.
+    pub data: Vec<u8>,
+    /// Delivery information.
+    pub status: Status,
+}
+
+#[derive(Debug)]
+pub(crate) struct InMsg {
+    /// Global rank of the sender.
+    src: Rank,
+    /// Communication context (communicator id).
+    context: u64,
+    tag: Tag,
+    datatype: Datatype,
+    payload: Vec<u8>,
+    visible_at: SimNs,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct PendingRecv {
+    id: u64,
+    /// Global rank filter.
+    src: Option<Rank>,
+    context: u64,
+    tag: Option<Tag>,
+    order: u64,
+}
+
+/// Per-rank matching engine state (behind a [`Monitor`]).
+#[derive(Default)]
+pub(crate) struct RankState {
+    inbox: Vec<InMsg>,
+    pending: Vec<PendingRecv>,
+    matched: HashMap<u64, InMsg>,
+    next_seq: u64,
+    next_recv_id: u64,
+    next_order: u64,
+}
+
+impl RankState {
+    /// Pair posted receives (posting order) with inbox messages
+    /// (lowest sequence matching each). Called after every state change.
+    fn try_match(&mut self) {
+        // Pending receives are kept in posting order.
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = &self.pending[i];
+            let candidate = self
+                .inbox
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| {
+                    m.context == p.context
+                        && p.src.is_none_or(|s| s == m.src)
+                        && p.tag.is_none_or(|t| t == m.tag)
+                })
+                .min_by_key(|(_, m)| m.seq)
+                .map(|(idx, _)| idx);
+            match candidate {
+                Some(idx) => {
+                    let msg = self.inbox.swap_remove(idx);
+                    let p = self.pending.remove(i);
+                    self.matched.insert(p.id, msg);
+                    // restart not needed: removal keeps order; keep i
+                }
+                None => i += 1,
+            }
+        }
+    }
+
+    fn post(
+        &mut self,
+        msg_src: Rank,
+        context: u64,
+        tag: Tag,
+        datatype: Datatype,
+        payload: Vec<u8>,
+        visible_at: SimNs,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inbox.push(InMsg {
+            src: msg_src,
+            context,
+            tag,
+            datatype,
+            payload,
+            visible_at,
+            seq,
+        });
+        self.try_match();
+    }
+
+    fn post_recv(&mut self, src: Option<Rank>, context: u64, tag: Option<Tag>) -> u64 {
+        let id = self.next_recv_id;
+        self.next_recv_id += 1;
+        let order = self.next_order;
+        self.next_order += 1;
+        self.pending.push(PendingRecv {
+            id,
+            src,
+            context,
+            tag,
+            order,
+        });
+        // pending stays sorted by order because orders are monotone.
+        debug_assert!(self.pending.windows(2).all(|w| w[0].order < w[1].order));
+        self.try_match();
+        id
+    }
+}
+
+/// A non-blocking operation in flight (`MPI_Request`).
+#[must_use = "requests must be waited or tested to observe completion"]
+pub struct Request {
+    kind: ReqKind,
+}
+
+enum ReqKind {
+    /// An `isend`: completes when injection ends (buffer reusable).
+    Send { done_at: SimNs },
+    /// An `irecv`: completes when the matched message has arrived.
+    Recv {
+        id: u64,
+        state: Arc<Monitor<RankState>>,
+        /// Communicator member table for translating the global source
+        /// rank back to a communicator-local one (None = world).
+        members: Option<Arc<Vec<Rank>>>,
+    },
+}
+
+fn to_local(members: &Option<Arc<Vec<Rank>>>, global: Rank) -> Rank {
+    match members {
+        None => global,
+        Some(m) => m
+            .iter()
+            .position(|&g| g == global)
+            .expect("sender is a member of the communicator"),
+    }
+}
+
+impl Request {
+    /// True for send requests (complete at a known instant).
+    pub fn is_send(&self) -> bool {
+        matches!(self.kind, ReqKind::Send { .. })
+    }
+
+    /// Virtual completion instant, if already determined (`Send` always;
+    /// `Recv` once matched).
+    pub fn known_completion(&self) -> Option<SimNs> {
+        match &self.kind {
+            ReqKind::Send { done_at } => Some(*done_at),
+            ReqKind::Recv { id, state, .. } => {
+                state.peek(|st| st.matched.get(id).map(|m| m.visible_at))
+            }
+        }
+    }
+
+    /// Block the calling actor until the operation completes. Returns the
+    /// payload for receives, `None` for sends.
+    pub fn wait(self, actor: &Actor) -> Option<RecvResult> {
+        match self.kind {
+            ReqKind::Send { done_at } => {
+                actor.advance_until(done_at);
+                None
+            }
+            ReqKind::Recv { id, state, members } => {
+                let clock = state.clock().clone();
+                let res = state.wait_labeled(actor, "mpi recv", move |st| {
+                    let visible = st
+                        .matched
+                        .get(&id)
+                        .map(|m| m.visible_at <= clock.now_ns())?;
+                    if !visible {
+                        return None;
+                    }
+                    let msg = st.matched.remove(&id).expect("matched entry vanished");
+                    Some(RecvResult {
+                        status: Status {
+                            source: to_local(&members, msg.src),
+                            tag: msg.tag,
+                            len: msg.payload.len(),
+                            datatype: msg.datatype,
+                        },
+                        data: msg.payload,
+                    })
+                });
+                Some(res)
+            }
+        }
+    }
+
+    /// Non-blocking completion check. On completion returns
+    /// `Some(payload-for-receives)`; `None` means still in flight.
+    #[allow(clippy::option_option)]
+    pub fn test(&mut self, actor: &Actor) -> Option<Option<RecvResult>> {
+        match &mut self.kind {
+            ReqKind::Send { done_at } => (actor.now_ns() >= *done_at).then_some(None),
+            ReqKind::Recv { id, state, members } => {
+                let now = actor.now_ns();
+                let id = *id;
+                let members = members.clone();
+                state
+                    .try_now(|st| {
+                        let ready = st.matched.get(&id).map(|m| m.visible_at <= now)?;
+                        if !ready {
+                            return None;
+                        }
+                        let msg = st.matched.remove(&id).expect("matched entry vanished");
+                        Some(RecvResult {
+                            status: Status {
+                                source: to_local(&members, msg.src),
+                                tag: msg.tag,
+                                len: msg.payload.len(),
+                                datatype: msg.datatype,
+                            },
+                            data: msg.payload,
+                        })
+                    })
+                    .map(Some)
+            }
+        }
+    }
+}
+
+/// Wait for every request; results are positionally aligned (sends yield
+/// `None`).
+pub fn wait_all(requests: Vec<Request>, actor: &Actor) -> Vec<Option<RecvResult>> {
+    requests.into_iter().map(|r| r.wait(actor)).collect()
+}
+
+/// Wait until *any* request completes (`MPI_Waitany`): returns its index,
+/// its result, and the remaining requests (order preserved).
+pub fn wait_any(
+    mut requests: Vec<Request>,
+    actor: &Actor,
+) -> (usize, Option<RecvResult>, Vec<Request>) {
+    assert!(!requests.is_empty(), "wait_any needs at least one request");
+    let (idx, res) = actor.wait_until_labeled("mpi wait_any", || {
+        for (i, r) in requests.iter_mut().enumerate() {
+            if let Some(res) = r.test(actor) {
+                return Some((i, res));
+            }
+        }
+        None
+    });
+    let _consumed = requests.remove(idx); // completed by the test() above
+    (idx, res, requests)
+}
+
+impl Comm {
+    /// Non-blocking tagged send of `data` to `dst`. The payload is
+    /// snapshotted (buffered send) and fabric capacity is reserved
+    /// immediately; the request completes when injection ends.
+    pub fn isend(&self, actor: &Actor, dst: Rank, tag: Tag, data: &[u8]) -> Request {
+        self.isend_typed_from(actor, dst, tag, Datatype::Bytes, data, actor.now_ns())
+    }
+
+    /// [`Comm::isend`] with an explicit datatype tag and an earliest
+    /// injection instant (used by the clMPI runtime to launch a network
+    /// stage when a device→host stage will finish, without any thread
+    /// having to wait for it).
+    pub fn isend_typed_from(
+        &self,
+        actor: &Actor,
+        dst: Rank,
+        tag: Tag,
+        datatype: Datatype,
+        data: &[u8],
+        earliest: SimNs,
+    ) -> Request {
+        self.isend_raw(actor, dst, tag, datatype, data, earliest, None)
+    }
+
+    /// Lowest-level send: optionally overrides the injection duration
+    /// (`duration_override`), for transfers whose effective rate is not
+    /// the raw link rate — e.g. the clMPI *mapped* strategy, where the NIC
+    /// streams through PCIe at the device's zero-copy rate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn isend_raw(
+        &self,
+        _actor: &Actor,
+        dst: Rank,
+        tag: Tag,
+        datatype: Datatype,
+        data: &[u8],
+        earliest: SimNs,
+        duration_override: Option<SimNs>,
+    ) -> Request {
+        assert!(dst < self.size(), "destination rank {dst} out of range");
+        let gdst = self.global_rank(dst);
+        let inner = &self.world.inner;
+        let res = match duration_override {
+            None => inner.fabric.reserve(self.rank, gdst, data.len(), earliest),
+            Some(d) => inner.fabric.reserve_duration(self.rank, gdst, d, earliest),
+        };
+        let dst_state = inner.ranks[gdst].clone();
+        dst_state.with(|st| {
+            st.post(
+                self.rank,
+                self.context,
+                tag,
+                datatype,
+                data.to_vec(),
+                res.arrival,
+            )
+        });
+        // Wake request waiters at both send completion and arrival.
+        inner.clock.schedule_alarm(res.end);
+        inner.clock.schedule_alarm(res.arrival);
+        Request {
+            kind: ReqKind::Send { done_at: res.end },
+        }
+    }
+
+    /// Blocking tagged send (buffered-send completion semantics: returns
+    /// when the payload has been injected and the buffer is reusable).
+    pub fn send(&self, actor: &Actor, dst: Rank, tag: Tag, data: &[u8]) {
+        self.isend(actor, dst, tag, data).wait(actor);
+    }
+
+    /// Blocking typed send.
+    pub fn send_typed(&self, actor: &Actor, dst: Rank, tag: Tag, datatype: Datatype, data: &[u8]) {
+        self.isend_typed_from(actor, dst, tag, datatype, data, actor.now_ns())
+            .wait(actor);
+    }
+
+    /// Non-blocking receive matching `src`/`tag` (use [`crate::ANY_SOURCE`]
+    /// / [`crate::ANY_TAG`] as wildcards).
+    pub fn irecv(&self, _actor: &Actor, src: Option<Rank>, tag: Option<Tag>) -> Request {
+        let gsrc = src.map(|s| {
+            assert!(s < self.size(), "source rank {s} out of range");
+            self.global_rank(s)
+        });
+        let state = self.world.inner.ranks[self.rank].clone();
+        let context = self.context;
+        let id = state.with(|st| st.post_recv(gsrc, context, tag));
+        Request {
+            kind: ReqKind::Recv {
+                id,
+                state,
+                members: self.members.clone(),
+            },
+        }
+    }
+
+    /// Blocking receive; returns payload and status.
+    pub fn recv(&self, actor: &Actor, src: Option<Rank>, tag: Option<Tag>) -> RecvResult {
+        self.irecv(actor, src, tag)
+            .wait(actor)
+            .expect("recv request yields a payload")
+    }
+
+    /// Blocking receive into a caller buffer; panics if the payload does
+    /// not fit (message truncation is an error, as in MPI).
+    pub fn recv_into(
+        &self,
+        actor: &Actor,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Status {
+        let res = self.recv(actor, src, tag);
+        assert!(
+            res.data.len() <= buf.len(),
+            "message of {} bytes truncated into {}-byte buffer",
+            res.data.len(),
+            buf.len()
+        );
+        buf[..res.data.len()].copy_from_slice(&res.data);
+        res.status
+    }
+
+    /// Combined send+receive (`MPI_Sendrecv`): posts the send, blocks on
+    /// the receive, then waits for send completion.
+    pub fn sendrecv(
+        &self,
+        actor: &Actor,
+        dst: Rank,
+        send_tag: Tag,
+        data: &[u8],
+        src: Option<Rank>,
+        recv_tag: Option<Tag>,
+    ) -> RecvResult {
+        let sreq = self.isend(actor, dst, send_tag, data);
+        let res = self.recv(actor, src, recv_tag);
+        sreq.wait(actor);
+        res
+    }
+
+    /// Non-blocking probe: is a matching message *arrived* (visible)?
+    pub fn iprobe(&self, actor: &Actor, src: Option<Rank>, tag: Option<Tag>) -> bool {
+        let now = actor.now_ns();
+        let gsrc = src.map(|s| self.global_rank(s));
+        let context = self.context;
+        self.world.inner.ranks[self.rank].peek(|st| {
+            st.inbox.iter().any(|m| {
+                m.visible_at <= now
+                    && m.context == context
+                    && gsrc.is_none_or(|s| s == m.src)
+                    && tag.is_none_or(|t| t == m.tag)
+            })
+        })
+    }
+}

@@ -1,0 +1,236 @@
+//! World construction and the per-rank communication endpoint.
+
+use std::sync::Arc;
+
+use simnet::{ClusterSpec, Fabric};
+use simtime::{Actor, Monitor, SimClock, Trace};
+
+use crate::p2p::RankState;
+use crate::{Rank, Tag};
+
+/// Wildcard source for receives (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: Option<Rank> = None;
+/// Wildcard tag for receives (`MPI_ANY_TAG`).
+pub const ANY_TAG: Option<Tag> = None;
+/// Largest tag available to applications; larger tags are reserved for
+/// collectives and the clMPI runtime.
+pub const MAX_USER_TAG: Tag = (1 << 20) - 1;
+
+pub(crate) struct WorldInner {
+    pub clock: SimClock,
+    pub fabric: Fabric,
+    pub ranks: Vec<Arc<Monitor<RankState>>>,
+    pub trace: Trace,
+}
+
+/// A communication world: the set of ranks plus the fabric between them.
+/// Cheap to clone; usually obtained from [`crate::run_world`].
+#[derive(Clone)]
+pub struct World {
+    pub(crate) inner: Arc<WorldInner>,
+}
+
+impl World {
+    /// Build a world of `size` ranks over `spec`'s interconnect.
+    pub fn new(clock: SimClock, spec: ClusterSpec, size: usize) -> Self {
+        let fabric = Fabric::new(clock.clone(), spec, size);
+        let ranks = (0..size)
+            .map(|_| Arc::new(Monitor::new(clock.clone(), RankState::default())))
+            .collect();
+        World {
+            inner: Arc::new(WorldInner {
+                clock,
+                fabric,
+                ranks,
+                trace: Trace::new(),
+            }),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inner.ranks.len()
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// Shared activity trace (lanes are free-form; the apps use
+    /// "r{rank}.host", "r{rank}.gpu", "r{rank}.net").
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+
+    /// The cluster description the fabric was built from.
+    pub fn cluster(&self) -> &ClusterSpec {
+        self.inner.fabric.spec()
+    }
+
+    /// A communication endpoint for `rank`. Any thread of the rank may use
+    /// a clone of it concurrently (thread-multiple semantics).
+    pub fn comm(&self, rank: Rank) -> Comm {
+        assert!(rank < self.size(), "rank {rank} out of range");
+        Comm::world_comm(self.clone(), rank)
+    }
+}
+
+/// A per-rank communicator endpoint (`MPI_COMM_WORLD` or a communicator
+/// produced by [`Comm::split`]).
+///
+/// All operations take the calling thread's [`Actor`] explicitly, because a
+/// rank may have several threads (host thread, clMPI communication thread,
+/// OpenCL queue executors), each being its own virtual-time actor.
+#[derive(Clone)]
+pub struct Comm {
+    pub(crate) world: World,
+    /// Global (world) rank of this endpoint.
+    pub(crate) rank: Rank,
+    /// Communication context: messages only match within one context
+    /// (0 = the world communicator).
+    pub(crate) context: u64,
+    /// Members (global ranks) in local-rank order; `None` = all world
+    /// ranks, identity-mapped.
+    pub(crate) members: Option<std::sync::Arc<Vec<Rank>>>,
+    /// Per-endpoint collective-call counter, used to derive deterministic
+    /// child context ids for `split` (every member calls in lockstep).
+    split_seq: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Comm {
+    pub(crate) fn world_comm(world: World, rank: Rank) -> Self {
+        Comm {
+            world,
+            rank,
+            context: 0,
+            members: None,
+            split_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// This endpoint's rank **within this communicator**.
+    pub fn rank(&self) -> Rank {
+        match &self.members {
+            None => self.rank,
+            Some(m) => m
+                .iter()
+                .position(|&g| g == self.rank)
+                .expect("member of own communicator"),
+        }
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        match &self.members {
+            None => self.world.size(),
+            Some(m) => m.len(),
+        }
+    }
+
+    /// Translate a communicator-local rank to the global (world) rank.
+    pub fn global_rank(&self, local: Rank) -> Rank {
+        match &self.members {
+            None => local,
+            Some(m) => m[local],
+        }
+    }
+
+    /// Translate a global rank to this communicator's local rank (None if
+    /// the rank is not a member).
+    pub fn local_rank(&self, global: Rank) -> Option<Rank> {
+        match &self.members {
+            None => (global < self.world.size()).then_some(global),
+            Some(m) => m.iter().position(|&g| g == global),
+        }
+    }
+
+    /// The world this endpoint belongs to.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Split this communicator (`MPI_Comm_split`): ranks passing the same
+    /// `color` end up in the same child communicator, ordered by
+    /// `(key, parent rank)`. Collective over all members. `None` color
+    /// (`MPI_UNDEFINED`) yields `None`.
+    pub fn split(
+        &self,
+        actor: &simtime::Actor,
+        color: Option<i32>,
+        key: i32,
+    ) -> Option<Comm> {
+        // Gather (color, key, global rank) from every member.
+        let mine = {
+            let mut b = Vec::with_capacity(16);
+            b.extend_from_slice(&color.unwrap_or(i32::MIN).to_ne_bytes());
+            b.extend_from_slice(&key.to_ne_bytes());
+            b.extend_from_slice(&(self.rank as u64).to_ne_bytes());
+            b
+        };
+        let all = self.allgather(actor, &mine);
+        let seq = self
+            .split_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let my_color = color?;
+        let mut members: Vec<(i32, Rank)> = all
+            .iter()
+            .filter_map(|b| {
+                let c = i32::from_ne_bytes(b[0..4].try_into().expect("color"));
+                let k = i32::from_ne_bytes(b[4..8].try_into().expect("key"));
+                let g = u64::from_ne_bytes(b[8..16].try_into().expect("rank")) as Rank;
+                (c == my_color).then_some((k, g))
+            })
+            .collect();
+        members.sort_unstable();
+        let members: Vec<Rank> = members.into_iter().map(|(_, g)| g).collect();
+        // Deterministic child context: all members compute the same value
+        // (FNV-1a over parent context, call sequence, and color).
+        let mut h: u64 = 0xcbf29ce484222325;
+        for v in [self.context, seq, my_color as u64] {
+            for byte in v.to_ne_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        let context = h | 1; // never collide with the world context 0
+        Some(Comm {
+            world: self.world.clone(),
+            rank: self.rank,
+            context,
+            members: Some(std::sync::Arc::new(members)),
+            split_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        })
+    }
+}
+
+/// One rank of a running world: an endpoint plus the main ("host") thread's
+/// actor. Created by the launcher; apps usually pass `&Process` around.
+pub struct Process {
+    /// The rank's communication endpoint.
+    pub comm: Comm,
+    /// The host thread's virtual-time actor.
+    pub actor: Actor,
+}
+
+impl Process {
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        self.comm.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        self.comm.world.clock()
+    }
+
+    /// Spend `ns` of virtual time on host computation.
+    pub fn host_compute_ns(&self, ns: u64) {
+        self.actor.advance_ns(ns);
+    }
+}

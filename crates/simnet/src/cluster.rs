@@ -1,0 +1,235 @@
+//! Cluster topology: nodes with per-direction NIC timelines over a shared
+//! fabric spec, with presets for the paper's two systems (Table I).
+
+use crate::link::{reserve_pair, Link, LinkSpec, Reservation};
+use simtime::{SimClock, SimNs};
+
+/// Index of a node within a cluster.
+pub type NodeId = usize;
+
+/// Static description of a cluster (Table I row).
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Human-readable system name ("Cichlid", "RICC").
+    pub name: &'static str,
+    /// Number of compute nodes available.
+    pub nodes: usize,
+    /// CPU model string (Table I, documentation only).
+    pub cpu: &'static str,
+    /// GPU model string (Table I; the matching `minicl` device preset is
+    /// selected by the system config in the `clmpi` crate).
+    pub gpu: &'static str,
+    /// Interconnect name (Table I).
+    pub nic: &'static str,
+    /// MPI implementation string (Table I, documentation only).
+    pub mpi: &'static str,
+    /// Cost model of the interconnect, one direction per NIC.
+    pub link: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// "Cichlid": 4 nodes, Core i7 930 + Tesla C2070, Gigabit Ethernet.
+    ///
+    /// GbE sustains ~117 MB/s with TCP; measured half-round-trip latencies
+    /// on such clusters are tens of microseconds.
+    pub fn cichlid() -> Self {
+        ClusterSpec {
+            name: "Cichlid",
+            nodes: 4,
+            cpu: "Intel Core i7 930 (2.8 GHz)",
+            gpu: "NVIDIA Tesla C2070",
+            nic: "Gigabit Ethernet",
+            mpi: "Open MPI 1.6.0",
+            link: LinkSpec {
+                latency_ns: 50_000,            // ~50 us TCP/GbE
+                bandwidth_bps: 117.5e6,        // ~117.5 MB/s sustained
+                per_msg_overhead_ns: 30_000,   // per-message software cost
+            },
+        }
+    }
+
+    /// "RICC": 100 nodes, 2x Xeon 5570 + Tesla C1060, InfiniBand DDR used
+    /// through IPoIB (the paper runs IPoIB for thread-safety with Open
+    /// MPI), which caps sustained bandwidth well below native IB verbs.
+    pub fn ricc() -> Self {
+        ClusterSpec {
+            name: "RICC",
+            nodes: 100,
+            cpu: "2x Intel Xeon 5570 (2.93 GHz)",
+            gpu: "NVIDIA Tesla C1060",
+            nic: "InfiniBand DDR (IPoIB)",
+            mpi: "Open MPI 1.6.1",
+            link: LinkSpec {
+                latency_ns: 25_000,            // IPoIB adds software latency
+                bandwidth_bps: 1.30e9,         // ~1.3 GB/s over IPoIB
+                // IPoIB + MPI_THREAD_MULTIPLE pays a hefty per-message
+                // software cost (TCP stack over IB, MPI locking); this is
+                // the overhead the pipelined strategy's block size trades
+                // against (Fig. 8(b)).
+                per_msg_overhead_ns: 40_000,
+            },
+        }
+    }
+
+    /// All Table I presets.
+    pub fn presets() -> Vec<ClusterSpec> {
+        vec![Self::cichlid(), Self::ricc()]
+    }
+}
+
+/// Live fabric: per-node tx/rx timelines sharing one [`LinkSpec`].
+///
+/// A transfer from `a` to `b` serializes on `a`'s tx timeline **and** `b`'s
+/// rx timeline (full-duplex NICs: a node can send and receive
+/// concurrently, but two sends from one node queue up, as do two receives
+/// into one node — this is what makes the nanopowder coefficient
+/// distribution cost grow with node count, Fig. 10).
+pub struct Fabric {
+    spec: ClusterSpec,
+    tx: Vec<Link>,
+    rx: Vec<Link>,
+}
+
+impl Fabric {
+    /// Build a fabric for the first `nodes` nodes of `spec`.
+    pub fn new(clock: SimClock, spec: ClusterSpec, nodes: usize) -> Self {
+        assert!(nodes >= 1, "fabric needs at least one node");
+        assert!(
+            nodes <= spec.nodes,
+            "{} has only {} nodes, {} requested",
+            spec.name,
+            spec.nodes,
+            nodes
+        );
+        let tx = (0..nodes)
+            .map(|_| Link::new(clock.clone(), spec.link))
+            .collect();
+        let rx = (0..nodes)
+            .map(|_| Link::new(clock.clone(), spec.link))
+            .collect();
+        Fabric { spec, tx, rx }
+    }
+
+    /// The static description this fabric was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of nodes wired up.
+    pub fn nodes(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Reserve an inter-node transfer of `bytes` from `src` to `dst`,
+    /// starting no earlier than `earliest`. Intra-node transfers (src ==
+    /// dst) pay a fast loopback: no NIC occupancy, small fixed latency.
+    pub fn reserve(&self, src: NodeId, dst: NodeId, bytes: usize, earliest: SimNs) -> Reservation {
+        assert!(src < self.nodes() && dst < self.nodes(), "node out of range");
+        if src == dst {
+            // Shared-memory loopback: ~6 GB/s memcpy, 1 us latency.
+            let inj = 1_000 + (bytes as f64 / 6.0e9 * 1e9).round() as SimNs;
+            return Reservation {
+                start: earliest,
+                end: earliest + inj,
+                arrival: earliest + inj + 1_000,
+            };
+        }
+        reserve_pair(&self.tx[src], &self.rx[dst], bytes, earliest)
+    }
+
+    /// Reserve an inter-node window of an explicit duration (for callers
+    /// whose effective rate differs from the raw link rate, e.g. a mapped
+    /// zero-copy stream bottlenecked by PCIe). Occupies both endpoints.
+    pub fn reserve_duration(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        duration_ns: SimNs,
+        earliest: SimNs,
+    ) -> Reservation {
+        assert!(src < self.nodes() && dst < self.nodes(), "node out of range");
+        if src == dst {
+            return Reservation {
+                start: earliest,
+                end: earliest + duration_ns,
+                arrival: earliest + duration_ns + 1_000,
+            };
+        }
+        let tx = &self.tx[src];
+        let rx = &self.rx[dst];
+        let latency = self.spec.link.latency_ns;
+        // Same lock ordering as reserve_pair: tx then rx.
+        tx.with_timelines(rx, |tx_busy, rx_busy| {
+            let start = earliest.max(*tx_busy).max(*rx_busy);
+            let end = start + duration_ns;
+            *tx_busy = end;
+            *rx_busy = end;
+            Reservation {
+                start,
+                end,
+                arrival: end + latency,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_one() {
+        let c = ClusterSpec::cichlid();
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.nic, "Gigabit Ethernet");
+        let r = ClusterSpec::ricc();
+        assert_eq!(r.nodes, 100);
+        assert!(r.link.bandwidth_bps > c.link.bandwidth_bps * 5.0);
+        assert!(r.link.latency_ns < c.link.latency_ns);
+    }
+
+    #[test]
+    fn two_sends_from_one_node_serialize() {
+        let clock = SimClock::new();
+        let f = Fabric::new(clock, ClusterSpec::cichlid(), 4);
+        let r1 = f.reserve(0, 1, 1 << 20, 0);
+        let r2 = f.reserve(0, 2, 1 << 20, 0);
+        assert_eq!(r2.start, r1.end, "tx NIC is a serialized resource");
+    }
+
+    #[test]
+    fn disjoint_pairs_transfer_concurrently() {
+        let clock = SimClock::new();
+        let f = Fabric::new(clock, ClusterSpec::cichlid(), 4);
+        let r1 = f.reserve(0, 1, 1 << 20, 0);
+        let r2 = f.reserve(2, 3, 1 << 20, 0);
+        assert_eq!(r1.start, 0);
+        assert_eq!(r2.start, 0, "independent NICs do not contend");
+    }
+
+    #[test]
+    fn duplex_send_and_receive_overlap() {
+        let clock = SimClock::new();
+        let f = Fabric::new(clock, ClusterSpec::ricc(), 2);
+        let r1 = f.reserve(0, 1, 1 << 20, 0);
+        let r2 = f.reserve(1, 0, 1 << 20, 0);
+        assert_eq!(r1.start, 0);
+        assert_eq!(r2.start, 0, "full duplex: opposite directions are free");
+    }
+
+    #[test]
+    fn loopback_is_fast_and_uncontended() {
+        let clock = SimClock::new();
+        let f = Fabric::new(clock, ClusterSpec::cichlid(), 2);
+        let r = f.reserve(1, 1, 1 << 20, 0);
+        let remote = f.reserve(0, 1, 1 << 20, 0);
+        assert!(r.arrival < remote.arrival / 10, "loopback ≫ faster than GbE");
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn oversubscribing_preset_panics() {
+        let clock = SimClock::new();
+        let _ = Fabric::new(clock, ClusterSpec::cichlid(), 16);
+    }
+}

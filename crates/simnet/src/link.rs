@@ -1,0 +1,212 @@
+//! Serialized link timelines with a latency/bandwidth/overhead cost model.
+
+use simtime::{Monitor, SimClock, SimNs};
+
+/// Cost model of a point-to-point link (one direction).
+///
+/// Transferring `n` bytes whose injection starts at `t` occupies the link
+/// until `t + per_msg_overhead + n / bandwidth`; the data is visible at the
+/// far side `latency` later. This is the classic LogGP-style decomposition
+/// the paper's sustained-bandwidth curves (Fig. 8) arise from: small
+/// messages are overhead/latency bound, large messages bandwidth bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation + software latency (ns), paid once per message.
+    pub latency_ns: SimNs,
+    /// Sustained bandwidth, bytes per second.
+    pub bandwidth_bps: f64,
+    /// Fixed per-message injection overhead (ns) — setup, protocol, DMA
+    /// descriptor costs. Serializes on the link like payload time.
+    pub per_msg_overhead_ns: SimNs,
+}
+
+impl LinkSpec {
+    /// Time (ns) the link is occupied injecting `bytes`.
+    pub fn injection_ns(&self, bytes: usize) -> SimNs {
+        let payload = (bytes as f64) * 1e9 / self.bandwidth_bps;
+        self.per_msg_overhead_ns + payload.round() as SimNs
+    }
+
+    /// End-to-end time (ns) for a single message of `bytes` on an idle
+    /// link: injection plus propagation latency.
+    pub fn message_ns(&self, bytes: usize) -> SimNs {
+        self.injection_ns(bytes) + self.latency_ns
+    }
+
+    /// Sustained bandwidth (bytes/s) observed for back-to-back messages of
+    /// `bytes` each — the metric Fig. 8 plots.
+    pub fn sustained_bps(&self, bytes: usize) -> f64 {
+        bytes as f64 * 1e9 / self.injection_ns(bytes) as f64
+    }
+}
+
+/// Result of reserving link capacity: all instants are virtual ns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// When injection begins (>= requested earliest start; the link may
+    /// have been busy).
+    pub start: SimNs,
+    /// When injection ends — the link is free and, for a sender, the local
+    /// buffer is reusable (MPI send-completion semantics).
+    pub end: SimNs,
+    /// When the payload is visible at the far end.
+    pub arrival: SimNs,
+}
+
+/// One direction of a physical link: a serialized FIFO timeline.
+///
+/// `reserve` is pure bookkeeping (returns instants, never blocks); combine
+/// with [`simtime::Actor::advance_until`] when the caller must wait.
+pub struct Link {
+    spec: LinkSpec,
+    timeline: Monitor<SimNs>, // busy-until
+}
+
+impl Link {
+    /// New idle link with the given cost model.
+    pub fn new(clock: SimClock, spec: LinkSpec) -> Self {
+        Link {
+            spec,
+            timeline: Monitor::new(clock, 0),
+        }
+    }
+
+    /// This link's cost model.
+    pub fn spec(&self) -> LinkSpec {
+        self.spec
+    }
+
+    /// Reserve capacity for `bytes`, starting no earlier than `earliest`.
+    /// FIFO: requests are served in reservation order.
+    pub fn reserve(&self, bytes: usize, earliest: SimNs) -> Reservation {
+        let inj = self.spec.injection_ns(bytes);
+        self.timeline.with(|busy_until| {
+            let start = earliest.max(*busy_until);
+            let end = start + inj;
+            *busy_until = end;
+            Reservation {
+                start,
+                end,
+                arrival: end + self.spec.latency_ns,
+            }
+        })
+    }
+
+    /// Reserve the link for an explicit duration (callers that compute
+    /// their own transfer cost, e.g. PCIe transfers whose rate depends on
+    /// pinned/pageable/mapped host memory). The link's latency still
+    /// applies to `arrival`.
+    pub fn reserve_duration(&self, duration_ns: SimNs, earliest: SimNs) -> Reservation {
+        self.timeline.with(|busy_until| {
+            let start = earliest.max(*busy_until);
+            let end = start + duration_ns;
+            *busy_until = end;
+            Reservation {
+                start,
+                end,
+                arrival: end + self.spec.latency_ns,
+            }
+        })
+    }
+
+    /// The instant the link becomes free given current reservations.
+    pub fn busy_until(&self) -> SimNs {
+        self.timeline.peek(|b| *b)
+    }
+
+    /// Run `f` with both links' busy-until timelines locked (self first —
+    /// callers must use a consistent order).
+    pub fn with_timelines<R>(&self, other: &Link, f: impl FnOnce(&mut SimNs, &mut SimNs) -> R) -> R {
+        self.timeline.with(|a| other.timeline.with(|b| f(a, b)))
+    }
+}
+
+/// Reserve a transfer across **two** serialized timelines (e.g. sender NIC
+/// tx and receiver NIC rx): injection occupies both for the same window.
+pub fn reserve_pair(tx: &Link, rx: &Link, bytes: usize, earliest: SimNs) -> Reservation {
+    debug_assert_eq!(
+        tx.spec(),
+        rx.spec(),
+        "paired reservation expects a homogeneous fabric"
+    );
+    let inj = tx.spec.injection_ns(bytes);
+    // Lock ordering: always tx then rx; all callers go through this helper.
+    tx.timeline.with(|tx_busy| {
+        rx.timeline.with(|rx_busy| {
+            let start = earliest.max(*tx_busy).max(*rx_busy);
+            let end = start + inj;
+            *tx_busy = end;
+            *rx_busy = end;
+            Reservation {
+                start,
+                end,
+                arrival: end + tx.spec.latency_ns,
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LinkSpec {
+        LinkSpec {
+            latency_ns: 1_000,
+            bandwidth_bps: 1e9, // 1 GB/s => 1 ns per byte
+            per_msg_overhead_ns: 100,
+        }
+    }
+
+    #[test]
+    fn injection_cost_is_overhead_plus_payload() {
+        let s = spec();
+        assert_eq!(s.injection_ns(0), 100);
+        assert_eq!(s.injection_ns(1_000), 1_100);
+        assert_eq!(s.message_ns(1_000), 2_100);
+    }
+
+    #[test]
+    fn sustained_bandwidth_approaches_peak_for_large_messages() {
+        let s = spec();
+        let small = s.sustained_bps(64);
+        let large = s.sustained_bps(64 * 1024 * 1024);
+        assert!(small < 0.5 * s.bandwidth_bps);
+        assert!(large > 0.99 * s.bandwidth_bps);
+        assert!(large <= s.bandwidth_bps);
+    }
+
+    #[test]
+    fn idle_link_starts_at_earliest() {
+        let clock = SimClock::new();
+        let l = Link::new(clock, spec());
+        let r = l.reserve(1_000, 500);
+        assert_eq!(r.start, 500);
+        assert_eq!(r.end, 1_600);
+        assert_eq!(r.arrival, 2_600);
+    }
+
+    #[test]
+    fn busy_link_serializes_fifo() {
+        let clock = SimClock::new();
+        let l = Link::new(clock, spec());
+        let r1 = l.reserve(1_000, 0);
+        let r2 = l.reserve(1_000, 0); // queued behind r1
+        assert_eq!(r2.start, r1.end);
+        assert_eq!(r2.end, r1.end + 1_100);
+        let r3 = l.reserve(10, 10_000); // idle gap: starts at earliest
+        assert_eq!(r3.start, 10_000);
+    }
+
+    #[test]
+    fn paired_reservation_respects_both_timelines() {
+        let clock = SimClock::new();
+        let tx = Link::new(clock.clone(), spec());
+        let rx = Link::new(clock, spec());
+        rx.reserve(5_000, 0); // rx busy until 5_100+? => 100+5000=5100
+        let r = reserve_pair(&tx, &rx, 1_000, 0);
+        assert_eq!(r.start, 5_100);
+        assert_eq!(tx.busy_until(), r.end);
+        assert_eq!(rx.busy_until(), r.end);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the link/fabric reservation invariants.
+
+use proptest::prelude::*;
+
+use crate::{ClusterSpec, Fabric, Link, LinkSpec};
+use simtime::SimClock;
+
+fn arb_spec() -> impl Strategy<Value = LinkSpec> {
+    (1u64..1_000_000, 1.0e6f64..1.0e10, 0u64..1_000_000).prop_map(
+        |(latency_ns, bandwidth_bps, per_msg_overhead_ns)| LinkSpec {
+            latency_ns,
+            bandwidth_bps,
+            per_msg_overhead_ns,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reservations on one link never overlap and never move backwards.
+    #[test]
+    fn link_reservations_are_disjoint_and_monotone(
+        spec in arb_spec(),
+        requests in proptest::collection::vec((0usize..1 << 24, 0u64..1_000_000_000), 1..40),
+    ) {
+        let clock = SimClock::new();
+        let link = Link::new(clock, spec);
+        let mut prev_end = 0u64;
+        for (bytes, earliest) in requests {
+            let r = link.reserve(bytes, earliest);
+            prop_assert!(r.start >= earliest);
+            prop_assert!(r.start >= prev_end, "FIFO: starts after previous end");
+            prop_assert_eq!(r.end, r.start + spec.injection_ns(bytes));
+            prop_assert_eq!(r.arrival, r.end + spec.latency_ns);
+            prev_end = r.end;
+        }
+    }
+
+    /// Injection time is monotone in message size.
+    #[test]
+    fn injection_monotone_in_bytes(spec in arb_spec(), a in 0usize..1 << 26, b in 0usize..1 << 26) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(spec.injection_ns(lo) <= spec.injection_ns(hi));
+    }
+
+    /// Sustained bandwidth never exceeds the link's peak bandwidth.
+    #[test]
+    fn sustained_bw_bounded_by_peak(spec in arb_spec(), bytes in 1usize..1 << 26) {
+        let s = spec.sustained_bps(bytes);
+        prop_assert!(s <= spec.bandwidth_bps * 1.0001);
+        prop_assert!(s > 0.0);
+    }
+
+    /// In a fabric, transfers between disjoint node pairs never delay one
+    /// another, while transfers sharing a tx or rx endpoint serialize.
+    #[test]
+    fn fabric_contention_is_per_endpoint(
+        bytes in 1usize..1 << 22,
+    ) {
+        let clock = SimClock::new();
+        let f = Fabric::new(clock, ClusterSpec::ricc(), 4);
+        let r01 = f.reserve(0, 1, bytes, 0);
+        let r23 = f.reserve(2, 3, bytes, 0);
+        prop_assert_eq!(r01.start, 0);
+        prop_assert_eq!(r23.start, 0);
+        let r02 = f.reserve(0, 2, bytes, 0); // shares tx with r01
+        prop_assert_eq!(r02.start, r01.end);
+        let r31 = f.reserve(3, 1, bytes, 0); // shares rx with r01
+        prop_assert_eq!(r31.start, r01.end);
+    }
+}

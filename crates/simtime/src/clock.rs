@@ -1,0 +1,597 @@
+//! The virtual clock and actor registration.
+//!
+//! See the crate docs for the model. Implementation notes:
+//!
+//! * A single `Mutex<ClockState>` + `Condvar` coordinates everything. The
+//!   scale of this workspace (tens of actors, thousands of events per run)
+//!   does not warrant anything finer-grained, and a single monitor keeps
+//!   the advancement invariant easy to audit.
+//! * `runnable` counts actors currently executing user code. Whenever it
+//!   (together with `pending_wakes`) reaches zero, the decrementing thread
+//!   advances the clock to the earliest pending target (sleeper or alarm).
+//! * `pending_wakes` closes the race between "the clock advanced to time t,
+//!   waking k sleepers" and "those k threads have not been scheduled by the
+//!   OS yet": until every due sleeper has resumed, the clock must not move
+//!   again.
+//! * A generation counter (`gen`) implements lost-wakeup-free predicate
+//!   waiting: [`Actor::wait_until`] snapshots `gen`, evaluates the
+//!   predicate *outside* the clock lock, and only blocks if `gen` is
+//!   unchanged. Every cross-actor state change bumps `gen` via
+//!   [`SimClock::notify`].
+
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::SimNs;
+
+/// What an actor is doing right now; shown in deadlock diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActorStatus {
+    /// Executing user code (counts towards `runnable`).
+    Running,
+    /// Sleeping in [`Actor::advance`] until the given virtual instant.
+    Sleeping(SimNs),
+    /// Blocked in [`Actor::wait_until`] on the described predicate.
+    Blocked(&'static str),
+}
+
+struct ActorInfo {
+    label: String,
+    status: ActorStatus,
+}
+
+#[derive(Default)]
+struct ClockState {
+    now: SimNs,
+    /// Bumped by [`SimClock::notify`] and by alarm firings.
+    gen: u64,
+    /// Actors currently executing user code.
+    runnable: usize,
+    /// Sleepers the clock has advanced to, that have not yet resumed.
+    pending_wakes: usize,
+    /// Blocked waiters that have been notified (gen bumped) but have not
+    /// yet been scheduled to re-evaluate their predicates. While nonzero
+    /// the clock must not advance and a deadlock must not be declared.
+    recheck_pending: usize,
+    /// Actors blocked in `wait_until` (for deadlock detection only).
+    blocked: usize,
+    /// (wake_time, unique_seq) per sleeping actor.
+    sleepers: BinaryHeap<Reverse<(SimNs, u64)>>,
+    /// Thread-less wake-up targets (e.g. "a message becomes visible at t").
+    alarms: BinaryHeap<Reverse<SimNs>>,
+    next_seq: u64,
+    next_actor: u64,
+    actors: HashMap<u64, ActorInfo>,
+    /// Set when a registered actor panics or a deadlock is detected, so
+    /// every other actor unblocks and fails fast instead of hanging.
+    poisoned: bool,
+}
+
+struct ClockInner {
+    state: Mutex<ClockState>,
+    cv: Condvar,
+}
+
+impl ClockInner {
+    /// Advance the clock if every actor is quiescent. Must be called by any
+    /// path that decrements `runnable` (possibly) to zero.
+    fn maybe_advance(&self, st: &mut ClockState) {
+        // Loop: an alarm may fire at an instant where no sleeper is due and
+        // no waiter is blocked (e.g. a message arrives while its receiver
+        // is off sleeping past it); the clock must then keep advancing to
+        // the next target, because no other thread will re-drive it.
+        loop {
+            if st.runnable > 0 || st.pending_wakes > 0 || st.recheck_pending > 0 {
+                return;
+            }
+            let next_sleep = st.sleepers.peek().map(|Reverse((t, _))| *t);
+            let next_alarm = st.alarms.peek().map(|Reverse(t)| *t);
+            let target = match (next_sleep, next_alarm) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => {
+                    if st.blocked > 0 {
+                        let report = Self::render_actors(st);
+                        st.poisoned = true;
+                        self.cv.notify_all();
+                        panic!(
+                            "simtime: deadlock — all {} blocked actor(s) wait on predicates and \
+                             no sleeper or alarm can advance the clock past t={}:\n{report}",
+                            st.blocked, st.now
+                        );
+                    }
+                    return; // all actors exited; nothing to do
+                }
+            };
+            debug_assert!(target >= st.now, "clock would move backwards");
+            st.now = target;
+            while matches!(st.sleepers.peek(), Some(Reverse((t, _))) if *t <= target) {
+                st.sleepers.pop();
+                st.pending_wakes += 1;
+            }
+            let mut alarm_fired = false;
+            while matches!(st.alarms.peek(), Some(Reverse(t)) if *t <= target) {
+                st.alarms.pop();
+                alarm_fired = true;
+            }
+            if alarm_fired {
+                st.gen += 1;
+                st.recheck_pending = st.blocked;
+            }
+            self.cv.notify_all();
+            if st.pending_wakes > 0 || st.recheck_pending > 0 {
+                return; // woken threads will drive further progress
+            }
+            // Only alarms fired and nobody was listening: advance further.
+        }
+    }
+
+    fn render_actors(st: &ClockState) -> String {
+        let mut lines: Vec<String> = st
+            .actors
+            .values()
+            .map(|a| format!("  {:<24} {:?}", a.label, a.status))
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+/// A shared virtual clock. Cheap to clone (it is an `Arc` internally).
+#[derive(Clone)]
+pub struct SimClock {
+    inner: Arc<ClockInner>,
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimClock {
+    /// Create a new clock at virtual time zero with no registered actors.
+    pub fn new() -> Self {
+        SimClock {
+            inner: Arc::new(ClockInner {
+                state: Mutex::new(ClockState::default()),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Register a new actor. The returned handle **must** live on exactly
+    /// one thread at a time.
+    ///
+    /// **Registration ordering rule:** an actor must be registered while at
+    /// least one already-registered actor (or the registering thread, if it
+    /// holds an actor) is still runnable — in practice: register *all*
+    /// top-level actors before spawning any of their threads, and have
+    /// running actors register their children before starting them.
+    /// Otherwise the clock may advance before the newcomer is accounted
+    /// for.
+    pub fn register(&self, label: impl Into<String>) -> Actor {
+        let mut st = self.inner.state.lock();
+        let id = st.next_actor;
+        st.next_actor += 1;
+        st.runnable += 1;
+        st.actors.insert(
+            id,
+            ActorInfo {
+                label: label.into(),
+                status: ActorStatus::Running,
+            },
+        );
+        Actor {
+            clock: self.clone(),
+            id,
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> SimNs {
+        self.inner.state.lock().now
+    }
+
+    /// Announce that cross-actor state changed: every blocked actor will
+    /// re-evaluate its predicate. Called automatically by [`crate::sync`].
+    pub fn notify(&self) {
+        let mut st = self.inner.state.lock();
+        st.gen += 1;
+        st.recheck_pending = st.blocked;
+        self.inner.cv.notify_all();
+    }
+
+    /// Schedule a thread-less wake-up: at virtual time `at`, blocked actors
+    /// re-evaluate their predicates. Use this when an *event in the future*
+    /// (e.g. a message arrival) may unblock a waiter, but no thread will be
+    /// sleeping until then. If `at` is not in the future this is just
+    /// [`SimClock::notify`].
+    pub fn schedule_alarm(&self, at: SimNs) {
+        let mut st = self.inner.state.lock();
+        if at <= st.now {
+            st.gen += 1;
+            st.recheck_pending = st.blocked;
+            self.inner.cv.notify_all();
+        } else {
+            st.alarms.push(Reverse(at));
+        }
+    }
+
+    /// Number of currently registered actors (diagnostics / tests).
+    pub fn actor_count(&self) -> usize {
+        self.inner.state.lock().actors.len()
+    }
+
+    /// True once the clock has been poisoned by a panicking actor or a
+    /// detected deadlock.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.state.lock().poisoned
+    }
+
+    fn check_poison(st: &ClockState) {
+        if st.poisoned {
+            panic!("simtime: clock poisoned by a panicking actor or detected deadlock");
+        }
+    }
+}
+
+/// A participant in virtual time. Obtain via [`SimClock::register`].
+///
+/// Dropping an `Actor` deregisters it; if the owning thread is panicking,
+/// the clock is poisoned so every other actor fails fast.
+pub struct Actor {
+    clock: SimClock,
+    id: u64,
+}
+
+impl Actor {
+    /// The clock this actor is registered with.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> SimNs {
+        self.clock.now_ns()
+    }
+
+    /// Spend `d` of virtual time (simulated computation or I/O).
+    pub fn advance(&self, d: Duration) {
+        self.advance_ns(crate::dur_ns(d));
+    }
+
+    /// Spend `ns` virtual nanoseconds.
+    pub fn advance_ns(&self, ns: SimNs) {
+        if ns == 0 {
+            return;
+        }
+        let inner = &self.clock.inner;
+        let mut st = inner.state.lock();
+        SimClock::check_poison(&st);
+        let wake = st.now + ns;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.sleepers.push(Reverse((wake, seq)));
+        st.runnable -= 1;
+        if let Some(a) = st.actors.get_mut(&self.id) {
+            a.status = ActorStatus::Sleeping(wake);
+        }
+        inner.maybe_advance(&mut st);
+        while st.now < wake && !st.poisoned {
+            inner.cv.wait(&mut st);
+        }
+        if st.poisoned {
+            // Our sleeper entry may or may not have been consumed; the run
+            // is aborting anyway.
+            panic!("simtime: clock poisoned while sleeping");
+        }
+        st.pending_wakes -= 1;
+        st.runnable += 1;
+        if let Some(a) = st.actors.get_mut(&self.id) {
+            a.status = ActorStatus::Running;
+        }
+    }
+
+    /// Advance to absolute virtual time `t` (no-op if already past it).
+    pub fn advance_until(&self, t: SimNs) {
+        let now = self.now_ns();
+        if t > now {
+            self.advance_ns(t - now);
+        }
+    }
+
+    /// Block until `pred` returns `Some`, re-evaluating whenever any actor
+    /// calls [`SimClock::notify`] (directly or through [`crate::sync`]) or
+    /// an alarm fires. The predicate is evaluated **without** the clock
+    /// lock held, so it may freely take other locks.
+    pub fn wait_until<T>(&self, pred: impl FnMut() -> Option<T>) -> T {
+        self.wait_until_labeled("<predicate>", pred)
+    }
+
+    /// [`Actor::wait_until`] with a label shown in deadlock diagnostics.
+    pub fn wait_until_labeled<T>(
+        &self,
+        label: &'static str,
+        mut pred: impl FnMut() -> Option<T>,
+    ) -> T {
+        let inner = &self.clock.inner;
+        loop {
+            let gen = {
+                let st = inner.state.lock();
+                SimClock::check_poison(&st);
+                st.gen
+            };
+            if let Some(v) = pred() {
+                return v;
+            }
+            let mut st = inner.state.lock();
+            SimClock::check_poison(&st);
+            if st.gen != gen {
+                continue; // something changed while we evaluated; recheck
+            }
+            st.runnable -= 1;
+            st.blocked += 1;
+            if let Some(a) = st.actors.get_mut(&self.id) {
+                a.status = ActorStatus::Blocked(label);
+            }
+            inner.maybe_advance(&mut st);
+            while st.gen == gen && !st.poisoned {
+                inner.cv.wait(&mut st);
+            }
+            st.recheck_pending = st.recheck_pending.saturating_sub(1);
+            st.blocked -= 1;
+            st.runnable += 1;
+            if let Some(a) = st.actors.get_mut(&self.id) {
+                a.status = ActorStatus::Running;
+            }
+            SimClock::check_poison(&st);
+        }
+    }
+}
+
+impl Drop for Actor {
+    fn drop(&mut self) {
+        let inner = &self.clock.inner;
+        let mut st = inner.state.lock();
+        // An actor normally drops while Running; during a panic unwind it
+        // may drop while Blocked (or Sleeping, whose counter lives in the
+        // sleeper heap / pending_wakes and no longer matters once
+        // poisoned). Adjust the counter its status actually holds.
+        if let Some(info) = st.actors.remove(&self.id) {
+            match info.status {
+                ActorStatus::Running => st.runnable -= 1,
+                ActorStatus::Blocked(_) => st.blocked -= 1,
+                ActorStatus::Sleeping(_) => {}
+            }
+        }
+        if std::thread::panicking() {
+            st.poisoned = true;
+            st.gen += 1;
+            inner.cv.notify_all();
+        } else if !st.poisoned {
+            inner.maybe_advance(&mut st);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let c = SimClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.actor_count(), 0);
+    }
+
+    #[test]
+    fn single_actor_advance_moves_clock_exactly() {
+        let c = SimClock::new();
+        let a = c.register("a");
+        a.advance_ns(1234);
+        assert_eq!(a.now_ns(), 1234);
+        a.advance_ns(1);
+        assert_eq!(c.now_ns(), 1235);
+    }
+
+    #[test]
+    fn advance_zero_is_noop() {
+        let c = SimClock::new();
+        let a = c.register("a");
+        a.advance_ns(0);
+        assert_eq!(c.now_ns(), 0);
+    }
+
+    #[test]
+    fn advance_until_is_absolute_and_idempotent() {
+        let c = SimClock::new();
+        let a = c.register("a");
+        a.advance_until(500);
+        assert_eq!(a.now_ns(), 500);
+        a.advance_until(100); // already past: no-op
+        assert_eq!(a.now_ns(), 500);
+    }
+
+    #[test]
+    fn parallel_advances_overlap_to_max() {
+        let c = SimClock::new();
+        let durations = [300u64, 700, 500];
+        // Register every actor before spawning any thread (see `register`).
+        let actors: Vec<_> = (0..durations.len())
+            .map(|i| c.register(format!("w{i}")))
+            .collect();
+        let handles: Vec<_> = actors
+            .into_iter()
+            .zip(durations)
+            .map(|(actor, d)| {
+                thread::spawn(move || {
+                    actor.advance_ns(d);
+                    actor.now_ns()
+                })
+            })
+            .collect();
+        let ends: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(ends, vec![300, 700, 500]);
+        assert_eq!(c.now_ns(), 700);
+    }
+
+    #[test]
+    fn serialized_advances_sum() {
+        let c = SimClock::new();
+        let a = c.register("a");
+        for _ in 0..10 {
+            a.advance_ns(10);
+        }
+        assert_eq!(c.now_ns(), 100);
+    }
+
+    #[test]
+    fn wait_until_sees_notification() {
+        let c = SimClock::new();
+        let flag = Arc::new(Mutex::new(false));
+        let a = c.register("waiter");
+        let b = c.register("setter");
+        let f2 = flag.clone();
+        let setter = thread::spawn(move || {
+            b.advance_ns(1000);
+            *f2.lock() = true;
+            b.clock().notify();
+        });
+        let f3 = flag.clone();
+        a.wait_until(move || if *f3.lock() { Some(()) } else { None });
+        assert_eq!(a.now_ns(), 1000);
+        setter.join().unwrap();
+    }
+
+    #[test]
+    fn alarm_unblocks_predicate_waiter() {
+        let c = SimClock::new();
+        let a = c.register("waiter");
+        c.schedule_alarm(5_000);
+        let clock = c.clone();
+        // Predicate: "has the clock reached 5000?" — only an alarm can get
+        // it there, since no thread sleeps.
+        a.wait_until(move || (clock.now_ns() >= 5_000).then_some(()));
+        assert_eq!(c.now_ns(), 5_000);
+    }
+
+    #[test]
+    fn two_sleepers_same_instant_both_wake() {
+        let c = SimClock::new();
+        let actors: Vec<_> = (0..2).map(|i| c.register(format!("s{i}"))).collect();
+        let h: Vec<_> = actors
+            .into_iter()
+            .map(|a| {
+                thread::spawn(move || {
+                    a.advance_ns(42);
+                    a.advance_ns(8);
+                    a.now_ns()
+                })
+            })
+            .collect();
+        for t in h {
+            assert_eq!(t.join().unwrap(), 50);
+        }
+        assert_eq!(c.now_ns(), 50);
+    }
+
+    #[test]
+    fn message_passing_has_no_premature_advance() {
+        // A sends at t=10 to B who is blocked; B must observe at t=10, not
+        // after A's later sleep to t=100.
+        let c = SimClock::new();
+        let mailbox: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+        let a = c.register("sender");
+        let b = c.register("receiver");
+        let m1 = mailbox.clone();
+        let sender = thread::spawn(move || {
+            a.advance_ns(10);
+            *m1.lock() = Some(a.now_ns());
+            a.clock().notify();
+            a.advance_ns(90);
+        });
+        let m2 = mailbox.clone();
+        let got = b.wait_until(move || m2.lock().take());
+        assert_eq!(got, 10);
+        assert_eq!(b.now_ns(), 10); // B observed the message at send time
+        // Deregister before joining: the sender still owes 90 ns of virtual
+        // time, and a join while holding a runnable actor would stall the
+        // clock (os-level wait the clock cannot see).
+        drop(b);
+        sender.join().unwrap();
+        assert_eq!(c.now_ns(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let c = SimClock::new();
+        let a = c.register("stuck");
+        a.wait_until(|| None::<()>);
+    }
+
+    #[test]
+    fn drop_deregisters_and_lets_clock_advance() {
+        let c = SimClock::new();
+        let a = c.register("a");
+        let b = c.register("b");
+        let t = thread::spawn(move || {
+            drop(b); // b leaves; a must be able to advance alone
+        });
+        t.join().unwrap();
+        a.advance_ns(7);
+        assert_eq!(c.now_ns(), 7);
+        assert_eq!(c.actor_count(), 1);
+    }
+
+    #[test]
+    fn panicking_actor_poisons_clock() {
+        let c = SimClock::new();
+        let a = c.register("panicker");
+        let t = thread::spawn(move || {
+            let _a = a;
+            panic!("boom");
+        });
+        assert!(t.join().is_err());
+        assert!(c.is_poisoned());
+    }
+
+    #[test]
+    fn gen_based_wait_has_no_lost_wakeup() {
+        // Hammer the notify/wait path: 100 tokens passed one at a time.
+        let c = SimClock::new();
+        let slot: Arc<Mutex<Option<u32>>> = Arc::new(Mutex::new(None));
+        let a = c.register("producer");
+        let b = c.register("consumer");
+        let s1 = slot.clone();
+        let prod = thread::spawn(move || {
+            for i in 0..100u32 {
+                a.advance_ns(1);
+                a.wait_until(|| s1.lock().is_none().then_some(()));
+                *s1.lock() = Some(i);
+                a.clock().notify();
+            }
+        });
+        let s2 = slot.clone();
+        let cons = thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..100 {
+                let v = b.wait_until(|| s2.lock().take());
+                b.clock().notify(); // slot freed
+                got.push(v);
+            }
+            got
+        });
+        prod.join().unwrap();
+        let got = cons.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(c.now_ns(), 100);
+    }
+}

@@ -1,0 +1,322 @@
+//! Clock-aware synchronization primitives.
+//!
+//! These wrap shared state so that every mutation notifies the clock
+//! (upholding the crate-level contract) and every wait participates in
+//! virtual-time accounting instead of holding the clock hostage.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::{Actor, SimClock};
+
+/// A monitor: shared mutable state whose mutations wake blocked actors.
+///
+/// `Monitor<T>` is the building block for everything cross-actor in this
+/// workspace (mailboxes, event statuses, link timelines). Use
+/// [`Monitor::with`] for mutations, [`Monitor::peek`] for pure reads, and
+/// [`Monitor::wait`] to block an actor until the state satisfies a
+/// predicate.
+pub struct Monitor<T> {
+    clock: SimClock,
+    state: Mutex<T>,
+}
+
+impl<T> Monitor<T> {
+    /// Create a monitor bound to `clock` holding `value`.
+    pub fn new(clock: SimClock, value: T) -> Self {
+        Monitor {
+            clock,
+            state: Mutex::new(value),
+        }
+    }
+
+    /// The clock this monitor notifies.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Mutate the state and wake every blocked actor to re-evaluate.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let r = f(&mut self.state.lock());
+        self.clock.notify();
+        r
+    }
+
+    /// Read the state without notifying (must not mutate observable state).
+    pub fn peek<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.state.lock())
+    }
+
+    /// Block `actor` until `f` returns `Some`. `f` may mutate the state
+    /// when it succeeds (e.g. pop a queue entry); other actors are notified
+    /// after a successful return, since the state changed.
+    pub fn wait<R>(&self, actor: &Actor, mut f: impl FnMut(&mut T) -> Option<R>) -> R {
+        let r = actor.wait_until_labeled("monitor", || f(&mut self.state.lock()));
+        // The successful predicate may have mutated state others wait on.
+        self.clock.notify();
+        r
+    }
+
+    /// Like [`Monitor::wait`] with a diagnostic label for deadlock reports.
+    pub fn wait_labeled<R>(
+        &self,
+        actor: &Actor,
+        label: &'static str,
+        mut f: impl FnMut(&mut T) -> Option<R>,
+    ) -> R {
+        let r = actor.wait_until_labeled(label, || f(&mut self.state.lock()));
+        self.clock.notify();
+        r
+    }
+
+    /// Try the predicate once without blocking.
+    pub fn try_now<R>(&self, mut f: impl FnMut(&mut T) -> Option<R>) -> Option<R> {
+        let r = f(&mut self.state.lock());
+        if r.is_some() {
+            self.clock.notify();
+        }
+        r
+    }
+}
+
+/// An unbounded multi-producer multi-consumer channel in virtual time.
+///
+/// `send` is instantaneous in virtual time (it models handing a value to a
+/// scheduler, not a network transfer — see `simnet` for timed transfers).
+pub struct SimChannel<T> {
+    inner: Arc<Monitor<ChannelState<T>>>,
+}
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    senders_closed: bool,
+}
+
+impl<T> Clone for SimChannel<T> {
+    fn clone(&self) -> Self {
+        SimChannel {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Send> SimChannel<T> {
+    /// Create an empty channel bound to `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        SimChannel {
+            inner: Arc::new(Monitor::new(
+                clock,
+                ChannelState {
+                    queue: VecDeque::new(),
+                    senders_closed: false,
+                },
+            )),
+        }
+    }
+
+    /// Enqueue a value and wake receivers.
+    pub fn send(&self, v: T) {
+        self.inner.with(|st| st.queue.push_back(v));
+    }
+
+    /// Close the channel: receivers drain the queue then get `None`.
+    pub fn close(&self) {
+        self.inner.with(|st| st.senders_closed = true);
+    }
+
+    /// Blocking receive; `None` once closed and drained.
+    pub fn recv(&self, actor: &Actor) -> Option<T> {
+        self.inner.wait_labeled(actor, "channel recv", |st| {
+            if let Some(v) = st.queue.pop_front() {
+                Some(Some(v))
+            } else if st.senders_closed {
+                Some(None)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.try_now(|st| st.queue.pop_front())
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.inner.peek(|st| st.queue.len())
+    }
+
+    /// True if no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A reusable barrier for `n` actors in virtual time.
+pub struct SimBarrier {
+    inner: Monitor<BarrierState>,
+    n: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl SimBarrier {
+    /// Barrier for `n` participants (panics if `n == 0`).
+    pub fn new(clock: SimClock, n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        SimBarrier {
+            inner: Monitor::new(
+                clock,
+                BarrierState {
+                    arrived: 0,
+                    generation: 0,
+                },
+            ),
+            n,
+        }
+    }
+
+    /// Wait until all `n` participants arrive. Returns `true` for exactly
+    /// one (the last) participant per generation, like `std::sync::Barrier`.
+    pub fn wait(&self, actor: &Actor) -> bool {
+        let (my_gen, leader) = self.inner.with(|st| {
+            st.arrived += 1;
+            if st.arrived == self.n {
+                st.arrived = 0;
+                st.generation += 1;
+                (st.generation, true)
+            } else {
+                (st.generation + 1, false)
+            }
+        });
+        if leader {
+            return true;
+        }
+        self.inner.wait_labeled(actor, "barrier", |st| {
+            (st.generation >= my_gen).then_some(())
+        });
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn channel_fifo_order() {
+        let clock = SimClock::new();
+        let ch = SimChannel::new(clock.clone());
+        let a = clock.register("recv");
+        for i in 0..5 {
+            ch.send(i);
+        }
+        for i in 0..5 {
+            assert_eq!(ch.recv(&a), Some(i));
+        }
+        assert_eq!(ch.try_recv(), None);
+    }
+
+    #[test]
+    fn channel_close_drains_then_none() {
+        let clock = SimClock::new();
+        let ch = SimChannel::new(clock.clone());
+        let a = clock.register("recv");
+        ch.send(1);
+        ch.close();
+        assert_eq!(ch.recv(&a), Some(1));
+        assert_eq!(ch.recv(&a), None);
+    }
+
+    #[test]
+    fn channel_blocking_recv_wakes_on_send() {
+        let clock = SimClock::new();
+        let ch = SimChannel::new(clock.clone());
+        let r = clock.register("recv");
+        let s = clock.register("send");
+        let ch2 = ch.clone();
+        let sender = thread::spawn(move || {
+            s.advance_ns(250);
+            ch2.send(99);
+        });
+        assert_eq!(ch.recv(&r), Some(99));
+        assert_eq!(r.now_ns(), 250);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_times() {
+        let clock = SimClock::new();
+        let bar = Arc::new(SimBarrier::new(clock.clone(), 3));
+        let actors: Vec<_> = (0..3).map(|i| clock.register(format!("p{i}"))).collect();
+        let h: Vec<_> = actors
+            .into_iter()
+            .zip([10u64, 20, 30])
+            .map(|(actor, d)| {
+                let bar = bar.clone();
+                thread::spawn(move || {
+                    actor.advance_ns(d);
+                    bar.wait(&actor);
+                    // All leave the barrier at the last arrival's time or
+                    // later (a waiter cannot run before the leader posted).
+                    actor.now_ns()
+                })
+            })
+            .collect();
+        let times: Vec<u64> = h.into_iter().map(|t| t.join().unwrap()).collect();
+        // Leader arrives at 30; everyone observes >= their own arrival and
+        // the clock never exceeded 30 (no spurious advancement).
+        assert!(times.iter().all(|&t| t <= 30));
+        assert_eq!(clock.now_ns(), 30);
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let clock = SimClock::new();
+        let bar = Arc::new(SimBarrier::new(clock.clone(), 2));
+        let a = clock.register("a");
+        let bar2 = bar.clone();
+        let b = clock.register("b");
+        let t = thread::spawn(move || {
+            for _ in 0..10 {
+                bar2.wait(&b);
+            }
+        });
+        for _ in 0..10 {
+            bar.wait(&a);
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn barrier_reports_one_leader() {
+        let clock = SimClock::new();
+        let bar = Arc::new(SimBarrier::new(clock.clone(), 4));
+        let actors: Vec<_> = (0..4).map(|i| clock.register(format!("p{i}"))).collect();
+        let h: Vec<_> = actors
+            .into_iter()
+            .map(|actor| {
+                let bar = bar.clone();
+                thread::spawn(move || bar.wait(&actor) as usize)
+            })
+            .collect();
+        let leaders: usize = h.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(leaders, 1);
+    }
+
+    #[test]
+    fn monitor_wait_pops_exactly_once() {
+        let clock = SimClock::new();
+        let m = Arc::new(Monitor::new(clock.clone(), vec![1, 2, 3]));
+        let a = clock.register("a");
+        let v = m.wait(&a, |st| st.pop());
+        assert_eq!(v, 3);
+        assert_eq!(m.peek(|st| st.len()), 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Activity tracing: record `(lane, label, start, end)` spans in virtual
+//! time and render them as ASCII Gantt charts. Used to reproduce the
+//! paper's Figure 4 timing diagrams from actual runs.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::SimNs;
+
+/// One recorded activity interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Which timeline row the span belongs to (e.g. "host", "gpu0", "net").
+    pub lane: String,
+    /// Short description (e.g. "kernel A", "MPI_Sendrecv").
+    pub label: String,
+    /// Start, virtual ns.
+    pub start: SimNs,
+    /// End, virtual ns (`end >= start`).
+    pub end: SimNs,
+}
+
+/// A shareable collector of [`Span`]s. Cloning shares the underlying store.
+#[derive(Clone, Default, Debug)]
+pub struct Trace {
+    spans: Arc<Mutex<Vec<Span>>>,
+}
+
+impl Trace {
+    /// New empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one interval.
+    pub fn record(&self, lane: impl Into<String>, label: impl Into<String>, start: SimNs, end: SimNs) {
+        let (start, end) = if end >= start { (start, end) } else { (end, start) };
+        self.spans.lock().push(Span {
+            lane: lane.into(),
+            label: label.into(),
+            start,
+            end,
+        });
+    }
+
+    /// Snapshot of all recorded spans, sorted by (lane, start).
+    pub fn spans(&self) -> Vec<Span> {
+        let mut v = self.spans.lock().clone();
+        v.sort_by(|a, b| a.lane.cmp(&b.lane).then(a.start.cmp(&b.start)));
+        v
+    }
+
+    /// Remove all recorded spans.
+    pub fn clear(&self) {
+        self.spans.lock().clear();
+    }
+
+    /// Latest `end` across all spans (0 if empty).
+    pub fn horizon(&self) -> SimNs {
+        self.spans.lock().iter().map(|s| s.end).max().unwrap_or(0)
+    }
+
+    /// Render an ASCII Gantt chart `width` characters wide. Lanes are
+    /// ordered by first appearance; overlapping spans in a lane stack onto
+    /// extra rows.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let spans = self.spans.lock().clone();
+        if spans.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let t0 = spans.iter().map(|s| s.start).min().unwrap();
+        let t1 = spans.iter().map(|s| s.end).max().unwrap().max(t0 + 1);
+        let scale = |t: SimNs| -> usize {
+            (((t - t0) as f64 / (t1 - t0) as f64) * (width.max(2) - 1) as f64).round() as usize
+        };
+        // Preserve lane order of first appearance.
+        let mut lanes: Vec<String> = Vec::new();
+        for s in &spans {
+            if !lanes.contains(&s.lane) {
+                lanes.push(s.lane.clone());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "timeline: {} .. {} ({} total)\n",
+            crate::fmt_ns(t0),
+            crate::fmt_ns(t1),
+            crate::fmt_ns(t1 - t0)
+        ));
+        for lane in &lanes {
+            // Rows within a lane: greedy placement avoiding overlap.
+            let mut rows: Vec<Vec<&Span>> = Vec::new();
+            let mut lane_spans: Vec<&Span> =
+                spans.iter().filter(|s| &s.lane == lane).collect();
+            lane_spans.sort_by_key(|s| s.start);
+            for s in lane_spans {
+                let row = rows
+                    .iter_mut()
+                    .find(|r| r.last().is_none_or(|p| p.end <= s.start));
+                match row {
+                    Some(r) => r.push(s),
+                    None => rows.push(vec![s]),
+                }
+            }
+            for (ri, row) in rows.iter().enumerate() {
+                let name = if ri == 0 { lane.as_str() } else { "" };
+                let mut line: Vec<char> = vec![' '; width];
+                for s in row {
+                    let a = scale(s.start);
+                    let b = scale(s.end).max(a + 1).min(width);
+                    for (k, c) in line.iter_mut().enumerate().take(b).skip(a) {
+                        let li = k - a;
+                        *c = if li == 0 {
+                            '['
+                        } else if k == b - 1 {
+                            ']'
+                        } else {
+                            s.label.chars().nth(li - 1).unwrap_or('=')
+                        };
+                    }
+                }
+                out.push_str(&format!("{name:>12} |{}|\n", line.iter().collect::<String>()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sorts_spans() {
+        let t = Trace::new();
+        t.record("gpu", "k2", 50, 80);
+        t.record("gpu", "k1", 0, 40);
+        t.record("host", "send", 10, 30);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].lane, "gpu");
+        assert_eq!(spans[0].label, "k1");
+        assert_eq!(t.horizon(), 80);
+    }
+
+    #[test]
+    fn swapped_endpoints_are_normalized() {
+        let t = Trace::new();
+        t.record("l", "x", 30, 10);
+        let s = &t.spans()[0];
+        assert!(s.start <= s.end);
+    }
+
+    #[test]
+    fn ascii_render_contains_lanes() {
+        let t = Trace::new();
+        t.record("host", "compute", 0, 100);
+        t.record("net", "xfer", 50, 150);
+        let s = t.render_ascii(60);
+        assert!(s.contains("host"));
+        assert!(s.contains("net"));
+        assert!(s.contains("timeline"));
+    }
+
+    #[test]
+    fn overlapping_spans_stack_rows() {
+        let t = Trace::new();
+        t.record("q", "a", 0, 100);
+        t.record("q", "b", 50, 150);
+        let s = t.render_ascii(40);
+        // Two rows for the same lane: lane name printed once, two bars.
+        assert_eq!(s.matches('|').count(), 4);
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert_eq!(Trace::new().render_ascii(40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let t = Trace::new();
+        t.record("l", "x", 0, 1);
+        t.clear();
+        assert!(t.spans().is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the virtual-clock invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+use simtime::{SimBarrier, SimClock};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A single actor's advances always sum exactly.
+    #[test]
+    fn serial_advances_sum_exactly(durations in proptest::collection::vec(0u64..1_000_000, 1..50)) {
+        let clock = SimClock::new();
+        let a = clock.register("solo");
+        let mut expect = 0u64;
+        for d in durations {
+            a.advance_ns(d);
+            expect += d;
+            prop_assert_eq!(a.now_ns(), expect);
+        }
+    }
+
+    /// N actors advancing concurrently finish at exactly their own sums,
+    /// and the clock ends at the maximum — never the total.
+    #[test]
+    fn concurrent_advances_overlap_to_max(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(1u64..100_000, 1..10),
+            2..6,
+        )
+    ) {
+        let clock = SimClock::new();
+        let actors: Vec<_> = (0..plans.len())
+            .map(|i| clock.register(format!("w{i}")))
+            .collect();
+        let handles: Vec<_> = actors
+            .into_iter()
+            .zip(plans.clone())
+            .map(|(a, plan)| {
+                thread::spawn(move || {
+                    for d in plan {
+                        a.advance_ns(d);
+                    }
+                    a.now_ns()
+                })
+            })
+            .collect();
+        let ends: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let sums: Vec<u64> = plans.iter().map(|p| p.iter().sum()).collect();
+        prop_assert_eq!(&ends, &sums);
+        prop_assert_eq!(clock.now_ns(), *sums.iter().max().unwrap());
+    }
+
+    /// Clock time is monotone across arbitrary alarm/advance interleaving.
+    #[test]
+    fn alarms_never_move_clock_backwards(
+        alarms in proptest::collection::vec(0u64..500_000, 0..20),
+        steps in proptest::collection::vec(1u64..100_000, 1..20),
+    ) {
+        let clock = SimClock::new();
+        let a = clock.register("stepper");
+        for t in alarms {
+            clock.schedule_alarm(t);
+        }
+        let mut last = 0;
+        for d in steps {
+            a.advance_ns(d);
+            let now = a.now_ns();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+
+    /// Barriers align every participant to at least the latest arrival,
+    /// for arbitrary per-actor workloads, repeatedly.
+    #[test]
+    fn barrier_rounds_align(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(1u64..50_000, 3),
+            1..6,
+        )
+    ) {
+        let clock = SimClock::new();
+        let bar = Arc::new(SimBarrier::new(clock.clone(), 3));
+        let actors: Vec<_> = (0..3).map(|i| clock.register(format!("p{i}"))).collect();
+        let rounds = Arc::new(rounds);
+        let handles: Vec<_> = actors
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let bar = bar.clone();
+                let rounds = rounds.clone();
+                thread::spawn(move || {
+                    let mut outs = Vec::new();
+                    for r in rounds.iter() {
+                        a.advance_ns(r[i]);
+                        bar.wait(&a);
+                        outs.push(a.now_ns());
+                    }
+                    outs
+                })
+            })
+            .collect();
+        let outs: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut floor = 0u64;
+        for (ri, r) in rounds.iter().enumerate() {
+            floor += *r.iter().max().unwrap();
+            for out in &outs {
+                // Everyone leaves round ri at >= the slowest arrival so far
+                // (floor is exact because rounds synchronize).
+                prop_assert!(out[ri] >= floor.min(out[ri]));
+                prop_assert!(out[ri] <= floor, "no one leaves after the round bound");
+            }
+            let times: Vec<u64> = outs.iter().map(|o| o[ri]).collect();
+            prop_assert_eq!(times[0], floor);
+            prop_assert!(times.iter().all(|&t| t == times[0]), "aligned exit");
+        }
+    }
+
+    /// Message passing via notify: a receiver observes each token at the
+    /// sender's virtual send time, never later than the next send.
+    #[test]
+    fn token_stream_preserves_timestamps(gaps in proptest::collection::vec(1u64..10_000, 1..30)) {
+        let clock = SimClock::new();
+        let slot: Arc<parking_lot::Mutex<Option<u64>>> = Arc::new(parking_lot::Mutex::new(None));
+        let s = clock.register("send");
+        let r = clock.register("recv");
+        let n = gaps.len();
+        let s_slot = slot.clone();
+        let sender = thread::spawn(move || {
+            for g in gaps {
+                s.advance_ns(g);
+                // one-slot channel: wait for it to be empty
+                s.wait_until(|| s_slot.lock().is_none().then_some(()));
+                *s_slot.lock() = Some(s.now_ns());
+                s.clock().notify();
+            }
+        });
+        let mut last = 0u64;
+        for _ in 0..n {
+            let sent_at = r.wait_until(|| slot.lock().take());
+            r.clock().notify();
+            prop_assert!(sent_at >= last);
+            prop_assert!(r.now_ns() >= sent_at);
+            last = sent_at;
+        }
+        sender.join().unwrap();
+    }
+}

@@ -1,0 +1,41 @@
+//! A small nanopowder growth run (paper §V-D) comparing the baseline and
+//! clMPI coefficient-distribution paths, with validation against the
+//! single-threaded reference.
+//!
+//! Run: `cargo run --release --example nanopowder_demo`
+
+use clmpi::SystemConfig;
+use nanopowder::{reference_simulation, run_nanopowder, NanoConfig, NanoVariant};
+
+fn main() {
+    let sections = 1080; // ≈4.7 MB of coefficients per step per node
+    let steps = 3;
+    let cfg = |nodes| NanoConfig {
+        sections,
+        steps,
+        sys: SystemConfig::ricc(),
+        nodes,
+    };
+    println!(
+        "nanopowder: K={sections} sections ({:.1} MB coefficients/step/node), {steps} steps, RICC\n",
+        (sections * sections * 4) as f64 / 1e6
+    );
+    println!("{:>6}  {:>14}  {:>14}  {:>8}", "nodes", "baseline ms", "clMPI ms", "gain");
+    let reference = reference_simulation(sections, steps);
+    for nodes in [1usize, 2, 4] {
+        let base = run_nanopowder(NanoVariant::Baseline, cfg(nodes));
+        let cl = run_nanopowder(NanoVariant::ClMpi, cfg(nodes));
+        assert_eq!(base.final_n, reference, "baseline physics validated");
+        assert_eq!(cl.final_n, reference, "clMPI physics validated");
+        println!(
+            "{:>6}  {:>14.2}  {:>14.2}  {:>7.1}%",
+            nodes,
+            base.step_ns as f64 / 1e6,
+            cl.step_ns as f64 / 1e6,
+            (base.step_ns as f64 / cl.step_ns as f64 - 1.0) * 100.0
+        );
+    }
+    println!("\nBoth variants produce bitwise-identical concentrations (asserted);");
+    println!("clMPI hides the host→device stage of the 42 MB/step coefficient");
+    println!("distribution under the network transfer (pipelined MPI_CL_MEM path).");
+}

@@ -1,0 +1,8 @@
+//! Facade crate: re-exports the full clMPI reproduction stack.
+pub use clmpi;
+pub use himeno;
+pub use minicl;
+pub use minimpi;
+pub use nanopowder;
+pub use simnet;
+pub use simtime;

@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: the full stack from the facade crate.
+
+use clmpi_repro::clmpi::{analytic, ClMpi, SystemConfig, TransferStrategy};
+use clmpi_repro::himeno::{run_himeno, GridSize, HimenoConfig, Variant};
+use clmpi_repro::minimpi::run_world_sized;
+use clmpi_repro::nanopowder::{reference_simulation, run_nanopowder, NanoConfig, NanoVariant};
+
+#[test]
+fn facade_reexports_whole_stack() {
+    // Compile-time check mostly; touch one item from each layer.
+    let clock = clmpi_repro::simtime::SimClock::new();
+    assert_eq!(clock.now_ns(), 0);
+    let spec = clmpi_repro::simnet::ClusterSpec::cichlid();
+    assert_eq!(spec.nodes, 4);
+    let dev = clmpi_repro::minicl::DeviceSpec::tesla_c1060();
+    assert!(dev.mem_bw_bps > 0.0);
+}
+
+#[test]
+fn measured_transfer_times_track_the_analytic_model() {
+    // The simulated pipeline (reservations + virtual time) and the
+    // closed-form model in clmpi::analytic must agree within 15% for
+    // idle-link single transfers — they are independent derivations.
+    for sys in [SystemConfig::cichlid(), SystemConfig::ricc()] {
+        for strategy in [
+            TransferStrategy::Pinned,
+            TransferStrategy::Mapped,
+            TransferStrategy::Pipelined(1 << 20),
+        ] {
+            let size = 8 << 20;
+            let sys2 = sys.clone();
+            let res = run_world_sized(sys.cluster.clone(), 2, move |p| {
+                let rt = ClMpi::new(&p, sys2.clone());
+                rt.set_forced_strategy(Some(strategy));
+                let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+                let buf = rt.context().create_buffer(size);
+                p.comm.barrier(&p.actor);
+                let t0 = p.actor.now_ns();
+                if p.rank() == 0 {
+                    rt.enqueue_send_buffer(&q, &buf, true, 0, size, 1, 1, &[], &p.actor)
+                        .unwrap();
+                } else {
+                    rt.enqueue_recv_buffer(&q, &buf, true, 0, size, 0, 1, &[], &p.actor)
+                        .unwrap();
+                }
+                rt.shutdown(&p.actor);
+                p.actor.now_ns() - t0
+            });
+            let measured = *res.outputs.iter().max().unwrap() as f64;
+            let predicted = analytic::transfer_ns(&sys, strategy, size) as f64;
+            let ratio = measured / predicted;
+            assert!(
+                (0.85..=1.15).contains(&ratio),
+                "{} {} 8MiB: measured {measured} vs analytic {predicted}",
+                sys.cluster.name,
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_strategy_is_never_slower_than_worst_fixed() {
+    let sys = SystemConfig::ricc();
+    let size = 8 << 20;
+    let time = |strategy| {
+        let sys2 = sys.clone();
+        let res = run_world_sized(sys.cluster.clone(), 2, move |p| {
+            let rt = ClMpi::new(&p, sys2.clone());
+            rt.set_forced_strategy(strategy);
+            let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+            let buf = rt.context().create_buffer(size);
+            p.comm.barrier(&p.actor);
+            let t0 = p.actor.now_ns();
+            if p.rank() == 0 {
+                rt.enqueue_send_buffer(&q, &buf, true, 0, size, 1, 1, &[], &p.actor)
+                    .unwrap();
+            } else {
+                rt.enqueue_recv_buffer(&q, &buf, true, 0, size, 0, 1, &[], &p.actor)
+                    .unwrap();
+            }
+            rt.shutdown(&p.actor);
+            p.actor.now_ns() - t0
+        });
+        *res.outputs.iter().max().unwrap()
+    };
+    let auto = time(None);
+    let mapped = time(Some(TransferStrategy::Mapped));
+    let pinned = time(Some(TransferStrategy::Pinned));
+    assert!(auto <= mapped.max(pinned), "auto {auto} beats worst fixed");
+}
+
+#[test]
+fn himeno_fig9a_ordering_holds_end_to_end() {
+    // The Fig. 9(a) 4-node ordering on the S grid (fast enough for CI):
+    // serial < hand-optimized < clMPI.
+    let cfg = HimenoConfig {
+        size: GridSize::S,
+        iters: 4,
+        sys: SystemConfig::cichlid(),
+        nodes: 4,
+        strategy: None,
+    };
+    let serial = run_himeno(Variant::Serial, cfg.clone());
+    let hand = run_himeno(Variant::HandOptimized, cfg.clone());
+    let cl = run_himeno(Variant::ClMpi, cfg);
+    assert!(serial.gflops < hand.gflops);
+    assert!(hand.gflops < cl.gflops);
+    // And the paper's headline: ~14% when communication is exposed.
+    let gain = cl.gflops / hand.gflops;
+    assert!(
+        (1.05..=1.35).contains(&gain),
+        "clMPI/hand gain {gain:.3} in the paper's ballpark"
+    );
+}
+
+#[test]
+fn event_chain_ablation_shows_blocking_cost() {
+    let cfg = HimenoConfig {
+        size: GridSize::S,
+        iters: 4,
+        sys: SystemConfig::cichlid(),
+        nodes: 4,
+        strategy: None,
+    };
+    let free = run_himeno(Variant::ClMpi, cfg.clone());
+    let blocked = run_himeno(Variant::ClMpiBlocked, cfg);
+    assert!(
+        blocked.gflops <= free.gflops,
+        "host-blocking can only hurt: {} vs {}",
+        blocked.gflops,
+        free.gflops
+    );
+}
+
+#[test]
+fn nanopowder_validates_and_gains_end_to_end() {
+    let cfg = NanoConfig {
+        sections: 720,
+        steps: 3,
+        sys: SystemConfig::ricc(),
+        nodes: 4,
+    };
+    let base = run_nanopowder(NanoVariant::Baseline, cfg.clone());
+    let cl = run_nanopowder(NanoVariant::ClMpi, cfg);
+    let reference = reference_simulation(720, 3);
+    assert_eq!(base.final_n, reference);
+    assert_eq!(cl.final_n, reference);
+    assert!(cl.step_ns < base.step_ns);
+}

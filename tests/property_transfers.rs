@@ -1,0 +1,90 @@
+//! Property-based tests on the transfer layer: arbitrary sizes, offsets
+//! and strategies must deliver bytes intact with sane timing.
+
+use proptest::prelude::*;
+
+use clmpi_repro::clmpi::{ClMpi, SystemConfig, TransferStrategy};
+use clmpi_repro::minimpi::run_world_sized;
+
+fn arb_strategy() -> impl Strategy<Value = TransferStrategy> {
+    prop_oneof![
+        Just(TransferStrategy::Pinned),
+        Just(TransferStrategy::Mapped),
+        Just(TransferStrategy::Auto),
+        (1usize..512 * 1024).prop_map(TransferStrategy::Pipelined),
+    ]
+}
+
+proptest! {
+    // Each case spins up a 2-rank world with real threads; keep the case
+    // count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_transfer_delivers_intact(
+        strategy in arb_strategy(),
+        size in 1usize..600_000,
+        offset in 0usize..4096,
+        seed in any::<u64>(),
+    ) {
+        let total = offset + size + 128;
+        let res = run_world_sized(SystemConfig::ricc().cluster.clone(), 2, move |p| {
+            let rt = ClMpi::new(&p, SystemConfig::ricc());
+            rt.set_forced_strategy(Some(strategy));
+            let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+            let buf = rt.context().create_buffer(total);
+            let payload: Vec<u8> = {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                (0..size).map(|_| rng.gen()).collect()
+            };
+            let ok = if p.rank() == 0 {
+                buf.store(offset, &payload).unwrap();
+                rt.enqueue_send_buffer(&q, &buf, true, offset, size, 1, 1, &[], &p.actor)
+                    .unwrap();
+                true
+            } else {
+                rt.enqueue_recv_buffer(&q, &buf, true, offset, size, 0, 1, &[], &p.actor)
+                    .unwrap();
+                buf.load(offset, size).unwrap() == payload
+                    // Bytes outside the transfer window untouched:
+                    && buf.load(0, offset).unwrap() == vec![0u8; offset]
+                    && buf.load(offset + size, 128).unwrap() == vec![0u8; 128]
+            };
+            rt.shutdown(&p.actor);
+            (ok, p.actor.now_ns())
+        });
+        prop_assert!(res.outputs.iter().all(|(ok, _)| *ok));
+        // Timing sanity: never faster than the wire allows.
+        let wire_floor = SystemConfig::ricc().cluster.link.message_ns(size);
+        let elapsed = res.outputs.iter().map(|(_, t)| *t).max().unwrap();
+        prop_assert!(elapsed >= wire_floor / 2, "elapsed {elapsed} vs floor {wire_floor}");
+    }
+
+    #[test]
+    fn sendrecv_style_exchange_never_deadlocks(
+        size_a in 1usize..200_000,
+        size_b in 1usize..200_000,
+    ) {
+        let res = run_world_sized(SystemConfig::cichlid().cluster.clone(), 2, move |p| {
+            let rt = ClMpi::new(&p, SystemConfig::cichlid());
+            let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+            let my_size = if p.rank() == 0 { size_a } else { size_b };
+            let peer_size = if p.rank() == 0 { size_b } else { size_a };
+            let mine = rt.context().create_buffer(my_size);
+            let theirs = rt.context().create_buffer(peer_size);
+            let peer = 1 - p.rank();
+            let es = rt
+                .enqueue_send_buffer(&q, &mine, false, 0, my_size, peer, p.rank() as i32, &[], &p.actor)
+                .unwrap();
+            let er = rt
+                .enqueue_recv_buffer(&q, &theirs, false, 0, peer_size, peer, peer as i32, &[], &p.actor)
+                .unwrap();
+            es.wait(&p.actor);
+            er.wait(&p.actor);
+            rt.shutdown(&p.actor);
+            true
+        });
+        prop_assert!(res.outputs.iter().all(|&b| b));
+    }
+}
