@@ -1,62 +1,45 @@
-//! Criterion benches over the application harnesses (reduced problem
-//! sizes; the paper-scale sweeps live in the `fig9`/`fig10` binaries).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Benches over the application harnesses (reduced problem sizes; the
+//! paper-scale sweeps live in the `fig9`/`fig10` binaries). Uses the
+//! workspace's minimal timing harness instead of the external
+//! `criterion` crate.
 
 use clmpi::SystemConfig;
+use clmpi_bench::wallclock_bench;
 use himeno::{run_himeno, GridSize, HimenoConfig, Variant};
 use nanopowder::{run_nanopowder, NanoConfig, NanoVariant};
 
-fn bench_himeno_variants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_himeno_xs");
-    g.sample_size(10);
+fn main() {
+    println!("fig9_himeno_xs (simulation wall time)");
     for variant in [Variant::Serial, Variant::HandOptimized, Variant::ClMpi] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(variant.name()),
-            &variant,
-            |b, &variant| {
-                b.iter(|| {
-                    run_himeno(
-                        variant,
-                        HimenoConfig {
-                            size: GridSize::Xs,
-                            iters: 3,
-                            sys: SystemConfig::cichlid(),
-                            nodes: 4,
-                            strategy: None,
-                        },
-                    )
-                })
-            },
-        );
+        wallclock_bench(&format!("fig9_himeno_xs/{}", variant.name()), 10, || {
+            run_himeno(
+                variant,
+                HimenoConfig {
+                    size: GridSize::Xs,
+                    iters: 3,
+                    sys: SystemConfig::cichlid(),
+                    nodes: 4,
+                    strategy: None,
+                },
+            );
+        });
     }
-    g.finish();
-}
-
-fn bench_nanopowder_variants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_nanopowder_small");
-    g.sample_size(10);
+    println!("fig10_nanopowder_small (simulation wall time)");
     for variant in [NanoVariant::Baseline, NanoVariant::ClMpi] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(variant.name()),
-            &variant,
-            |b, &variant| {
-                b.iter(|| {
-                    run_nanopowder(
-                        variant,
-                        NanoConfig {
-                            sections: 240,
-                            steps: 2,
-                            sys: SystemConfig::ricc(),
-                            nodes: 4,
-                        },
-                    )
-                })
+        wallclock_bench(
+            &format!("fig10_nanopowder_small/{}", variant.name()),
+            10,
+            || {
+                run_nanopowder(
+                    variant,
+                    NanoConfig {
+                        sections: 240,
+                        steps: 2,
+                        sys: SystemConfig::ricc(),
+                        nodes: 4,
+                    },
+                );
             },
         );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_himeno_variants, bench_nanopowder_variants);
-criterion_main!(benches);

@@ -1,19 +1,17 @@
-//! Criterion benches over the Fig. 8 measurement loop (reduced sizes so
+//! Benches over the Fig. 8 measurement loop (reduced sizes so
 //! `cargo bench` stays quick; the full sweep lives in the `fig8` binary).
 //!
 //! Note: what is measured here is the *wall time of the simulation* of
 //! each transfer; the simulated (virtual) bandwidths are printed by the
 //! `fig8` harness. Tracking wall time keeps the simulator itself honest —
-//! regressions in the engine show up here.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! regressions in the engine show up here. Uses the workspace's minimal
+//! timing harness instead of the external `criterion` crate.
 
 use clmpi::{SystemConfig, TransferStrategy};
-use clmpi_bench::measure_p2p;
+use clmpi_bench::{measure_p2p, wallclock_bench};
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_p2p");
-    g.sample_size(10);
+fn main() {
+    println!("fig8_p2p (4 MiB, simulation wall time)");
     for (sys_name, sys) in [
         ("cichlid", SystemConfig::cichlid()),
         ("ricc", SystemConfig::ricc()),
@@ -23,22 +21,13 @@ fn bench_strategies(c: &mut Criterion) {
             TransferStrategy::Mapped,
             TransferStrategy::Pipelined(1 << 20),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(sys_name, st.name()),
-                &st,
-                |b, &st| b.iter(|| measure_p2p(&sys, st, 4 << 20, 1)),
-            );
+            wallclock_bench(&format!("fig8_p2p/{sys_name}/{}", st.name()), 10, || {
+                measure_p2p(&sys, st, 4 << 20, 1);
+            });
         }
     }
-    g.finish();
-}
-
-fn bench_auto_selection(c: &mut Criterion) {
     let sys = SystemConfig::ricc();
-    c.bench_function("fig8_auto_4M", |b| {
-        b.iter(|| measure_p2p(&sys, TransferStrategy::Auto, 4 << 20, 1))
+    wallclock_bench("fig8_auto_4M", 10, || {
+        measure_p2p(&sys, TransferStrategy::Auto, 4 << 20, 1);
     });
 }
-
-criterion_group!(benches, bench_strategies, bench_auto_selection);
-criterion_main!(benches);

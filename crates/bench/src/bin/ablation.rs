@@ -26,12 +26,18 @@ fn main() {
     }
 
     println!("Ablation 1 — transfer strategy, clMPI Himeno {size:?}, 4 nodes");
-    println!("{:>10}  {:>18}  {:>18}", "", "Cichlid GFLOPS", "RICC GFLOPS");
+    println!(
+        "{:>10}  {:>18}  {:>18}",
+        "", "Cichlid GFLOPS", "RICC GFLOPS"
+    );
     let strategies: Vec<(String, Option<TransferStrategy>)> = vec![
         ("auto".into(), None),
         ("pinned".into(), Some(TransferStrategy::Pinned)),
         ("mapped".into(), Some(TransferStrategy::Mapped)),
-        ("pipe(1M)".into(), Some(TransferStrategy::Pipelined(1 << 20))),
+        (
+            "pipe(1M)".into(),
+            Some(TransferStrategy::Pipelined(1 << 20)),
+        ),
     ];
     for (name, strategy) in &strategies {
         let mut cells = Vec::new();

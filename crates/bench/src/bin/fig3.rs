@@ -23,7 +23,10 @@ fn main() {
     let base = interior / nodes;
     let rem = interior % nodes;
     println!("Fig. 3 — domain decomposition: {mi}x{mj}x{mk} grid, {nodes} ranks");
-    println!("(planes are {mj}x{mk} = {} KiB of f32 each)\n", mj * mk * 4 / 1024);
+    println!(
+        "(planes are {mj}x{mk} = {} KiB of f32 each)\n",
+        mj * mk * 4 / 1024
+    );
     for r in (0..nodes).rev() {
         let n = base + usize::from(r < rem);
         let start = 1 + r * base + r.min(rem);
@@ -55,7 +58,14 @@ fn main() {
         } else {
             println!("  | fixed boundary plane                 |");
         }
-        println!("  +--------------------------------------+  rank {r} ({})", if even { "even: A then B" } else { "odd: B then A" });
+        println!(
+            "  +--------------------------------------+  rank {r} ({})",
+            if even {
+                "even: A then B"
+            } else {
+                "odd: B then A"
+            }
+        );
     }
     println!("\nHalo planes exchanged every iteration: the top plane of A travels up,");
     println!("the bottom plane of B travels down; even ranks exchange B's halo while");

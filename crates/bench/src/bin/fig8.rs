@@ -46,7 +46,11 @@ fn run_system(sys: &SystemConfig, quick: bool, csv: &mut CsvOut) {
     println!();
     println!(
         "Fig. 8({}) — sustained bandwidth [MB/s], {} ({})",
-        if sys.cluster.name == "Cichlid" { "a" } else { "b" },
+        if sys.cluster.name == "Cichlid" {
+            "a"
+        } else {
+            "b"
+        },
         sys.cluster.name,
         sys.cluster.nic
     );

@@ -21,7 +21,11 @@ fn main() {
                 size = GridSize::by_name(v).expect("size is xs|s|m|l");
             }
             "--iters" => {
-                iters = it.next().expect("--iters needs a value").parse().expect("iter count");
+                iters = it
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("iter count");
             }
             "--csv" => {
                 it.next(); // value consumed by CsvOut::from_args
@@ -51,7 +55,11 @@ fn run_system(sys: SystemConfig, size: GridSize, iters: usize, csv: &mut CsvOut)
     println!();
     println!(
         "Fig. 9({}) — Himeno {:?} sustained GFLOPS, {} (iters={iters})",
-        if sys.cluster.name == "Cichlid" { "a" } else { "b" },
+        if sys.cluster.name == "Cichlid" {
+            "a"
+        } else {
+            "b"
+        },
         size,
         sys.cluster.name
     );
@@ -75,7 +83,11 @@ fn run_system(sys: SystemConfig, size: GridSize, iters: usize, csv: &mut CsvOut)
         } else {
             f64::INFINITY
         };
-        for (v, r) in [("serial", &serial), ("hand-optimized", &hand), ("clMPI", &cl)] {
+        for (v, r) in [
+            ("serial", &serial),
+            ("hand-optimized", &hand),
+            ("clMPI", &cl),
+        ] {
             csv.row([
                 sys.cluster.name.to_string(),
                 n.to_string(),

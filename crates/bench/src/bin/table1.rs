@@ -6,7 +6,10 @@ use clmpi::SystemConfig;
 fn main() {
     let systems = [SystemConfig::cichlid(), SystemConfig::ricc()];
     println!("Table I — System specifications (simulation presets)");
-    println!("{:<22} {:<34} {:<34}", "", systems[0].cluster.name, systems[1].cluster.name);
+    println!(
+        "{:<22} {:<34} {:<34}",
+        "", systems[0].cluster.name, systems[1].cluster.name
+    );
     type RowFn = Box<dyn Fn(&SystemConfig) -> String>;
     let rows: Vec<(&str, RowFn)> = vec![
         ("Nodes", Box::new(|s| s.cluster.nodes.to_string())),
@@ -52,6 +55,11 @@ fn main() {
         ),
     ];
     for (label, f) in rows {
-        println!("{:<22} {:<34} {:<34}", label, f(&systems[0]), f(&systems[1]));
+        println!(
+            "{:<22} {:<34} {:<34}",
+            label,
+            f(&systems[0]),
+            f(&systems[1])
+        );
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper (see DESIGN.md §4 for the index); this library holds the
-//! measurement loops they share with the criterion benches.
+//! measurement loops they share with the wall-clock benches.
 
 use clmpi::{ClMpi, SystemConfig, TransferStrategy};
 use minimpi::{run_world_sized, Process};
@@ -23,7 +23,12 @@ pub struct BandwidthPoint {
 /// between two ranks under `strategy` (the Fig. 8 measurement loop: each
 /// transfer completes — data in remote device memory — before the next
 /// starts).
-pub fn measure_p2p(sys: &SystemConfig, strategy: TransferStrategy, size: usize, reps: usize) -> BandwidthPoint {
+pub fn measure_p2p(
+    sys: &SystemConfig,
+    strategy: TransferStrategy,
+    size: usize,
+    reps: usize,
+) -> BandwidthPoint {
     let sys2 = sys.clone();
     let res = run_world_sized(sys.cluster.clone(), 2, move |p: Process| {
         let rt = ClMpi::new(&p, sys2.clone());
@@ -60,6 +65,31 @@ pub fn measure_p2p(sys: &SystemConfig, strategy: TransferStrategy, size: usize, 
     }
 }
 
+/// Minimal wall-clock micro-benchmark harness (replaces the external
+/// `criterion` dependency so the workspace builds with zero network
+/// access). Warms up twice, takes `samples` timed runs, and prints a
+/// min/median/max line. What it measures is the *wall time of the
+/// simulation* — regressions in the engine itself show up here.
+pub fn wallclock_bench(name: &str, samples: usize, mut f: impl FnMut()) {
+    f();
+    f();
+    let mut times: Vec<u128> = (0..samples.max(1))
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    let ms = |n: u128| n as f64 / 1e6;
+    println!(
+        "{name:<44} min {:>9.3} ms  median {:>9.3} ms  max {:>9.3} ms",
+        ms(times[0]),
+        ms(times[times.len() / 2]),
+        ms(times[times.len() - 1])
+    );
+}
+
 /// The strategy set plotted in Fig. 8.
 pub fn fig8_strategies() -> Vec<TransferStrategy> {
     vec![
@@ -91,7 +121,10 @@ impl CsvOut {
             .windows(2)
             .find(|w| w[0] == "--csv")
             .map(|w| w[1].clone());
-        CsvOut { path, rows: Vec::new() }
+        CsvOut {
+            path,
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row of cells (quoted/escaped as needed).

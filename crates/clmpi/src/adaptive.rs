@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use simtime::plock::Mutex;
 use simtime::SimNs;
 
 use crate::strategy::TransferStrategy;
@@ -127,7 +127,11 @@ mod tests {
     fn size_classes_separate_magnitudes() {
         assert_eq!(size_class(1024), size_class(1500));
         assert_ne!(size_class(1 << 20), size_class(64 << 20));
-        assert_eq!(size_class(0), size_class(1), "degenerate sizes share a class");
+        assert_eq!(
+            size_class(0),
+            size_class(1),
+            "degenerate sizes share a class"
+        );
     }
 
     #[test]

@@ -45,14 +45,13 @@ impl ClMpi {
         if self.rank() != root {
             // Receivers reuse the point-to-point receive path: the wire
             // chunks are whatever the root produced.
-            return self.enqueue_recv_buffer(queue, buf, false, offset, size, root, tag, wait_list, actor);
+            return self
+                .enqueue_recv_buffer(queue, buf, false, offset, size, root, tag, wait_list, actor);
         }
         // Root: one device→host staging pass, then per-destination
         // network injections (serialized on the root's NIC, as a flat
         // broadcast is). Runs on a runtime thread like every command.
-        let ue = self
-            .context()
-            .create_user_event(format!("bcast→all#{tag}"));
+        let ue = self.context().create_user_event(format!("bcast→all#{tag}"));
         let event = ue.event();
         let inner = self.inner_handle();
         let strategy = self.resolved_for(size);

@@ -12,8 +12,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use minicl::{Buffer, ClResult, CommandQueue, Event};
-use parking_lot::Mutex;
 use simnet::{Link, LinkSpec};
+use simtime::plock::Mutex;
 use simtime::{Actor, SimClock, SimNs};
 
 /// A simulated node-local storage device: an in-memory "filesystem" plus
@@ -89,7 +89,9 @@ impl crate::runtime::ClMpi {
         _actor: &Actor,
     ) -> ClResult<Event> {
         buf.check_range(offset, size)?;
-        let ue = self.context().create_user_event(format!("write-file {size}B"));
+        let ue = self
+            .context()
+            .create_user_event(format!("write-file {size}B"));
         let event = ue.event();
         let wait: Vec<Event> = wait_list.to_vec();
         let buf = buf.clone();
@@ -106,7 +108,8 @@ impl crate::runtime::ClMpi {
             let durable_at = storage.reserve(size, staged.end);
             a.advance_until(durable_at);
             storage.write_file(&path, bytes);
-            ue.set_complete(a.now_ns()).expect("file write completed once");
+            ue.set_complete(a.now_ns())
+                .expect("file write completed once");
         });
         Ok(event)
     }
@@ -127,7 +130,9 @@ impl crate::runtime::ClMpi {
         _actor: &Actor,
     ) -> ClResult<Event> {
         buf.check_range(offset, size)?;
-        let ue = self.context().create_user_event(format!("read-file {size}B"));
+        let ue = self
+            .context()
+            .create_user_event(format!("read-file {size}B"));
         let event = ue.event();
         let wait: Vec<Event> = wait_list.to_vec();
         let buf = buf.clone();
@@ -151,7 +156,8 @@ impl crate::runtime::ClMpi {
                 .reserve_duration(pcie.staged_ns(size, true), read_done + pcie.pin_setup_ns);
             a.advance_until(h2d.end);
             buf.store(offset, &data[..size]).expect("range checked");
-            ue.set_complete(a.now_ns()).expect("file read completed once");
+            ue.set_complete(a.now_ns())
+                .expect("file read completed once");
         });
         Ok(event)
     }

@@ -53,6 +53,7 @@
 pub mod adaptive;
 mod collective;
 mod fileio;
+mod retry;
 mod runtime;
 pub mod stats;
 mod strategy;
@@ -60,16 +61,30 @@ mod system;
 
 pub use adaptive::AdaptiveSelector;
 pub use fileio::SimStorage;
-pub use stats::TransferStats;
+pub use retry::RetryPolicy;
 pub use runtime::{ClMpi, ClRecvRequest, ClSendRequest, RequestOutcome};
+pub use stats::{FaultStats, TransferStats};
 pub use strategy::{analytic, chunk_layout, ResolvedStrategy, TransferStrategy};
 pub use system::SystemConfig;
+
+/// Event execution status of a transfer that failed permanently (retry
+/// budget exhausted or receiver timeout). Negative, like every OpenCL
+/// error code; chosen from the vendor-extension range.
+pub const CL_MPI_TRANSFER_ERROR: i32 = -1100;
 
 /// Tag space base for clMPI-internal messages; user tags passed to
 /// `enqueue_*_buffer` and the `*_cl` wrappers are mapped above
 /// [`minimpi::MAX_USER_TAG`] so they never collide with plain MPI traffic
 /// of the same application.
-pub(crate) const CLMPI_TAG_BASE: minimpi::Tag = 1 << 22;
+pub const CLMPI_TAG_BASE: minimpi::Tag = 1 << 22;
+
+/// Restrict `plan` to clMPI's data-plane tag space: payload chunks feel
+/// the faults while MPI control traffic (barriers, collectives, plain
+/// user messages) stays reliable. This is the recommended way to build a
+/// plan for clMPI fault-injection experiments.
+pub fn data_plane_faults(plan: minimpi::FaultPlan) -> minimpi::FaultPlan {
+    plan.with_tag_floor(CLMPI_TAG_BASE)
+}
 
 pub(crate) fn data_tag(user: minimpi::Tag) -> minimpi::Tag {
     assert!(
@@ -77,4 +92,18 @@ pub(crate) fn data_tag(user: minimpi::Tag) -> minimpi::Tag {
         "clMPI tag {user} out of user range"
     );
     CLMPI_TAG_BASE + user
+}
+
+/// Non-panicking [`data_tag`]: the public enqueue API validates tags up
+/// front so a bad tag surfaces as `CL_INVALID_VALUE` on the calling
+/// thread instead of panicking a runtime thread.
+pub(crate) fn checked_data_tag(user: minimpi::Tag) -> Result<minimpi::Tag, minicl::ClError> {
+    if (0..=minimpi::MAX_USER_TAG).contains(&user) {
+        Ok(CLMPI_TAG_BASE + user)
+    } else {
+        Err(minicl::ClError::InvalidValue(format!(
+            "clMPI tag {user} out of user range (0..={})",
+            minimpi::MAX_USER_TAG
+        )))
+    }
 }

@@ -14,17 +14,31 @@
 //! progress engine. Resource contention (PCIe, NIC) is still fully
 //! accounted through the shared reservation timelines.
 
-use parking_lot::Mutex;
+use simtime::plock::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use minicl::{Buffer, ClError, ClResult, CommandQueue, Context, Device, Event, HostBuffer};
-use minimpi::{Comm, Datatype, Process, Rank, RecvResult, Request, Tag};
+use minicl::{
+    Buffer, ClError, ClResult, CommandQueue, Context, Device, Event, HostBuffer,
+    EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST,
+};
+use minimpi::{Comm, Datatype, MpiError, Process, Rank, RecvResult, Request, Tag};
 use simtime::{Actor, Monitor, SimClock, SimNs, Trace};
 
+use crate::retry::RetryPolicy;
 use crate::strategy::{ResolvedStrategy, TransferStrategy};
 use crate::system::SystemConfig;
-use crate::data_tag;
+use crate::{data_tag, CL_MPI_TRANSFER_ERROR};
+
+/// Loss bookkeeping behind the degradation heuristic.
+#[derive(Default)]
+struct FaultState {
+    /// Chunk losses observed since the last successful delivery.
+    consecutive_drops: u32,
+    /// Once set, pipelined transfers resolve to pinned (fewer wire
+    /// messages → fewer loss draws) until [`ClMpi::reset_degradation`].
+    degraded: bool,
+}
 
 pub(crate) struct Inner {
     comm: Comm,
@@ -37,6 +51,8 @@ pub(crate) struct Inner {
     trace: Trace,
     stats: Mutex<Option<crate::stats::TransferStats>>,
     adaptive: Mutex<Option<Arc<crate::adaptive::AdaptiveSelector>>>,
+    retry: Mutex<RetryPolicy>,
+    fault_state: Mutex<FaultState>,
 }
 
 /// The per-rank clMPI runtime: binds one MPI endpoint to one OpenCL
@@ -66,6 +82,8 @@ impl ClMpi {
                 trace,
                 stats: Mutex::new(None),
                 adaptive: Mutex::new(None),
+                retry: Mutex::new(RetryPolicy::default()),
+                fault_state: Mutex::new(FaultState::default()),
             }),
         }
     }
@@ -109,6 +127,31 @@ impl ClMpi {
         *self.inner.adaptive.lock() = selector;
     }
 
+    /// Set how transfers react to observed chunk loss (attempt budget,
+    /// backoff schedule, degradation threshold, receiver patience).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.inner.retry.lock() = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.inner.retry.lock()
+    }
+
+    /// True once repeated chunk loss has degraded pipelined transfers to
+    /// pinned (see [`RetryPolicy::degrade_after`]).
+    pub fn is_degraded(&self) -> bool {
+        self.inner.fault_state.lock().degraded
+    }
+
+    /// Clear the degradation latch (e.g. after the operator restored the
+    /// link), letting pipelined transfers resolve normally again.
+    pub fn reset_degradation(&self) {
+        let mut fs = self.inner.fault_state.lock();
+        fs.degraded = false;
+        fs.consecutive_drops = 0;
+    }
+
     /// Attach (and return) a transfer-statistics collector: every
     /// subsequent transfer records its direction, resolved strategy,
     /// bytes, and virtual duration.
@@ -139,13 +182,22 @@ impl ClMpi {
     }
 
     fn resolve(&self, size: usize) -> TransferStrategy {
+        // A forced strategy is an explicit benchmark request: honored
+        // verbatim, even under degradation.
         if let Some(forced) = *self.inner.forced.lock() {
             return self.inner.cfg.resolve(forced, size);
         }
-        if let Some(sel) = self.inner.adaptive.lock().as_ref() {
-            return self.inner.cfg.resolve(sel.choose(size), size);
+        let chosen = if let Some(sel) = self.inner.adaptive.lock().as_ref() {
+            self.inner.cfg.resolve(sel.choose(size), size)
+        } else {
+            self.inner.cfg.resolve(TransferStrategy::Auto, size)
+        };
+        if matches!(chosen, TransferStrategy::Pipelined(_))
+            && self.inner.fault_state.lock().degraded
+        {
+            return self.inner.cfg.resolve(TransferStrategy::Pinned, size);
         }
-        self.inner.cfg.resolve(TransferStrategy::Auto, size)
+        chosen
     }
 
     /// Spawn a runtime communication thread (clock actor). The calling
@@ -208,7 +260,11 @@ impl ClMpi {
         if dst >= self.inner.comm.size() {
             return Err(ClError::InvalidValue(format!("rank {dst} out of range")));
         }
-        let ue = self.inner.ctx.create_user_event(format!("send→{dst}#{tag}"));
+        crate::checked_data_tag(tag)?;
+        let ue = self
+            .inner
+            .ctx
+            .create_user_event(format!("send→{dst}#{tag}"));
         let event = ue.event();
         let inner = self.inner.clone();
         let strategy = self.resolve(size);
@@ -216,10 +272,24 @@ impl ClMpi {
         let buf = buf.clone();
         let device = queue.device().clone();
         self.spawn_job(format!("clmpi-send-r{}-t{tag}", self.rank()), move |a| {
-            Event::wait_all(&wait, a);
-            let done_at = run_send(&inner, &device, &buf, offset, size, dst, tag, strategy, a);
-            a.advance_until(done_at);
-            ue.set_complete(a.now_ns()).expect("send event completed once");
+            if Event::wait_all_result(&wait, a).is_err() {
+                // A failed dependency poisons this command, as the queue
+                // executor does for ordinary OpenCL commands.
+                ue.set_failed(a.now_ns(), EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST)
+                    .expect("send event settled once");
+                return;
+            }
+            match run_send(&inner, &device, &buf, offset, size, dst, tag, strategy, a) {
+                Ok(done_at) => {
+                    a.advance_until(done_at);
+                    ue.set_complete(a.now_ns())
+                        .expect("send event completed once");
+                }
+                Err(_) => {
+                    ue.set_failed(a.now_ns(), CL_MPI_TRANSFER_ERROR)
+                        .expect("send event settled once");
+                }
+            }
         });
         if blocking {
             event.wait(actor);
@@ -247,7 +317,11 @@ impl ClMpi {
         if src >= self.inner.comm.size() {
             return Err(ClError::InvalidValue(format!("rank {src} out of range")));
         }
-        let ue = self.inner.ctx.create_user_event(format!("recv←{src}#{tag}"));
+        crate::checked_data_tag(tag)?;
+        let ue = self
+            .inner
+            .ctx
+            .create_user_event(format!("recv←{src}#{tag}"));
         let event = ue.event();
         let inner = self.inner.clone();
         let strategy = self.resolve(size);
@@ -255,9 +329,19 @@ impl ClMpi {
         let buf = buf.clone();
         let device = queue.device().clone();
         self.spawn_job(format!("clmpi-recv-r{}-t{tag}", self.rank()), move |a| {
-            Event::wait_all(&wait, a);
-            run_recv(&inner, &device, &buf, offset, size, src, tag, strategy, a);
-            ue.set_complete(a.now_ns()).expect("recv event completed once");
+            if Event::wait_all_result(&wait, a).is_err() {
+                ue.set_failed(a.now_ns(), EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST)
+                    .expect("recv event settled once");
+                return;
+            }
+            match run_recv(&inner, &device, &buf, offset, size, src, tag, strategy, a) {
+                Ok(()) => ue
+                    .set_complete(a.now_ns())
+                    .expect("recv event completed once"),
+                Err(_) => ue
+                    .set_failed(a.now_ns(), CL_MPI_TRANSFER_ERROR)
+                    .expect("recv event settled once"),
+            }
         });
         if blocking {
             event.wait(actor);
@@ -285,10 +369,26 @@ impl ClMpi {
         actor: &Actor,
     ) -> ClResult<(Event, Event)> {
         let es = self.enqueue_send_buffer(
-            queue, buf, false, send_offset, size, peer, send_tag, wait_list, actor,
+            queue,
+            buf,
+            false,
+            send_offset,
+            size,
+            peer,
+            send_tag,
+            wait_list,
+            actor,
         )?;
         let er = self.enqueue_recv_buffer(
-            queue, buf, false, recv_offset, size, peer, recv_tag, wait_list, actor,
+            queue,
+            buf,
+            false,
+            recv_offset,
+            size,
+            peer,
+            recv_tag,
+            wait_list,
+            actor,
         )?;
         Ok((es, er))
     }
@@ -318,8 +418,17 @@ impl ClMpi {
     ) -> ClResult<()> {
         buf.check_range(offset, size)?;
         let strategy = self.resolve(size);
-        let done =
-            run_send(&self.inner, queue.device(), buf, offset, size, dst, tag, strategy, actor);
+        let done = run_send(
+            &self.inner,
+            queue.device(),
+            buf,
+            offset,
+            size,
+            dst,
+            tag,
+            strategy,
+            actor,
+        )?;
         actor.advance_until(done);
         Ok(())
     }
@@ -339,8 +448,17 @@ impl ClMpi {
     ) -> ClResult<()> {
         buf.check_range(offset, size)?;
         let strategy = self.resolve(size);
-        run_recv(&self.inner, queue.device(), buf, offset, size, src, tag, strategy, actor);
-        Ok(())
+        run_recv(
+            &self.inner,
+            queue.device(),
+            buf,
+            offset,
+            size,
+            src,
+            tag,
+            strategy,
+            actor,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -360,7 +478,8 @@ impl ClMpi {
         self.spawn_job(format!("clmpi-evreq-r{}", self.rank()), move |a| {
             let result = req.wait(a);
             slot.with(|s| *s = result);
-            ue.set_complete(a.now_ns()).expect("request event completed once");
+            ue.set_complete(a.now_ns())
+                .expect("request event completed once");
         });
         (event, outcome)
     }
@@ -375,6 +494,7 @@ impl ClMpi {
         let net = &self.inner.cfg.cluster.link;
         let pcie = &self.inner.cfg.device.pcie;
         let mut done_at = actor.now_ns();
+        let mut error = None;
         for &(off, len) in &plan.chunks {
             let duration = match strategy {
                 TransferStrategy::Mapped => {
@@ -383,7 +503,8 @@ impl ClMpi {
                 }
                 _ => None,
             };
-            let req = self.inner.comm.isend_raw(
+            match send_chunk_reliable(
+                &self.inner,
                 actor,
                 dst,
                 data_tag(tag),
@@ -391,10 +512,15 @@ impl ClMpi {
                 &data[off..off + len],
                 actor.now_ns(),
                 duration,
-            );
-            done_at = req.known_completion().expect("send completion is known");
+            ) {
+                Ok(done) => done_at = done,
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
         }
-        ClSendRequest { done_at }
+        ClSendRequest { done_at, error }
     }
 
     /// Blocking [`ClMpi::isend_cl`] (`MPI_Send` with `MPI_CL_MEM`).
@@ -407,25 +533,39 @@ impl ClMpi {
     /// buffer; the returned request's event completes when all `size`
     /// bytes have arrived.
     pub fn irecv_cl(&self, _actor: &Actor, src: Rank, tag: Tag, size: usize) -> ClRecvRequest {
+        // Map the tag on the calling thread: a bad tag is the caller's
+        // error and must not panic a runtime thread.
+        let wire_tag = data_tag(tag);
         let ue = self.inner.ctx.create_user_event(format!("irecv_cl←{src}"));
         let event = ue.event();
         let host = HostBuffer::pinned(size);
         let host2 = host.clone();
-        let comm = self.inner.comm.clone();
+        let inner = self.inner.clone();
         self.spawn_job(format!("clmpi-irecvcl-r{}", self.rank()), move |a| {
             let mut received = 0usize;
             while received < size {
-                let r = comm.recv(a, Some(src), Some(data_tag(tag)));
-                assert!(
-                    received + r.data.len() <= size,
-                    "clMPI transfer overflow: sender sent more than {size} bytes"
-                );
+                let r = match recv_chunk(&inner, a, src, wire_tag) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        ue.set_failed(a.now_ns(), CL_MPI_TRANSFER_ERROR)
+                            .expect("irecv_cl event settled once");
+                        return;
+                    }
+                };
+                if received + r.data.len() > size {
+                    // Sender sent more than the posted size: a permanent
+                    // protocol failure, reported through the event.
+                    ue.set_failed(a.now_ns(), CL_MPI_TRANSFER_ERROR)
+                        .expect("irecv_cl event settled once");
+                    return;
+                }
                 host2.write(|h| {
                     h.as_mut_slice()[received..received + r.data.len()].copy_from_slice(&r.data)
                 });
                 received += r.data.len();
             }
-            ue.set_complete(a.now_ns()).expect("irecv_cl completed once");
+            ue.set_complete(a.now_ns())
+                .expect("irecv_cl completed once");
         });
         ClRecvRequest { event, data: host }
     }
@@ -468,12 +608,35 @@ impl Inner {
 #[must_use = "wait the request to observe send completion"]
 pub struct ClSendRequest {
     done_at: SimNs,
+    error: Option<ClError>,
 }
 
 impl ClSendRequest {
     /// Block until the send's injection completes (buffer reusable).
+    /// Panics if the transfer failed permanently; use
+    /// [`ClSendRequest::wait_result`] to handle that gracefully.
     pub fn wait(&self, actor: &Actor) {
+        if let Some(e) = &self.error {
+            panic!("{e}");
+        }
         actor.advance_until(self.done_at);
+    }
+
+    /// Block until the send completes, or return the transfer error if
+    /// the retry budget was exhausted.
+    pub fn wait_result(self, actor: &Actor) -> ClResult<()> {
+        match self.error {
+            Some(e) => Err(e),
+            None => {
+                actor.advance_until(self.done_at);
+                Ok(())
+            }
+        }
+    }
+
+    /// The permanent transfer error, if the send failed.
+    pub fn error(&self) -> Option<&ClError> {
+        self.error.as_ref()
     }
 
     /// Virtual completion instant.
@@ -509,6 +672,84 @@ impl RequestOutcome {
 // Transfer execution (runtime threads)
 // ----------------------------------------------------------------------
 
+/// Inject one wire chunk reliably: on sender-observed loss (the fabric's
+/// link-layer NACK model), back off in virtual time and retransmit, up
+/// to the policy's attempt budget. Feeds the degradation latch and the
+/// fault counters; returns the completion instant of the successful
+/// injection.
+#[allow(clippy::too_many_arguments)]
+fn send_chunk_reliable(
+    inner: &Inner,
+    a: &Actor,
+    dst: Rank,
+    wire_tag: Tag,
+    datatype: Datatype,
+    bytes: &[u8],
+    earliest: SimNs,
+    duration: Option<SimNs>,
+) -> Result<SimNs, ClError> {
+    let policy = *inner.retry.lock();
+    let mut earliest = earliest;
+    let mut last_done = earliest;
+    for attempt in 1..=policy.max_attempts {
+        let req = inner
+            .comm
+            .isend_raw(a, dst, wire_tag, datatype, bytes, earliest, duration);
+        let done = req.known_completion().expect("send completion known");
+        last_done = done;
+        if req.delivered() {
+            inner.fault_state.lock().consecutive_drops = 0;
+            return Ok(done);
+        }
+        // The chunk burned link time but never reached the peer.
+        if let Some(stats) = inner.stats.lock().as_ref() {
+            stats.note_drop();
+        }
+        let newly_degraded = {
+            let mut fs = inner.fault_state.lock();
+            fs.consecutive_drops += 1;
+            if !fs.degraded && fs.consecutive_drops >= policy.degrade_after {
+                fs.degraded = true;
+                true
+            } else {
+                false
+            }
+        };
+        let fault_lane = format!("r{}.fault", inner.comm.rank());
+        if newly_degraded {
+            if let Some(stats) = inner.stats.lock().as_ref() {
+                stats.note_degraded();
+            }
+            inner
+                .trace
+                .record(fault_lane.as_str(), "degrade pipelined→pinned", done, done);
+        }
+        if attempt == policy.max_attempts {
+            break;
+        }
+        let backoff = policy.backoff_ns(attempt);
+        inner.trace.record(
+            fault_lane.as_str(),
+            format!("retry#{attempt}→r{dst}"),
+            done,
+            done.saturating_add(backoff),
+        );
+        if let Some(stats) = inner.stats.lock().as_ref() {
+            stats.note_retry();
+        }
+        earliest = done.saturating_add(backoff);
+    }
+    if let Some(stats) = inner.stats.lock().as_ref() {
+        stats.note_failure();
+    }
+    // Charge the time actually spent trying before giving up.
+    a.advance_until(last_done);
+    Err(ClError::TransferFailed(format!(
+        "chunk to rank {dst} lost {} time(s) on tag {wire_tag}; retry budget exhausted",
+        policy.max_attempts
+    )))
+}
+
 /// Execute the send side; returns the virtual completion instant of the
 /// local send (last injection end).
 #[allow(clippy::too_many_arguments)]
@@ -522,7 +763,7 @@ fn run_send(
     tag: Tag,
     strategy: TransferStrategy,
     a: &Actor,
-) -> SimNs {
+) -> Result<SimNs, ClError> {
     let plan = ResolvedStrategy::plan(strategy, size);
     let pcie = device.spec().pcie;
     let net = &inner.cfg.cluster.link;
@@ -534,7 +775,8 @@ fn run_send(
             let bytes = buf.load(offset, size).expect("range checked at enqueue");
             let stream = (size as f64 * 1e9 / pcie.mapped_bps).round() as SimNs;
             let fused = net.injection_ns(size).max(stream);
-            let req = inner.comm.isend_raw(
+            done_at = send_chunk_reliable(
+                inner,
                 a,
                 dst,
                 data_tag(tag),
@@ -542,8 +784,7 @@ fn run_send(
                 &bytes,
                 t0 + pcie.map_setup_ns,
                 Some(fused),
-            );
-            done_at = req.known_completion().expect("send completion known");
+            )?;
             inner
                 .trace
                 .record(lane.as_str(), format!("map+send→{dst}"), t0, done_at);
@@ -551,6 +792,8 @@ fn run_send(
         TransferStrategy::Pinned | TransferStrategy::Pipelined(_) => {
             // Staged path: chunks flow d2h (pinned staging) then network,
             // each chunk's network stage starting when its staging ends.
+            // Retransmits re-inject from the host staging copy — the d2h
+            // stage is not repeated.
             let stage_earliest = t0 + pcie.pin_setup_ns;
             let mut first = true;
             for &(coff, clen) in &plan.chunks {
@@ -562,7 +805,8 @@ fn run_send(
                 let d2h = device
                     .d2h_link()
                     .reserve_duration(pcie.staged_ns(clen, true), earliest);
-                let req = inner.comm.isend_raw(
+                done_at = send_chunk_reliable(
+                    inner,
                     a,
                     dst,
                     data_tag(tag),
@@ -570,8 +814,7 @@ fn run_send(
                     &bytes,
                     d2h.end,
                     None,
-                );
-                done_at = req.known_completion().expect("send completion known");
+                )?;
                 inner.trace.record(lane.as_str(), "d2h", d2h.start, d2h.end);
                 inner
                     .trace
@@ -586,7 +829,7 @@ fn run_send(
     if let Some(sel) = inner.adaptive.lock().as_ref() {
         sel.observe(size, strategy, done_at.saturating_sub(t0));
     }
-    done_at
+    Ok(done_at)
 }
 
 /// Execute the receive side; completes when all bytes are in device
@@ -602,7 +845,7 @@ fn run_recv(
     tag: Tag,
     strategy: TransferStrategy,
     a: &Actor,
-) {
+) -> Result<(), ClError> {
     let pcie = device.spec().pcie;
     let lane = format!("r{}.comm", inner.comm.rank());
     let recv_t0 = a.now_ns();
@@ -617,14 +860,15 @@ fn run_recv(
     }
     let mut received = 0usize;
     while received < size {
-        let r = inner.comm.recv(a, Some(src), Some(data_tag(tag)));
+        let r = recv_chunk(inner, a, src, data_tag(tag))?;
         let arrival = a.now_ns();
-        assert!(
-            received + r.data.len() <= size,
-            "clMPI transfer overflow: got {} bytes into a {}-byte receive",
-            received + r.data.len(),
-            size
-        );
+        if received + r.data.len() > size {
+            return Err(ClError::TransferFailed(format!(
+                "clMPI transfer overflow: got {} bytes into a {}-byte receive",
+                received + r.data.len(),
+                size
+            )));
+        }
         match strategy {
             TransferStrategy::Mapped => {
                 // Zero-copy: the NIC already wrote through PCIe during the
@@ -653,9 +897,38 @@ fn run_recv(
         a.advance_ns(pcie.map_setup_ns);
     }
     if let Some(stats) = inner.stats.lock().as_ref() {
-        stats.record("recv", &strategy.name(), size, a.now_ns().saturating_sub(recv_t0));
+        stats.record(
+            "recv",
+            &strategy.name(),
+            size,
+            a.now_ns().saturating_sub(recv_t0),
+        );
     }
     if let Some(sel) = inner.adaptive.lock().as_ref() {
         sel.observe(size, strategy, a.now_ns().saturating_sub(recv_t0));
     }
+    Ok(())
+}
+
+/// Receive one wire chunk. On a perfect fabric this is a plain blocking
+/// receive (the exact seed code path, keeping zero-fault runs
+/// bit-identical); under a fault plan the receiver applies the policy's
+/// per-chunk patience so a permanently lost chunk surfaces as an error
+/// instead of a hang.
+fn recv_chunk(inner: &Inner, a: &Actor, src: Rank, wire_tag: Tag) -> Result<RecvResult, ClError> {
+    if !inner.comm.world().has_faults() {
+        return Ok(inner.comm.recv(a, Some(src), Some(wire_tag)));
+    }
+    let patience = inner.retry.lock().chunk_timeout_ns;
+    inner
+        .comm
+        .recv_timeout(a, Some(src), Some(wire_tag), patience)
+        .map_err(|e: MpiError| {
+            if let Some(stats) = inner.stats.lock().as_ref() {
+                stats.note_failure();
+            }
+            ClError::TransferFailed(format!(
+                "receive from rank {src} (tag {wire_tag}) gave up: {e}"
+            ))
+        })
 }

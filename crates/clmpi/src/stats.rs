@@ -6,7 +6,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use simtime::plock::Mutex;
 use simtime::SimNs;
 
 /// Per-(direction, strategy) accumulator.
@@ -20,9 +20,24 @@ pub struct StrategyStats {
     pub total_ns: SimNs,
 }
 
+/// Fault/retry counters accumulated alongside the per-strategy stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Wire chunks the sender observed as lost (each may be retried).
+    pub chunk_drops: u64,
+    /// Retransmissions issued.
+    pub retries: u64,
+    /// Pipelined→pinned degradation switches taken.
+    pub degraded: u64,
+    /// Transfers that failed permanently (retry budget exhausted or the
+    /// receiver timed out).
+    pub failures: u64,
+}
+
 #[derive(Default)]
 struct StatsInner {
     entries: BTreeMap<(String, String), StrategyStats>,
+    faults: FaultStats,
 }
 
 /// A shareable statistics collector. Cloning shares the store.
@@ -48,6 +63,27 @@ impl TransferStats {
         e.total_ns += dur_ns;
     }
 
+    pub(crate) fn note_drop(&self) {
+        self.inner.lock().faults.chunk_drops += 1;
+    }
+
+    pub(crate) fn note_retry(&self) {
+        self.inner.lock().faults.retries += 1;
+    }
+
+    pub(crate) fn note_degraded(&self) {
+        self.inner.lock().faults.degraded += 1;
+    }
+
+    pub(crate) fn note_failure(&self) {
+        self.inner.lock().faults.failures += 1;
+    }
+
+    /// Fault/retry counters (all zero on a perfect fabric).
+    pub fn faults(&self) -> FaultStats {
+        self.inner.lock().faults
+    }
+
     /// Stats for one (direction, strategy) pair, if any were recorded.
     pub fn get(&self, direction: &str, strategy: &str) -> Option<StrategyStats> {
         self.inner
@@ -70,9 +106,8 @@ impl TransferStats {
     /// Render a report table (sorted by direction then strategy).
     pub fn report(&self) -> String {
         let st = self.inner.lock();
-        let mut out = String::from(
-            "direction  strategy            count        bytes     avg MB/s\n",
-        );
+        let mut out =
+            String::from("direction  strategy            count        bytes     avg MB/s\n");
         for ((dir, strat), e) in &st.entries {
             let mbps = if e.total_ns > 0 {
                 e.bytes as f64 * 1e3 / e.total_ns as f64
@@ -82,6 +117,13 @@ impl TransferStats {
             out.push_str(&format!(
                 "{dir:<9}  {strat:<18}  {:>5}  {:>11}  {mbps:>11.1}\n",
                 e.count, e.bytes
+            ));
+        }
+        let f = st.faults;
+        if f != FaultStats::default() {
+            out.push_str(&format!(
+                "faults: chunk_drops={} retries={} degraded={} failures={}\n",
+                f.chunk_drops, f.retries, f.degraded, f.failures
             ));
         }
         out
@@ -122,5 +164,23 @@ mod tests {
         let s2 = s.clone();
         s2.record("recv", "pinned", 1, 1);
         assert_eq!(s.total_count(), 1);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_render() {
+        let s = TransferStats::new();
+        assert_eq!(s.faults(), FaultStats::default());
+        assert!(!s.report().contains("faults:"));
+        s.note_drop();
+        s.note_drop();
+        s.note_retry();
+        s.note_degraded();
+        s.note_failure();
+        let f = s.faults();
+        assert_eq!(f.chunk_drops, 2);
+        assert_eq!(f.retries, 1);
+        assert_eq!(f.degraded, 1);
+        assert_eq!(f.failures, 1);
+        assert!(s.report().contains("chunk_drops=2"));
     }
 }

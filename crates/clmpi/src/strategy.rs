@@ -114,8 +114,7 @@ pub mod analytic {
                     + pcie.staged_ns(size, true) // h2d
             }
             TransferStrategy::Mapped => {
-                let stream =
-                    (size as f64 * 1e9 / pcie.mapped_bps).round() as SimNs;
+                let stream = (size as f64 * 1e9 / pcie.mapped_bps).round() as SimNs;
                 let fused = net.injection_ns(size).max(stream);
                 2 * pcie.map_setup_ns + fused + net.latency_ns
             }

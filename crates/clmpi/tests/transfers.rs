@@ -2,11 +2,11 @@
 
 use clmpi::{ClMpi, SystemConfig, TransferStrategy};
 use minimpi::{run_world_sized, Process};
-use rand::{Rng, SeedableRng};
+use simtime::XorShift64;
 
 fn pattern(len: usize, seed: u64) -> Vec<u8> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen()).collect()
+    let mut rng = XorShift64::new(seed);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
 }
 
 /// Device→device transfer of `size` bytes under `strategy` on `sys`;
@@ -76,7 +76,11 @@ fn auto_strategy_delivers_intact_across_sizes() {
 fn pipelined_faster_than_pinned_on_ricc_large() {
     let size = 32 << 20;
     let (tp, _) = one_transfer(SystemConfig::ricc, TransferStrategy::Pinned, size);
-    let (tl, _) = one_transfer(SystemConfig::ricc, TransferStrategy::Pipelined(4 << 20), size);
+    let (tl, _) = one_transfer(
+        SystemConfig::ricc,
+        TransferStrategy::Pipelined(4 << 20),
+        size,
+    );
     assert!(
         tl < tp,
         "pipelined ({tl}) should beat pinned ({tp}) on RICC for 32 MiB"
@@ -108,11 +112,24 @@ fn event_chain_orders_kernel_then_send_then_recv_then_kernel() {
                 b2.write(|d| d.as_f32_mut().iter_mut().for_each(|x| *x = 5.0));
             });
             let es = rt
-                .enqueue_send_buffer(&q, &buf, false, 0, 4096, 1, 1, std::slice::from_ref(&ek), &p.actor)
+                .enqueue_send_buffer(
+                    &q,
+                    &buf,
+                    false,
+                    0,
+                    4096,
+                    1,
+                    1,
+                    std::slice::from_ref(&ek),
+                    &p.actor,
+                )
                 .unwrap();
             es.wait(&p.actor);
             let pk = ek.profiling().unwrap();
-            assert!(es.completion_time().unwrap() >= pk.completed, "send after kernel");
+            assert!(
+                es.completion_time().unwrap() >= pk.completed,
+                "send after kernel"
+            );
             rt.shutdown(&p.actor);
             0.0
         } else {
@@ -120,7 +137,7 @@ fn event_chain_orders_kernel_then_send_then_recv_then_kernel() {
                 .enqueue_recv_buffer(&q, &buf, false, 0, 4096, 0, 1, &[], &p.actor)
                 .unwrap();
             let b2 = buf.clone();
-            let sum = std::sync::Arc::new(parking_lot::Mutex::new(0.0f32));
+            let sum = std::sync::Arc::new(simtime::plock::Mutex::new(0.0f32));
             let s2 = sum.clone();
             let ek = q.enqueue_kernel("consume", 50_000, std::slice::from_ref(&er), move || {
                 *s2.lock() = b2.read(|d| d.as_f32().iter().sum());
@@ -141,26 +158,30 @@ fn host_thread_stays_free_during_transfer() {
     // is immediately available. Host does 30 ms of its own work while a
     // large transfer runs; total time ≈ max, not sum.
     let size = 16 << 20;
-    let res = run_world_sized(SystemConfig::ricc().cluster.clone(), 2, move |p: Process| {
-        let rt = ClMpi::new(&p, SystemConfig::ricc());
-        let q = rt.context().create_queue(0, format!("r{}", p.rank()));
-        let buf = rt.context().create_buffer(size);
-        if p.rank() == 0 {
-            let e = rt
-                .enqueue_send_buffer(&q, &buf, false, 0, size, 1, 1, &[], &p.actor)
-                .unwrap();
-            p.host_compute_ns(30_000_000); // overlapped host work
-            e.wait(&p.actor);
-        } else {
-            let e = rt
-                .enqueue_recv_buffer(&q, &buf, false, 0, size, 0, 1, &[], &p.actor)
-                .unwrap();
-            p.host_compute_ns(30_000_000);
-            e.wait(&p.actor);
-        }
-        rt.shutdown(&p.actor);
-        p.actor.now_ns()
-    });
+    let res = run_world_sized(
+        SystemConfig::ricc().cluster.clone(),
+        2,
+        move |p: Process| {
+            let rt = ClMpi::new(&p, SystemConfig::ricc());
+            let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+            let buf = rt.context().create_buffer(size);
+            if p.rank() == 0 {
+                let e = rt
+                    .enqueue_send_buffer(&q, &buf, false, 0, size, 1, 1, &[], &p.actor)
+                    .unwrap();
+                p.host_compute_ns(30_000_000); // overlapped host work
+                e.wait(&p.actor);
+            } else {
+                let e = rt
+                    .enqueue_recv_buffer(&q, &buf, false, 0, size, 0, 1, &[], &p.actor)
+                    .unwrap();
+                p.host_compute_ns(30_000_000);
+                e.wait(&p.actor);
+            }
+            rt.shutdown(&p.actor);
+            p.actor.now_ns()
+        },
+    );
     // 16 MiB over ~1.2 GB/s effective ≈ 13—20 ms; hidden under 30 ms of
     // host compute → total barely above 30 ms.
     assert!(
@@ -173,25 +194,49 @@ fn host_thread_stays_free_during_transfer() {
 #[test]
 fn bidirectional_exchange_with_distinct_tags() {
     let size = 1 << 20;
-    let res = run_world_sized(SystemConfig::ricc().cluster.clone(), 2, move |p: Process| {
-        let rt = ClMpi::new(&p, SystemConfig::ricc());
-        let q = rt.context().create_queue(0, format!("r{}", p.rank()));
-        let mine = rt.context().create_buffer(size);
-        let theirs = rt.context().create_buffer(size);
-        mine.store(0, &vec![p.rank() as u8 + 1; size]).unwrap();
-        let peer = 1 - p.rank();
-        let es = rt
-            .enqueue_send_buffer(&q, &mine, false, 0, size, peer, p.rank() as i32, &[], &p.actor)
-            .unwrap();
-        let er = rt
-            .enqueue_recv_buffer(&q, &theirs, false, 0, size, peer, peer as i32, &[], &p.actor)
-            .unwrap();
-        es.wait(&p.actor);
-        er.wait(&p.actor);
-        let got = theirs.load(0, size).unwrap();
-        rt.shutdown(&p.actor);
-        got == vec![peer as u8 + 1; size]
-    });
+    let res = run_world_sized(
+        SystemConfig::ricc().cluster.clone(),
+        2,
+        move |p: Process| {
+            let rt = ClMpi::new(&p, SystemConfig::ricc());
+            let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+            let mine = rt.context().create_buffer(size);
+            let theirs = rt.context().create_buffer(size);
+            mine.store(0, &vec![p.rank() as u8 + 1; size]).unwrap();
+            let peer = 1 - p.rank();
+            let es = rt
+                .enqueue_send_buffer(
+                    &q,
+                    &mine,
+                    false,
+                    0,
+                    size,
+                    peer,
+                    p.rank() as i32,
+                    &[],
+                    &p.actor,
+                )
+                .unwrap();
+            let er = rt
+                .enqueue_recv_buffer(
+                    &q,
+                    &theirs,
+                    false,
+                    0,
+                    size,
+                    peer,
+                    peer as i32,
+                    &[],
+                    &p.actor,
+                )
+                .unwrap();
+            es.wait(&p.actor);
+            er.wait(&p.actor);
+            let got = theirs.load(0, size).unwrap();
+            rt.shutdown(&p.actor);
+            got == vec![peer as u8 + 1; size]
+        },
+    );
     assert!(res.outputs.iter().all(|&b| b));
 }
 
@@ -230,25 +275,29 @@ fn host_to_device_cl_mem_send() {
     // Fig. 7 reversed: host rank sends with MPI_CL_MEM; device rank uses
     // enqueue_recv_buffer.
     let size = 6 << 20;
-    let res = run_world_sized(SystemConfig::ricc().cluster.clone(), 2, move |p: Process| {
-        let rt = ClMpi::new(&p, SystemConfig::ricc());
-        if p.rank() == 0 {
-            let data = pattern(size, 42);
-            rt.send_cl(&p.actor, 1, 5, &data);
-            rt.shutdown(&p.actor);
-            true
-        } else {
-            let q = rt.context().create_queue(0, "r1");
-            let buf = rt.context().create_buffer(size);
-            let e = rt
-                .enqueue_recv_buffer(&q, &buf, true, 0, size, 0, 5, &[], &p.actor)
-                .unwrap();
-            assert!(e.is_complete());
-            let ok = buf.load(0, size).unwrap() == pattern(size, 42);
-            rt.shutdown(&p.actor);
-            ok
-        }
-    });
+    let res = run_world_sized(
+        SystemConfig::ricc().cluster.clone(),
+        2,
+        move |p: Process| {
+            let rt = ClMpi::new(&p, SystemConfig::ricc());
+            if p.rank() == 0 {
+                let data = pattern(size, 42);
+                rt.send_cl(&p.actor, 1, 5, &data);
+                rt.shutdown(&p.actor);
+                true
+            } else {
+                let q = rt.context().create_queue(0, "r1");
+                let buf = rt.context().create_buffer(size);
+                let e = rt
+                    .enqueue_recv_buffer(&q, &buf, true, 0, size, 0, 5, &[], &p.actor)
+                    .unwrap();
+                assert!(e.is_complete());
+                let ok = buf.load(0, size).unwrap() == pattern(size, 42);
+                rt.shutdown(&p.actor);
+                ok
+            }
+        },
+    );
     assert!(res.outputs.iter().all(|&b| b));
 }
 
@@ -256,24 +305,28 @@ fn host_to_device_cl_mem_send() {
 fn device_to_host_cl_mem_recv() {
     // Host receives from a communicator device via irecv_cl.
     let size = 3 << 20;
-    let res = run_world_sized(SystemConfig::ricc().cluster.clone(), 2, move |p: Process| {
-        let rt = ClMpi::new(&p, SystemConfig::ricc());
-        if p.rank() == 0 {
-            let req = rt.irecv_cl(&p.actor, 1, 2, size);
-            req.event.wait(&p.actor);
-            let ok = req.data.to_vec() == pattern(size, 9);
-            rt.shutdown(&p.actor);
-            ok
-        } else {
-            let q = rt.context().create_queue(0, "r1");
-            let buf = rt.context().create_buffer(size);
-            buf.store(0, &pattern(size, 9)).unwrap();
-            rt.enqueue_send_buffer(&q, &buf, true, 0, size, 0, 2, &[], &p.actor)
-                .unwrap();
-            rt.shutdown(&p.actor);
-            true
-        }
-    });
+    let res = run_world_sized(
+        SystemConfig::ricc().cluster.clone(),
+        2,
+        move |p: Process| {
+            let rt = ClMpi::new(&p, SystemConfig::ricc());
+            if p.rank() == 0 {
+                let req = rt.irecv_cl(&p.actor, 1, 2, size);
+                req.event.wait(&p.actor);
+                let ok = req.data.to_vec() == pattern(size, 9);
+                rt.shutdown(&p.actor);
+                ok
+            } else {
+                let q = rt.context().create_queue(0, "r1");
+                let buf = rt.context().create_buffer(size);
+                buf.store(0, &pattern(size, 9)).unwrap();
+                rt.enqueue_send_buffer(&q, &buf, true, 0, size, 0, 2, &[], &p.actor)
+                    .unwrap();
+                rt.shutdown(&p.actor);
+                true
+            }
+        },
+    );
     assert!(res.outputs.iter().all(|&b| b));
 }
 
@@ -322,23 +375,29 @@ fn invalid_arguments_are_rejected() {
 fn gpu_aware_mpi_comparator_delivers_intact() {
     // §II related-work model: direct device-buffer MPI, host-blocking.
     let size = 1 << 20;
-    let res = run_world_sized(SystemConfig::ricc().cluster.clone(), 2, move |p: Process| {
-        let rt = ClMpi::new(&p, SystemConfig::ricc());
-        let q = rt.context().create_queue(0, format!("r{}", p.rank()));
-        let buf = rt.context().create_buffer(size);
-        let ok = if p.rank() == 0 {
-            buf.store(0, &pattern(size, 3)).unwrap();
-            let t0 = p.actor.now_ns();
-            rt.gpu_aware_send(&p.actor, &q, &buf, 0, size, 1, 4).unwrap();
-            // Host-blocking semantics: time passed during the call.
-            p.actor.now_ns() > t0
-        } else {
-            rt.gpu_aware_recv(&p.actor, &q, &buf, 0, size, 0, 4).unwrap();
-            buf.load(0, size).unwrap() == pattern(size, 3)
-        };
-        rt.shutdown(&p.actor);
-        ok
-    });
+    let res = run_world_sized(
+        SystemConfig::ricc().cluster.clone(),
+        2,
+        move |p: Process| {
+            let rt = ClMpi::new(&p, SystemConfig::ricc());
+            let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+            let buf = rt.context().create_buffer(size);
+            let ok = if p.rank() == 0 {
+                buf.store(0, &pattern(size, 3)).unwrap();
+                let t0 = p.actor.now_ns();
+                rt.gpu_aware_send(&p.actor, &q, &buf, 0, size, 1, 4)
+                    .unwrap();
+                // Host-blocking semantics: time passed during the call.
+                p.actor.now_ns() > t0
+            } else {
+                rt.gpu_aware_recv(&p.actor, &q, &buf, 0, size, 0, 4)
+                    .unwrap();
+                buf.load(0, size).unwrap() == pattern(size, 3)
+            };
+            rt.shutdown(&p.actor);
+            ok
+        },
+    );
     assert!(res.outputs.iter().all(|&b| b));
 }
 
@@ -346,28 +405,32 @@ fn gpu_aware_mpi_comparator_delivers_intact() {
 fn enqueue_bcast_buffer_reaches_every_device() {
     // Future-work extension (§VI): collective command with event chaining.
     let size = 512 << 10;
-    let res = run_world_sized(SystemConfig::ricc().cluster.clone(), 4, move |p: Process| {
-        let rt = ClMpi::new(&p, SystemConfig::ricc());
-        let q = rt.context().create_queue(0, format!("r{}", p.rank()));
-        let buf = rt.context().create_buffer(size);
-        if p.rank() == 2 {
-            buf.store(0, &pattern(size, 11)).unwrap();
-        }
-        let e = rt
-            .enqueue_bcast_buffer(&q, &buf, 0, size, 2, 9, &[], &p.actor)
-            .unwrap();
-        // Chain a kernel on the broadcast completion, clMPI-style.
-        let b2 = buf.clone();
-        let sum = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
-        let s2 = sum.clone();
-        let ek = q.enqueue_kernel("consume", 10_000, std::slice::from_ref(&e), move || {
-            *s2.lock() = b2.read(|d| d.as_slice().iter().map(|&x| x as u64).sum());
-        });
-        ek.wait(&p.actor);
-        let ok = buf.load(0, size).unwrap() == pattern(size, 11) && *sum.lock() > 0;
-        rt.shutdown(&p.actor);
-        ok
-    });
+    let res = run_world_sized(
+        SystemConfig::ricc().cluster.clone(),
+        4,
+        move |p: Process| {
+            let rt = ClMpi::new(&p, SystemConfig::ricc());
+            let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+            let buf = rt.context().create_buffer(size);
+            if p.rank() == 2 {
+                buf.store(0, &pattern(size, 11)).unwrap();
+            }
+            let e = rt
+                .enqueue_bcast_buffer(&q, &buf, 0, size, 2, 9, &[], &p.actor)
+                .unwrap();
+            // Chain a kernel on the broadcast completion, clMPI-style.
+            let b2 = buf.clone();
+            let sum = std::sync::Arc::new(simtime::plock::Mutex::new(0u64));
+            let s2 = sum.clone();
+            let ek = q.enqueue_kernel("consume", 10_000, std::slice::from_ref(&e), move || {
+                *s2.lock() = b2.read(|d| d.as_slice().iter().map(|&x| x as u64).sum());
+            });
+            ek.wait(&p.actor);
+            let ok = buf.load(0, size).unwrap() == pattern(size, 11) && *sum.lock() > 0;
+            rt.shutdown(&p.actor);
+            ok
+        },
+    );
     assert!(res.outputs.iter().all(|&b| b));
 }
 
@@ -376,19 +439,23 @@ fn bcast_scales_with_destinations_on_root_nic() {
     // Flat broadcast: the root's NIC serializes per-destination sends.
     let size = 2 << 20;
     let time_for = |nodes: usize| {
-        let res = run_world_sized(SystemConfig::ricc().cluster.clone(), nodes, move |p: Process| {
-            let rt = ClMpi::new(&p, SystemConfig::ricc());
-            let q = rt.context().create_queue(0, format!("r{}", p.rank()));
-            let buf = rt.context().create_buffer(size);
-            p.comm.barrier(&p.actor);
-            let t0 = p.actor.now_ns();
-            let e = rt
-                .enqueue_bcast_buffer(&q, &buf, 0, size, 0, 1, &[], &p.actor)
-                .unwrap();
-            e.wait(&p.actor);
-            rt.shutdown(&p.actor);
-            p.actor.now_ns() - t0
-        });
+        let res = run_world_sized(
+            SystemConfig::ricc().cluster.clone(),
+            nodes,
+            move |p: Process| {
+                let rt = ClMpi::new(&p, SystemConfig::ricc());
+                let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+                let buf = rt.context().create_buffer(size);
+                p.comm.barrier(&p.actor);
+                let t0 = p.actor.now_ns();
+                let e = rt
+                    .enqueue_bcast_buffer(&q, &buf, 0, size, 0, 1, &[], &p.actor)
+                    .unwrap();
+                e.wait(&p.actor);
+                rt.shutdown(&p.actor);
+                p.actor.now_ns() - t0
+            },
+        );
         res.outputs.into_iter().max().unwrap()
     };
     let t2 = time_for(2);
@@ -422,7 +489,11 @@ fn stats_collector_audits_strategy_selection() {
         assert_eq!(pinned.count, 1);
         assert_eq!(pinned.bytes, 64 << 10);
         let piped = stats
-            .get(dir, &clmpi::TransferStrategy::Pipelined(SystemConfig::ricc().auto_block(8 << 20)).name())
+            .get(
+                dir,
+                &clmpi::TransferStrategy::Pipelined(SystemConfig::ricc().auto_block(8 << 20))
+                    .name(),
+            )
             .expect("large used pipelined");
         assert_eq!(piped.bytes, 8 << 20);
         assert!(stats.report().contains("pinned"));
@@ -475,32 +546,36 @@ fn adaptive_selector_converges_to_best_strategy_per_system() {
 #[test]
 fn sendrecv_buffer_convenience_exchanges() {
     let size = 256 << 10;
-    let res = run_world_sized(SystemConfig::ricc().cluster.clone(), 2, move |p: Process| {
-        let rt = ClMpi::new(&p, SystemConfig::ricc());
-        let q = rt.context().create_queue(0, format!("r{}", p.rank()));
-        let buf = rt.context().create_buffer(2 * size);
-        // First half = mine (send), second half = ghost (recv).
-        buf.store(0, &vec![p.rank() as u8 + 1; size]).unwrap();
-        let peer = 1 - p.rank();
-        let (es, er) = rt
-            .enqueue_sendrecv_buffer(
-                &q,
-                &buf,
-                0,
-                size,
-                size,
-                peer,
-                p.rank() as i32,
-                peer as i32,
-                &[],
-                &p.actor,
-            )
-            .unwrap();
-        es.wait(&p.actor);
-        er.wait(&p.actor);
-        let got = buf.load(size, size).unwrap();
-        rt.shutdown(&p.actor);
-        got == vec![peer as u8 + 1; size]
-    });
+    let res = run_world_sized(
+        SystemConfig::ricc().cluster.clone(),
+        2,
+        move |p: Process| {
+            let rt = ClMpi::new(&p, SystemConfig::ricc());
+            let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+            let buf = rt.context().create_buffer(2 * size);
+            // First half = mine (send), second half = ghost (recv).
+            buf.store(0, &vec![p.rank() as u8 + 1; size]).unwrap();
+            let peer = 1 - p.rank();
+            let (es, er) = rt
+                .enqueue_sendrecv_buffer(
+                    &q,
+                    &buf,
+                    0,
+                    size,
+                    size,
+                    peer,
+                    p.rank() as i32,
+                    peer as i32,
+                    &[],
+                    &p.actor,
+                )
+                .unwrap();
+            es.wait(&p.actor);
+            er.wait(&p.actor);
+            let got = buf.load(size, size).unwrap();
+            rt.shutdown(&p.actor);
+            got == vec![peer as u8 + 1; size]
+        },
+    );
     assert!(res.outputs.iter().all(|&b| b));
 }

@@ -125,8 +125,8 @@ pub fn jacobi_sweep(
                     + old[c + 1]                 // a2 * p[i][j][k+1]
                     + old[c - plane]             // c0 * p[i-1][j][k]
                     + old[c - mk]                // c1 * p[i][j-1][k]
-                    + old[c - 1];                // c2 * p[i][j][k-1]
-                let ss = s0 * A3 - old[c];       // (s0*a3 - p) * bnd
+                    + old[c - 1]; // c2 * p[i][j][k-1]
+                let ss = s0 * A3 - old[c]; // (s0*a3 - p) * bnd
                 gosa += (ss * ss) as f64;
                 new[c] = old[c] + OMEGA * ss;
             }
@@ -141,7 +141,10 @@ pub fn jacobi_sweep(
 pub fn copy_shell(old: &[f32], new: &mut [f32], mj: usize, mk: usize, i_lo: usize, i_hi: usize) {
     let plane = mj * mk;
     for i in i_lo..i_hi {
-        let (o, n) = (&old[i * plane..(i + 1) * plane], &mut new[i * plane..(i + 1) * plane]);
+        let (o, n) = (
+            &old[i * plane..(i + 1) * plane],
+            &mut new[i * plane..(i + 1) * plane],
+        );
         // j = 0 and j = mj-1 rows.
         n[..mk].copy_from_slice(&o[..mk]);
         n[(mj - 1) * mk..].copy_from_slice(&o[(mj - 1) * mk..]);

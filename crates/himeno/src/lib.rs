@@ -31,4 +31,4 @@ mod run;
 
 pub use grid::{GridSize, HimenoGrid, FLOPS_PER_POINT, OMEGA};
 pub use reference::{checksum, reference_jacobi};
-pub use run::{run_himeno, HimenoConfig, HimenoResult, Variant};
+pub use run::{run_himeno, run_himeno_with_faults, HimenoConfig, HimenoResult, Variant};

@@ -22,8 +22,8 @@ use std::sync::Arc;
 
 use clmpi::{ClMpi, SystemConfig, TransferStrategy};
 use minicl::{Buffer, CommandQueue, Event, HostBuffer};
-use minimpi::{run_world_sized, Process, Tag};
-use parking_lot::Mutex;
+use minimpi::{run_world_faulty, FaultPlan, Process, Tag};
+use simtime::plock::Mutex;
 use simtime::SimNs;
 
 use crate::grid::{jacobi_sweep, GridSize, HimenoGrid, BYTES_PER_POINT, FLOPS_PER_POINT};
@@ -98,6 +98,11 @@ pub struct HimenoResult {
     /// Activity trace of the run (GPU lanes always recorded; comm lanes
     /// recorded by the clMPI runtime) — renders the Fig. 4 timelines.
     pub trace: simtime::Trace,
+    /// Fabric-level fault counters (all zero on a perfect fabric).
+    pub fault_counts: minimpi::FaultCounts,
+    /// clMPI runtime fault/retry counters, summed over ranks (all zero
+    /// on a perfect fabric).
+    pub transfer_faults: clmpi::FaultStats,
 }
 
 struct Slab {
@@ -175,7 +180,8 @@ fn enqueue_half_kernel(
     let old = old.clone();
     let new = new.clone();
     q.enqueue_kernel(name, cost, waits, move || {
-        let g = old.read(|o| new.write(|n| jacobi_sweep(o.as_f32(), n.as_f32_mut(), mj, mk, lo, hi)));
+        let g =
+            old.read(|o| new.write(|n| jacobi_sweep(o.as_f32(), n.as_f32_mut(), mj, mk, lo, hi)));
         *gosa_acc[iter].lock() += g;
     })
 }
@@ -230,20 +236,41 @@ fn host_exchange(
 
 /// Run `variant` under `cfg`; aggregates per-rank measurements.
 pub fn run_himeno(variant: Variant, cfg: HimenoConfig) -> HimenoResult {
+    run_himeno_with_faults(variant, cfg, FaultPlan::none())
+}
+
+/// [`run_himeno`] on a faulty fabric: `plan` is attached to every link
+/// (scope it with [`clmpi::data_plane_faults`] to spare the plain-MPI
+/// halo control traffic). With a [`FaultPlan::none`] plan this is
+/// exactly `run_himeno`.
+pub fn run_himeno_with_faults(
+    variant: Variant,
+    cfg: HimenoConfig,
+    plan: FaultPlan,
+) -> HimenoResult {
     let cluster = cfg.sys.cluster.clone();
     let nodes = cfg.nodes;
     let cfg = Arc::new(cfg);
     let interior_global: usize = cfg.size.interior_points();
     let iters = cfg.iters;
-    let res = run_world_sized(cluster, nodes, move |p: Process| {
+    let res = run_world_faulty(cluster, nodes, plan, move |p: Process| {
         rank_main(variant, &cfg, p)
     });
-    // Per-rank outputs: (gosa, checksum, comp, comm, loop_ns).
+    // Per-rank outputs: (gosa, checksum, comp, comm, loop_ns, faults).
     let gosa: f64 = res.outputs.iter().map(|o| o.0).sum();
     let checksum: f64 = res.outputs.iter().map(|o| o.1).sum();
     let comp_ns = res.outputs.iter().map(|o| o.2).max().unwrap_or(0);
     let comm_ns = res.outputs.iter().map(|o| o.3).max().unwrap_or(0);
     let elapsed_ns = res.outputs.iter().map(|o| o.4).max().unwrap_or(1).max(1);
+    let transfer_faults = res
+        .outputs
+        .iter()
+        .fold(clmpi::FaultStats::default(), |acc, o| clmpi::FaultStats {
+            chunk_drops: acc.chunk_drops + o.5.chunk_drops,
+            retries: acc.retries + o.5.retries,
+            degraded: acc.degraded + o.5.degraded,
+            failures: acc.failures + o.5.failures,
+        });
     let flops = FLOPS_PER_POINT * interior_global as f64 * iters as f64;
     HimenoResult {
         gflops: flops / elapsed_ns as f64, // flops/ns == Gflop/s
@@ -253,15 +280,18 @@ pub fn run_himeno(variant: Variant, cfg: HimenoConfig) -> HimenoResult {
         comp_ns,
         comm_ns,
         trace: res.trace,
+        fault_counts: res.fault_counts,
+        transfer_faults,
     }
 }
 
-type RankOut = (f64, f64, SimNs, SimNs, SimNs);
+type RankOut = (f64, f64, SimNs, SimNs, SimNs, clmpi::FaultStats);
 
 fn rank_main(variant: Variant, cfg: &HimenoConfig, p: Process) -> RankOut {
     let rank = p.rank();
     let slab = Slab::new(cfg, rank);
     let rt = ClMpi::new(&p, cfg.sys.clone());
+    let stats = rt.enable_stats();
     if let Some(s) = cfg.strategy {
         rt.set_forced_strategy(Some(s));
     }
@@ -272,7 +302,10 @@ fn rank_main(variant: Variant, cfg: &HimenoConfig, p: Process) -> RankOut {
         let g = HimenoGrid::new(cfg.size);
         g.planes(start - 1, start + slab.n + 1).to_vec()
     };
-    let bufs = [ctx.create_buffer(slab.slab_bytes()), ctx.create_buffer(slab.slab_bytes())];
+    let bufs = [
+        ctx.create_buffer(slab.slab_bytes()),
+        ctx.create_buffer(slab.slab_bytes()),
+    ];
     for b in &bufs {
         b.store(0, minimpi::datatype::f32_as_bytes(&init)).unwrap();
     }
@@ -310,7 +343,7 @@ fn rank_main(variant: Variant, cfg: &HimenoConfig, p: Process) -> RankOut {
         sum
     });
     let gosa = *gosa_acc[cfg.iters - 1].lock();
-    (gosa, checksum, comp_ns, comm_ns, loop_ns)
+    (gosa, checksum, comp_ns, comm_ns, loop_ns, stats.faults())
 }
 
 /// Fig. 1 structure: kernel, halo reads, MPI, halo writes — serialized.
@@ -329,13 +362,35 @@ fn run_serial(
     for t in 0..cfg.iters {
         let (old, new) = (&bufs[t % 2], &bufs[(t + 1) % 2]);
         let k0 = p.actor.now_ns();
-        let e = enqueue_half_kernel(&q, "jacobi", old, new, slab, 1, slab.n + 1, gosa.clone(), t, &[]);
+        let e = enqueue_half_kernel(
+            &q,
+            "jacobi",
+            old,
+            new,
+            slab,
+            1,
+            slab.n + 1,
+            gosa.clone(),
+            t,
+            &[],
+        );
         e.wait(&p.actor);
         comp += p.actor.now_ns() - k0;
         let c0 = p.actor.now_ns();
         // Exchange the freshly-written buffer's boundary planes.
         host_exchange(p, &q, new, slab, slab.down, 1, 0, TAG_DOWN, TAG_UP, &stage);
-        host_exchange(p, &q, new, slab, slab.up, slab.n, slab.n + 1, TAG_UP, TAG_DOWN, &stage);
+        host_exchange(
+            p,
+            &q,
+            new,
+            slab,
+            slab.up,
+            slab.n,
+            slab.n + 1,
+            TAG_UP,
+            TAG_DOWN,
+            &stage,
+        );
         comm += p.actor.now_ns() - c0;
     }
     q.finish(&p.actor);
@@ -373,16 +428,51 @@ fn run_hand(
         // half's halo of `old` through q1 (which serializes after the
         // previous second-half kernel).
         let e_first = if even {
-            enqueue_half_kernel(&q0, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &waits_first)
+            enqueue_half_kernel(
+                &q0,
+                "jacobi A",
+                old,
+                new,
+                slab,
+                slab.ha,
+                slab.n + 1,
+                gosa.clone(),
+                t,
+                &waits_first,
+            )
         } else {
-            enqueue_half_kernel(&q0, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &waits_first)
+            enqueue_half_kernel(
+                &q0,
+                "jacobi B",
+                old,
+                new,
+                slab,
+                1,
+                slab.ha,
+                gosa.clone(),
+                t,
+                &waits_first,
+            )
         };
         if even {
             // B's halo: bottom ghost of `old` from the down neighbor.
-            host_exchange(p, &q1, old, slab, slab.down, 1, 0, TAG_DOWN, TAG_UP, &stage1);
+            host_exchange(
+                p, &q1, old, slab, slab.down, 1, 0, TAG_DOWN, TAG_UP, &stage1,
+            );
         } else {
             // A's halo: top ghost of `old` from the up neighbor.
-            host_exchange(p, &q1, old, slab, slab.up, slab.n, slab.n + 1, TAG_UP, TAG_DOWN, &stage1);
+            host_exchange(
+                p,
+                &q1,
+                old,
+                slab,
+                slab.up,
+                slab.n,
+                slab.n + 1,
+                TAG_UP,
+                TAG_DOWN,
+                &stage1,
+            );
         }
         // Phase 2: second-half kernel on q1; host exchanges the first
         // half's product (boundary of `new`) through q0.
@@ -391,14 +481,49 @@ fn run_hand(
         // scheme relies on phase 1 executing first.
         waits_second.push(e_first.clone());
         let e_second = if even {
-            enqueue_half_kernel(&q1, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &waits_second)
+            enqueue_half_kernel(
+                &q1,
+                "jacobi B",
+                old,
+                new,
+                slab,
+                1,
+                slab.ha,
+                gosa.clone(),
+                t,
+                &waits_second,
+            )
         } else {
-            enqueue_half_kernel(&q1, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &waits_second)
+            enqueue_half_kernel(
+                &q1,
+                "jacobi A",
+                old,
+                new,
+                slab,
+                slab.ha,
+                slab.n + 1,
+                gosa.clone(),
+                t,
+                &waits_second,
+            )
         };
         if even {
-            host_exchange(p, &q0, new, slab, slab.up, slab.n, slab.n + 1, TAG_UP, TAG_DOWN, &stage0);
+            host_exchange(
+                p,
+                &q0,
+                new,
+                slab,
+                slab.up,
+                slab.n,
+                slab.n + 1,
+                TAG_UP,
+                TAG_DOWN,
+                &stage0,
+            );
         } else {
-            host_exchange(p, &q0, new, slab, slab.down, 1, 0, TAG_DOWN, TAG_UP, &stage0);
+            host_exchange(
+                p, &q0, new, slab, slab.down, 1, 0, TAG_DOWN, TAG_UP, &stage0,
+            );
         }
         e_first_prev = Some(e_first);
         e_second_prev = Some(e_second);
@@ -436,9 +561,31 @@ fn run_clmpi(
         let mut w1: Vec<Event> = std::mem::take(&mut e_phase2_xfer);
         w1.extend(e_second_prev.iter().cloned());
         let e_first = if even {
-            enqueue_half_kernel(&q, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &w1)
+            enqueue_half_kernel(
+                &q,
+                "jacobi A",
+                old,
+                new,
+                slab,
+                slab.ha,
+                slab.n + 1,
+                gosa.clone(),
+                t,
+                &w1,
+            )
         } else {
-            enqueue_half_kernel(&q, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &w1)
+            enqueue_half_kernel(
+                &q,
+                "jacobi B",
+                old,
+                new,
+                slab,
+                1,
+                slab.ha,
+                gosa.clone(),
+                t,
+                &w1,
+            )
         };
         // Phase 1 exchange on `old` (the other half's halo), gated on the
         // previous iteration's second-half kernel which produced the data.
@@ -446,22 +593,66 @@ fn run_clmpi(
         let x1 = if even {
             exchange_clmpi(rt, &q, p, old, slab, slab.down, 1, 0, TAG_DOWN, &gate1)
         } else {
-            exchange_clmpi(rt, &q, p, old, slab, slab.up, slab.n, slab.n + 1, TAG_UP, &gate1)
+            exchange_clmpi(
+                rt,
+                &q,
+                p,
+                old,
+                slab,
+                slab.up,
+                slab.n,
+                slab.n + 1,
+                TAG_UP,
+                &gate1,
+            )
         };
         // Phase 2 kernel: waits the phase-1 exchange (its ghost/planes)
         // and the previous first-half kernel (internal boundary).
         let mut w2: Vec<Event> = x1.clone();
         w2.extend(e_first_prev.iter().cloned());
         let e_second = if even {
-            enqueue_half_kernel(&q, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &w2)
+            enqueue_half_kernel(
+                &q,
+                "jacobi B",
+                old,
+                new,
+                slab,
+                1,
+                slab.ha,
+                gosa.clone(),
+                t,
+                &w2,
+            )
         } else {
-            enqueue_half_kernel(&q, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &w2)
+            enqueue_half_kernel(
+                &q,
+                "jacobi A",
+                old,
+                new,
+                slab,
+                slab.ha,
+                slab.n + 1,
+                gosa.clone(),
+                t,
+                &w2,
+            )
         };
         // Phase 2 exchange on `new` (first half's freshly computed
         // boundary), gated on this iteration's first kernel.
         let gate2 = vec![e_first.clone()];
         let x2 = if even {
-            exchange_clmpi(rt, &q, p, new, slab, slab.up, slab.n, slab.n + 1, TAG_UP, &gate2)
+            exchange_clmpi(
+                rt,
+                &q,
+                p,
+                new,
+                slab,
+                slab.up,
+                slab.n,
+                slab.n + 1,
+                TAG_UP,
+                &gate2,
+            )
         } else {
             exchange_clmpi(rt, &q, p, new, slab, slab.down, 1, 0, TAG_DOWN, &gate2)
         };
@@ -561,9 +752,31 @@ fn run_gpu_aware(
         let (old, new) = (&bufs[t % 2], &bufs[(t + 1) % 2]);
         let waits_first: Vec<Event> = e_second_prev.iter().cloned().collect();
         let e_first = if even {
-            enqueue_half_kernel(&q0, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &waits_first)
+            enqueue_half_kernel(
+                &q0,
+                "jacobi A",
+                old,
+                new,
+                slab,
+                slab.ha,
+                slab.n + 1,
+                gosa.clone(),
+                t,
+                &waits_first,
+            )
         } else {
-            enqueue_half_kernel(&q0, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &waits_first)
+            enqueue_half_kernel(
+                &q0,
+                "jacobi B",
+                old,
+                new,
+                slab,
+                1,
+                slab.ha,
+                gosa.clone(),
+                t,
+                &waits_first,
+            )
         };
         // Phase-1 exchange on `old`: the host must wait for the kernel
         // that produced the boundary plane (§II's limitation), then the
@@ -579,9 +792,31 @@ fn run_gpu_aware(
         let mut waits_second: Vec<Event> = e_first_prev.iter().cloned().collect();
         waits_second.push(e_first.clone());
         let e_second = if even {
-            enqueue_half_kernel(&q1, "jacobi B", old, new, slab, 1, slab.ha, gosa.clone(), t, &waits_second)
+            enqueue_half_kernel(
+                &q1,
+                "jacobi B",
+                old,
+                new,
+                slab,
+                1,
+                slab.ha,
+                gosa.clone(),
+                t,
+                &waits_second,
+            )
         } else {
-            enqueue_half_kernel(&q1, "jacobi A", old, new, slab, slab.ha, slab.n + 1, gosa.clone(), t, &waits_second)
+            enqueue_half_kernel(
+                &q1,
+                "jacobi A",
+                old,
+                new,
+                slab,
+                slab.ha,
+                slab.n + 1,
+                gosa.clone(),
+                t,
+                &waits_second,
+            )
         };
         // Phase-2 exchange on `new`: wait the first kernel, then transfer.
         e_first.wait(&p.actor);

@@ -105,8 +105,18 @@ fn gpu_aware_sits_between_serial_and_clmpi() {
     let serial = run_himeno(Variant::Serial, cfg(SystemConfig::cichlid(), 4, iters));
     let gpu = run_himeno(Variant::GpuAwareMpi, cfg(SystemConfig::cichlid(), 4, iters));
     let cl = run_himeno(Variant::ClMpi, cfg(SystemConfig::cichlid(), 4, iters));
-    assert!(gpu.gflops > serial.gflops, "gpu-aware {} > serial {}", gpu.gflops, serial.gflops);
-    assert!(cl.gflops > gpu.gflops, "clMPI {} > gpu-aware {}", cl.gflops, gpu.gflops);
+    assert!(
+        gpu.gflops > serial.gflops,
+        "gpu-aware {} > serial {}",
+        gpu.gflops,
+        serial.gflops
+    );
+    assert!(
+        cl.gflops > gpu.gflops,
+        "clMPI {} > gpu-aware {}",
+        cl.gflops,
+        gpu.gflops
+    );
 }
 
 #[test]
@@ -114,7 +124,10 @@ fn overlap_beats_serial_on_cichlid_4_nodes() {
     // The Fig. 9(a) ordering at 4 nodes: serial < hand-optimized ≤ clMPI.
     let iters = 6;
     let serial = run_himeno(Variant::Serial, cfg(SystemConfig::cichlid(), 4, iters));
-    let hand = run_himeno(Variant::HandOptimized, cfg(SystemConfig::cichlid(), 4, iters));
+    let hand = run_himeno(
+        Variant::HandOptimized,
+        cfg(SystemConfig::cichlid(), 4, iters),
+    );
     let cl = run_himeno(Variant::ClMpi, cfg(SystemConfig::cichlid(), 4, iters));
     assert!(
         hand.gflops > serial.gflops,

@@ -3,7 +3,7 @@
 //! Contents are real bytes (kernels compute actual results); the backing
 //! store is 8-byte aligned so `f32`/`f64` views are sound without copies.
 
-use parking_lot::Mutex;
+use simtime::plock::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -61,7 +61,9 @@ impl AlignedBytes {
     pub fn as_f32_mut(&mut self) -> &mut [f32] {
         assert_eq!(self.len % 4, 0, "buffer length not a multiple of 4");
         // SAFETY: as above; we hold &mut self.
-        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<f32>(), self.len / 4) }
+        unsafe {
+            std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<f32>(), self.len / 4)
+        }
     }
 
     /// `f64` view; panics unless the length is a multiple of 8.
@@ -75,7 +77,9 @@ impl AlignedBytes {
     pub fn as_f64_mut(&mut self) -> &mut [f64] {
         assert_eq!(self.len % 8, 0, "buffer length not a multiple of 8");
         // SAFETY: as above; we hold &mut self.
-        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<f64>(), self.len / 8) }
+        unsafe {
+            std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<f64>(), self.len / 8)
+        }
     }
 }
 

@@ -14,6 +14,18 @@ pub enum ClError {
     QueueShutDown,
     /// A user event was completed twice (`CL_INVALID_OPERATION`).
     InvalidOperation(String),
+    /// An awaited event terminated with a negative execution status
+    /// (`clWaitForEvents` returning
+    /// `CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST`).
+    EventFailed {
+        /// The event's negative error status.
+        code: i32,
+        /// The failed event's diagnostic label.
+        label: String,
+    },
+    /// An inter-node transfer failed permanently (e.g. the retry budget
+    /// was exhausted under a fault plan).
+    TransferFailed(String),
 }
 
 impl fmt::Display for ClError {
@@ -23,6 +35,10 @@ impl fmt::Display for ClError {
             ClError::InvalidContext => write!(f, "object used outside its context"),
             ClError::QueueShutDown => write!(f, "command queue already shut down"),
             ClError::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+            ClError::EventFailed { code, label } => {
+                write!(f, "event '{label}' failed with status {code}")
+            }
+            ClError::TransferFailed(m) => write!(f, "inter-node transfer failed: {m}"),
         }
     }
 }

@@ -13,7 +13,13 @@ use simtime::{Actor, Monitor, SimClock, SimNs};
 
 use crate::{ClError, ClResult};
 
-/// Command execution status (`CL_QUEUED` … `CL_COMPLETE`).
+/// Event status of a command that failed to execute: its wait list
+/// contained a failed event (OpenCL's
+/// `CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST`).
+pub const EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST: i32 = -14;
+
+/// Command execution status (`CL_QUEUED` … `CL_COMPLETE`, or a negative
+/// error code as OpenCL events report abnormal termination).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommandStatus {
     /// Enqueued, not yet seen by the executor.
@@ -24,6 +30,26 @@ pub enum CommandStatus {
     Running,
     /// Finished; timestamps final.
     Complete,
+    /// Terminated abnormally with a negative OpenCL-style error code
+    /// (e.g. [`EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST`] when a wait
+    /// list dependency failed, or a runtime-specific code such as an
+    /// exhausted-retries transfer error).
+    Failed(i32),
+}
+
+impl CommandStatus {
+    /// True once the event can never change again (complete or failed).
+    pub fn is_settled(self) -> bool {
+        matches!(self, CommandStatus::Complete | CommandStatus::Failed(_))
+    }
+
+    /// The negative error code, if failed.
+    pub fn error_code(self) -> Option<i32> {
+        match self {
+            CommandStatus::Failed(c) => Some(c),
+            _ => None,
+        }
+    }
 }
 
 /// Profiling timestamps in virtual ns (`CL_PROFILING_COMMAND_*`).
@@ -83,12 +109,21 @@ impl Event {
         self.status() == CommandStatus::Complete
     }
 
+    /// True once failed (negative status).
+    pub fn is_failed(&self) -> bool {
+        matches!(self.status(), CommandStatus::Failed(_))
+    }
+
+    /// The negative error code, if the event failed.
+    pub fn error_code(&self) -> Option<i32> {
+        self.status().error_code()
+    }
+
     /// Profiling timestamps; `None` until complete (as in OpenCL, where
     /// querying before completion is undefined — we make it checkable).
     pub fn profiling(&self) -> Option<ProfilingInfo> {
-        self.core.peek(|st| {
-            (st.status == CommandStatus::Complete).then_some(st.profiling)
-        })
+        self.core
+            .peek(|st| (st.status == CommandStatus::Complete).then_some(st.profiling))
     }
 
     /// Completion instant, if complete.
@@ -101,19 +136,48 @@ impl Event {
         self.core.peek(|st| st.label.clone())
     }
 
-    /// Block the calling actor until the command completes
-    /// (`clWaitForEvents` with a single event).
+    /// Block the calling actor until the command settles — completes or
+    /// fails (`clWaitForEvents` with a single event). Use
+    /// [`Event::wait_result`] to observe the failure.
     pub fn wait(&self, actor: &Actor) {
         self.core.wait_labeled(actor, "event wait", |st| {
-            (st.status == CommandStatus::Complete).then_some(())
+            st.status.is_settled().then_some(())
         });
     }
 
-    /// Block until every event in `events` completes (`clWaitForEvents`).
+    /// Block until the command settles, reporting abnormal termination as
+    /// [`ClError::EventFailed`] — the checked form of [`Event::wait`].
+    pub fn wait_result(&self, actor: &Actor) -> ClResult<()> {
+        let (status, label) = self.core.wait_labeled(actor, "event wait", |st| {
+            st.status
+                .is_settled()
+                .then(|| (st.status, st.label.clone()))
+        });
+        match status.error_code() {
+            None => Ok(()),
+            Some(code) => Err(ClError::EventFailed { code, label }),
+        }
+    }
+
+    /// Block until every event in `events` settles (`clWaitForEvents`).
     pub fn wait_all(events: &[Event], actor: &Actor) {
         for e in events {
             e.wait(actor);
         }
+    }
+
+    /// Block until every event settles; the first failure (in list order)
+    /// is returned as an error. All events are waited either way, so the
+    /// caller observes a quiescent state.
+    pub fn wait_all_result(events: &[Event], actor: &Actor) -> ClResult<()> {
+        let mut first_err = Ok(());
+        for e in events {
+            let r = e.wait_result(actor);
+            if first_err.is_ok() {
+                first_err = r;
+            }
+        }
+        first_err
     }
 
     /// Register a completion callback (`clSetEventCallback` for
@@ -121,17 +185,17 @@ impl Event {
     /// the thread that completes the event.
     pub fn on_complete(&self, cb: impl FnOnce(CommandStatus) + Send + 'static) {
         let mut cb = Some(Box::new(cb) as Box<dyn FnOnce(CommandStatus) + Send>);
-        let deferred = self.core.with(|st| {
-            if st.status == CommandStatus::Complete {
-                false
+        let settled = self.core.with(|st| {
+            if st.status.is_settled() {
+                Some(st.status)
             } else {
                 st.callbacks.push(cb.take().expect("callback present"));
-                true
+                None
             }
         });
-        if !deferred {
-            // Completed before registration: OpenCL runs it immediately.
-            (cb.take().expect("callback present"))(CommandStatus::Complete);
+        if let Some(status) = settled {
+            // Settled before registration: OpenCL runs it immediately.
+            (cb.take().expect("callback present"))(status);
         }
     }
 
@@ -154,7 +218,7 @@ impl Event {
     /// advanced to `at`). Runs callbacks outside the lock.
     pub(crate) fn complete(&self, at: SimNs) {
         let cbs = self.core.with(|st| {
-            debug_assert_ne!(st.status, CommandStatus::Complete, "double completion");
+            debug_assert!(!st.status.is_settled(), "double completion");
             if st.profiling.submitted == 0 {
                 st.profiling.submitted = st.profiling.queued;
             }
@@ -170,6 +234,22 @@ impl Event {
         }
     }
 
+    /// Terminate the event abnormally with a negative error code at
+    /// virtual instant `at`. Waiters are released (observing the failure
+    /// through [`Event::wait_result`] / [`Event::status`]) and callbacks
+    /// run with the failed status, as `clSetEventCallback` documents.
+    pub(crate) fn fail(&self, at: SimNs, code: i32) {
+        debug_assert!(code < 0, "OpenCL error statuses are negative");
+        let cbs = self.core.with(|st| {
+            debug_assert!(!st.status.is_settled(), "double completion");
+            st.status = CommandStatus::Failed(code);
+            st.profiling.completed = at;
+            std::mem::take(&mut st.callbacks)
+        });
+        for cb in cbs {
+            cb(CommandStatus::Failed(code));
+        }
+    }
 }
 
 /// A user event (`clCreateUserEvent`): an [`Event`] completable from
@@ -195,12 +275,31 @@ impl UserEvent {
     /// Complete the event now (`clSetUserEventStatus(CL_COMPLETE)`).
     /// Fails on double completion.
     pub fn set_complete(&self, at: SimNs) -> ClResult<()> {
-        if self.event.is_complete() {
+        if self.event.status().is_settled() {
             return Err(ClError::InvalidOperation(
-                "user event already complete".into(),
+                "user event already settled".into(),
             ));
         }
         self.event.complete(at);
+        Ok(())
+    }
+
+    /// Terminate the event with a negative error code
+    /// (`clSetUserEventStatus` with a negative execution status). Commands
+    /// gated on this event are poisoned with
+    /// [`EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST`].
+    pub fn set_failed(&self, at: SimNs, code: i32) -> ClResult<()> {
+        if self.event.status().is_settled() {
+            return Err(ClError::InvalidOperation(
+                "user event already settled".into(),
+            ));
+        }
+        if code >= 0 {
+            return Err(ClError::InvalidValue(format!(
+                "event error status must be negative, got {code}"
+            )));
+        }
+        self.event.fail(at, code);
         Ok(())
     }
 }
@@ -261,7 +360,7 @@ mod tests {
     #[test]
     fn callbacks_run_on_completion() {
         let clock = SimClock::new();
-        let fired = Arc::new(parking_lot::Mutex::new(false));
+        let fired = Arc::new(simtime::plock::Mutex::new(false));
         let e = Event::new_queued(clock, "cb");
         let f2 = fired.clone();
         e.on_complete(move |s| {
@@ -271,6 +370,53 @@ mod tests {
         assert!(!*fired.lock());
         e.complete(1);
         assert!(*fired.lock());
+    }
+
+    #[test]
+    fn failed_event_releases_waiters_with_error() {
+        let clock = SimClock::new();
+        let a = clock.register("a");
+        let ue = UserEvent::new(clock.clone(), "doomed");
+        let handle = ue.event();
+        a.advance_ns(50);
+        ue.set_failed(a.now_ns(), -42).unwrap();
+        assert!(handle.is_failed());
+        assert_eq!(handle.error_code(), Some(-42));
+        match handle.wait_result(&a) {
+            Err(crate::ClError::EventFailed { code, label }) => {
+                assert_eq!(code, -42);
+                assert_eq!(label, "doomed");
+            }
+            other => panic!("expected EventFailed, got {other:?}"),
+        }
+        // Further settling attempts are rejected.
+        assert!(ue.set_complete(60).is_err());
+        assert!(ue.set_failed(60, -1).is_err());
+    }
+
+    #[test]
+    fn set_failed_rejects_non_negative_codes() {
+        let clock = SimClock::new();
+        let ue = UserEvent::new(clock, "x");
+        assert!(ue.set_failed(0, 0).is_err());
+        assert!(ue.set_failed(0, 3).is_err());
+        assert!(ue.set_failed(0, -3).is_ok());
+    }
+
+    #[test]
+    fn callbacks_observe_failure_status() {
+        let clock = SimClock::new();
+        let seen = Arc::new(simtime::plock::Mutex::new(None));
+        let e = Event::new_queued(clock, "cb");
+        let s2 = seen.clone();
+        e.on_complete(move |s| *s2.lock() = Some(s));
+        e.fail(5, -7);
+        assert_eq!(*seen.lock(), Some(CommandStatus::Failed(-7)));
+        // Late registration also sees the failed status.
+        let late = Arc::new(simtime::plock::Mutex::new(None));
+        let l2 = late.clone();
+        e.on_complete(move |s| *l2.lock() = Some(s));
+        assert_eq!(*late.lock(), Some(CommandStatus::Failed(-7)));
     }
 
     #[test]

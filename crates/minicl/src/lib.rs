@@ -33,7 +33,9 @@ pub use buffer::{AlignedBytes, Buffer, HostBuffer};
 pub use context::{Context, Device};
 pub use device::{DeviceSpec, PcieModel};
 pub use error::ClError;
-pub use event::{CommandStatus, Event, ProfilingInfo, UserEvent};
+pub use event::{
+    CommandStatus, Event, ProfilingInfo, UserEvent, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST,
+};
 pub use queue::CommandQueue;
 
 /// Result alias for fallible runtime calls.

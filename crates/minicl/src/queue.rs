@@ -7,12 +7,13 @@
 //! concurrent actor, enqueues never block the host thread — the exact
 //! property the paper's clMPI design builds on.
 
-use parking_lot::Mutex;
+use simtime::plock::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use simtime::{Actor, SimChannel, SimClock, SimNs, Trace};
 
+use crate::event::EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST;
 use crate::{Buffer, ClResult, CommandStatus, Device, Event, HostBuffer};
 
 type Body = Box<dyn FnOnce() + Send>;
@@ -311,8 +312,7 @@ impl CommandQueue {
             cost_ns: cost,
             body: Some(Box::new(move || {
                 buf.write(|d| {
-                    for chunk in d.as_mut_slice()[offset..offset + size].chunks_mut(pattern.len())
-                    {
+                    for chunk in d.as_mut_slice()[offset..offset + size].chunks_mut(pattern.len()) {
                         chunk.copy_from_slice(&pattern[..chunk.len()]);
                     }
                 });
@@ -354,7 +354,9 @@ fn executor_loop(shared: Arc<QueueShared>, actor: Actor) {
                 kind,
             } => {
                 event.mark_submitted(actor.now_ns());
-                Event::wait_all(&wait, &actor);
+                if !await_wait_list(&shared, &event, &wait, kind, &actor) {
+                    continue;
+                }
                 let start = actor.now_ns();
                 event.mark_running(start);
                 if let Some(b) = body {
@@ -363,7 +365,10 @@ fn executor_loop(shared: Arc<QueueShared>, actor: Actor) {
                 if cost_ns > 0 {
                     // Kernels serialize on the device's compute engine,
                     // even across queues.
-                    let res = shared.device.compute_link().reserve_duration(cost_ns, start);
+                    let res = shared
+                        .device
+                        .compute_link()
+                        .reserve_duration(cost_ns, start);
                     actor.advance_until(res.end);
                 }
                 finish_command(&shared, &event, kind, start, actor.now_ns());
@@ -378,14 +383,18 @@ fn executor_loop(shared: Arc<QueueShared>, actor: Actor) {
                 host_offset,
             } => {
                 event.mark_submitted(actor.now_ns());
-                Event::wait_all(&wait, &actor);
+                if !await_wait_list(&shared, &event, &wait, "read", &actor) {
+                    continue;
+                }
                 let start = actor.now_ns();
                 event.mark_running(start);
                 let dur = shared.device.spec().pcie.staged_ns(size, host.is_pinned());
                 let res = shared.device.d2h_link().reserve_duration(dur, start);
                 actor.advance_until(res.end);
                 let bytes = buf.load(offset, size).expect("range checked at enqueue");
-                host.write(|h| h.as_mut_slice()[host_offset..host_offset + size].copy_from_slice(&bytes));
+                host.write(|h| {
+                    h.as_mut_slice()[host_offset..host_offset + size].copy_from_slice(&bytes)
+                });
                 finish_command(&shared, &event, "read", start, actor.now_ns());
             }
             Command::WriteBuffer {
@@ -398,17 +407,46 @@ fn executor_loop(shared: Arc<QueueShared>, actor: Actor) {
                 host_offset,
             } => {
                 event.mark_submitted(actor.now_ns());
-                Event::wait_all(&wait, &actor);
+                if !await_wait_list(&shared, &event, &wait, "write", &actor) {
+                    continue;
+                }
                 let start = actor.now_ns();
                 event.mark_running(start);
                 let dur = shared.device.spec().pcie.staged_ns(size, host.is_pinned());
                 let res = shared.device.h2d_link().reserve_duration(dur, start);
                 actor.advance_until(res.end);
-                let bytes =
-                    host.read(|h| h.as_slice()[host_offset..host_offset + size].to_vec());
+                let bytes = host.read(|h| h.as_slice()[host_offset..host_offset + size].to_vec());
                 buf.store(offset, &bytes).expect("range checked at enqueue");
                 finish_command(&shared, &event, "write", start, actor.now_ns());
             }
+        }
+    }
+}
+
+/// Wait for a command's wait list; if any dependency failed, poison the
+/// command with `CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST` (its body
+/// never runs, no device time is charged) and return `false`.
+fn await_wait_list(
+    shared: &Arc<QueueShared>,
+    event: &Event,
+    wait: &[Event],
+    kind: &str,
+    actor: &Actor,
+) -> bool {
+    match Event::wait_all_result(wait, actor) {
+        Ok(()) => true,
+        Err(_) => {
+            let at = actor.now_ns();
+            event.fail(at, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST);
+            if let Some((trace, lane)) = shared.trace.lock().as_ref() {
+                trace.record(
+                    lane.clone(),
+                    format!("{kind}@{} poisoned", shared.label),
+                    at,
+                    at,
+                );
+            }
+            false
         }
     }
 }
@@ -614,7 +652,9 @@ mod tests {
         let (ctx, actor) = ctx_and_actor();
         let q = ctx.create_queue(0, "q0");
         let b = ctx.create_buffer(32);
-        assert!(q.enqueue_fill_buffer(&b, vec![1, 2, 3], 0, 32, &[]).is_err());
+        assert!(q
+            .enqueue_fill_buffer(&b, vec![1, 2, 3], 0, 32, &[])
+            .is_err());
         q.finish(&actor);
     }
 
@@ -651,6 +691,33 @@ mod tests {
             .enqueue_read_buffer(&actor, &buf, false, 8, 16, &host, 0, &[])
             .is_err());
         q.finish(&actor);
+    }
+
+    #[test]
+    fn failed_dependency_poisons_gated_command() {
+        let (ctx, actor) = ctx_and_actor();
+        let q = ctx.create_queue(0, "q0");
+        let ue = ctx.create_user_event("gate");
+        let ran = Arc::new(Mutex::new(false));
+        let r2 = ran.clone();
+        let e = q.enqueue_kernel("gated", 10_000, &[ue.event()], move || {
+            *r2.lock() = true;
+        });
+        // A second, chained command is poisoned transitively.
+        let e2 = q.enqueue_marker(std::slice::from_ref(&e));
+        actor.advance_ns(100);
+        ue.set_failed(actor.now_ns(), -42).unwrap();
+        assert!(e.wait_result(&actor).is_err());
+        assert_eq!(
+            e.status(),
+            CommandStatus::Failed(crate::EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST)
+        );
+        assert!(!*ran.lock(), "poisoned command body never ran");
+        assert!(e2.wait_result(&actor).is_err(), "failure cascades");
+        // The queue itself stays usable: an ungated command still runs.
+        let e3 = q.enqueue_kernel("after", 10, &[], || {});
+        e3.wait(&actor);
+        assert!(e3.is_complete());
     }
 
     #[test]

@@ -136,7 +136,12 @@ impl Comm {
             }
             Some(acc)
         } else {
-            self.send(actor, root, COLL_REDUCE, crate::datatype::f64_as_bytes(contrib));
+            self.send(
+                actor,
+                root,
+                COLL_REDUCE,
+                crate::datatype::f64_as_bytes(contrib),
+            );
             None
         }
     }

@@ -48,7 +48,12 @@ pub fn f64_as_bytes(v: &[f64]) -> &[u8] {
 
 /// Copy bytes into a `f32` vector (panics if not a multiple of 4).
 pub fn bytes_to_f32(b: &[u8]) -> Vec<f32> {
-    assert_eq!(b.len() % 4, 0, "byte length {} not a multiple of 4", b.len());
+    assert_eq!(
+        b.len() % 4,
+        0,
+        "byte length {} not a multiple of 4",
+        b.len()
+    );
     b.chunks_exact(4)
         .map(|c| f32::from_ne_bytes([c[0], c[1], c[2], c[3]]))
         .collect()
@@ -56,7 +61,12 @@ pub fn bytes_to_f32(b: &[u8]) -> Vec<f32> {
 
 /// Copy bytes into a `f64` vector (panics if not a multiple of 8).
 pub fn bytes_to_f64(b: &[u8]) -> Vec<f64> {
-    assert_eq!(b.len() % 8, 0, "byte length {} not a multiple of 8", b.len());
+    assert_eq!(
+        b.len() % 8,
+        0,
+        "byte length {} not a multiple of 8",
+        b.len()
+    );
     b.chunks_exact(8)
         .map(|c| f64::from_ne_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
         .collect()

@@ -1,6 +1,6 @@
 //! SPMD launcher: run `n` ranks as threads over a simulated cluster.
 
-use simnet::ClusterSpec;
+use simnet::{ClusterSpec, FaultCounts, FaultPlan};
 use simtime::{SimClock, SimNs, Trace};
 
 use crate::world::{Process, World};
@@ -13,6 +13,9 @@ pub struct WorldResult<R> {
     pub elapsed_ns: SimNs,
     /// The activity trace recorded during the run.
     pub trace: Trace,
+    /// Fault counters accumulated by the fabric (all zero when the run
+    /// used a [`FaultPlan::none`] plan).
+    pub fault_counts: FaultCounts,
 }
 
 /// Run `f` on every rank of a world sized to the full cluster preset.
@@ -35,8 +38,25 @@ where
     R: Send + 'static,
     F: Fn(Process) -> R + Send + Sync + 'static,
 {
+    run_world_faulty(spec, nodes, FaultPlan::none(), f)
+}
+
+/// [`run_world_sized`] with a fault plan attached to the fabric: messages
+/// may be dropped, delayed, or blocked by link-down windows, all
+/// deterministically from `plan.seed`. [`FaultPlan::none`] reproduces
+/// [`run_world_sized`] bit-identically.
+pub fn run_world_faulty<R, F>(
+    spec: ClusterSpec,
+    nodes: usize,
+    plan: FaultPlan,
+    f: F,
+) -> WorldResult<R>
+where
+    R: Send + 'static,
+    F: Fn(Process) -> R + Send + Sync + 'static,
+{
     let clock = SimClock::new();
-    let world = World::new(clock.clone(), spec, nodes);
+    let world = World::with_faults(clock.clone(), spec, nodes, plan);
     let trace = world.trace().clone();
     // Register every rank's actor before spawning any thread (see
     // `SimClock::register` for the ordering rule).
@@ -66,6 +86,7 @@ where
         elapsed_ns: clock.now_ns(),
         outputs,
         trace,
+        fault_counts: world.fault_counts(),
     }
 }
 
@@ -152,7 +173,10 @@ mod tests {
         // ~max(send, compute), not the sum.
         let spec = ClusterSpec::cichlid();
         let send_ns = spec.link.injection_ns(8 << 20);
-        assert!(send_ns > 50_000_000, "test premise: send slower than compute");
+        assert!(
+            send_ns > 50_000_000,
+            "test premise: send slower than compute"
+        );
         let res = run_world_sized(spec, 2, |p| {
             if p.rank() == 0 {
                 let data = vec![0u8; 8 << 20];
@@ -231,9 +255,8 @@ mod tests {
     #[test]
     fn scatter_distributes_chunks() {
         let res = run_world_sized(ClusterSpec::ricc(), 4, |p| {
-            let chunks = (p.rank() == 1).then(|| {
-                (0..4).map(|r| vec![r as u8; r + 1]).collect::<Vec<_>>()
-            });
+            let chunks =
+                (p.rank() == 1).then(|| (0..4).map(|r| vec![r as u8; r + 1]).collect::<Vec<_>>());
             p.comm.scatter(&p.actor, 1, chunks.as_deref())
         });
         for (r, out) in res.outputs.iter().enumerate() {
@@ -244,7 +267,8 @@ mod tests {
     #[test]
     fn allgather_everyone_sees_everything() {
         let res = run_world_sized(ClusterSpec::ricc(), 3, |p| {
-            p.comm.allgather(&p.actor, &vec![p.rank() as u8; p.rank() + 2])
+            p.comm
+                .allgather(&p.actor, &vec![p.rank() as u8; p.rank() + 2])
         });
         let expect: Vec<Vec<u8>> = (0..3).map(|r| vec![r as u8; r + 2]).collect();
         for out in res.outputs {
@@ -374,6 +398,139 @@ mod tests {
             }
         });
         assert!(res.outputs[1] > 0, "message was genuinely in flight");
+    }
+
+    #[test]
+    fn fault_free_plan_reproduces_default_run_exactly() {
+        let job = |p: Process| {
+            let peer = 1 - p.rank();
+            let got = p.comm.sendrecv(
+                &p.actor,
+                peer,
+                3,
+                &vec![p.rank() as u8; 8192],
+                Some(peer),
+                Some(3),
+            );
+            (got.data[0], p.actor.now_ns())
+        };
+        let a = run_world_sized(ClusterSpec::cichlid(), 2, job);
+        let b = run_world_faulty(ClusterSpec::cichlid(), 2, FaultPlan::none(), job);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert_eq!(b.fault_counts, FaultCounts::default());
+    }
+
+    #[test]
+    fn dropped_send_is_observed_by_sender_and_times_out_receiver() {
+        // Drop probability 1.0: every data message is lost.
+        let plan = FaultPlan::drops(42, 1.0);
+        let res = run_world_faulty(ClusterSpec::cichlid(), 2, plan, |p| {
+            if p.rank() == 0 {
+                let req = p.comm.isend(&p.actor, 1, 7, &[1u8; 1024]);
+                let delivered = req.delivered();
+                req.wait(&p.actor);
+                u64::from(delivered)
+            } else {
+                match p.comm.recv_timeout(&p.actor, Some(0), Some(7), 5_000_000) {
+                    Err(crate::MpiError::Timeout { waited_ns }) => waited_ns,
+                    other => panic!("expected timeout, got {other:?}"),
+                }
+            }
+        });
+        assert_eq!(res.outputs[0], 0, "sender saw the loss");
+        assert_eq!(res.outputs[1], 5_000_000, "receiver timed out");
+        assert_eq!(res.fault_counts.dropped(), 1);
+        assert!(
+            res.trace.spans().iter().any(|s| s.lane == "net.fault"),
+            "drop recorded in the trace"
+        );
+    }
+
+    #[test]
+    fn same_fault_seed_same_run() {
+        let job = |p: Process| {
+            if p.rank() == 0 {
+                let mut delivered = 0u64;
+                for i in 0..50 {
+                    let req = p.comm.isend(&p.actor, 1, 5, &[i as u8; 4096]);
+                    delivered += u64::from(req.delivered());
+                    req.wait(&p.actor);
+                }
+                delivered
+            } else {
+                let mut got = 0u64;
+                while p
+                    .comm
+                    .recv_timeout(&p.actor, Some(0), Some(5), 20_000_000)
+                    .is_ok()
+                {
+                    got += 1;
+                }
+                got
+            }
+        };
+        let plan = FaultPlan::drops(7, 0.3).with_jitter(50_000);
+        let a = run_world_faulty(ClusterSpec::cichlid(), 2, plan.clone(), job);
+        let b = run_world_faulty(ClusterSpec::cichlid(), 2, plan, job);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert_eq!(a.fault_counts, b.fault_counts);
+        assert_eq!(
+            a.outputs[0], a.outputs[1],
+            "every delivered message was received"
+        );
+        assert!(a.outputs[0] < 50, "a 30% plan dropped something");
+    }
+
+    #[test]
+    fn tag_floor_spares_control_traffic() {
+        // Floor above every user/collective tag: barriers stay reliable
+        // even under a 100% drop plan for data tags.
+        let plan = FaultPlan::drops(9, 1.0).with_tag_floor(1 << 22);
+        let res = run_world_faulty(ClusterSpec::ricc(), 4, plan, |p| {
+            p.comm.barrier(&p.actor);
+            p.comm.send(&p.actor, (p.rank() + 1) % 4, 2, &[1]);
+            p.comm.recv(&p.actor, None, Some(2)).data[0]
+        });
+        assert_eq!(res.outputs, vec![1, 1, 1, 1]);
+        assert_eq!(res.fault_counts.dropped(), 0);
+    }
+
+    #[test]
+    fn cancel_withdraws_unmatched_recv() {
+        let res = run_world_faulty(ClusterSpec::cichlid(), 2, FaultPlan::none(), |p| {
+            if p.rank() == 0 {
+                // Never-matching receive: cancellable.
+                let req = p.comm.irecv(&p.actor, Some(1), Some(99));
+                let cancelled = req.cancel();
+                // A real message on another tag still flows normally.
+                let got = p.comm.recv(&p.actor, Some(1), Some(1));
+                (cancelled, got.data.len())
+            } else {
+                p.comm.send(&p.actor, 0, 1, &[5u8; 16]);
+                (false, 0)
+            }
+        });
+        assert_eq!(res.outputs[0], (true, 16));
+    }
+
+    #[test]
+    fn wait_timeout_returns_payload_when_in_time() {
+        let res = run_world_sized(ClusterSpec::cichlid(), 2, |p| {
+            if p.rank() == 0 {
+                p.comm.send(&p.actor, 1, 4, &[9u8; 256]);
+                0
+            } else {
+                let req = p.comm.irecv(&p.actor, Some(0), Some(4));
+                let r = req
+                    .wait_timeout(&p.actor, 1_000_000_000)
+                    .expect("arrives well before the deadline")
+                    .expect("recv yields payload");
+                r.data.len() as u64
+            }
+        });
+        assert_eq!(res.outputs[1], 256);
     }
 
     #[test]

@@ -43,9 +43,13 @@ mod world;
 
 pub use collectives::ReduceOp;
 pub use datatype::Datatype;
-pub use launch::{run_world, run_world_sized, WorldResult};
-pub use p2p::{wait_all, wait_any, RecvResult, Request, Status};
+pub use launch::{run_world, run_world_faulty, run_world_sized, WorldResult};
+pub use p2p::{wait_all, wait_any, MpiError, RecvResult, Request, Status};
 pub use world::{Comm, Process, World, ANY_SOURCE, ANY_TAG, MAX_USER_TAG};
+
+// Fault-plan types come from the fabric layer; re-exported so apps can
+// build failure scenarios without depending on `simnet` directly.
+pub use simnet::{FaultCounts, FaultPlan};
 
 /// Rank index within a world.
 pub type Rank = usize;

@@ -15,10 +15,62 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use simnet::{DropReason, FaultOutcome};
 use simtime::{Actor, Monitor, SimNs};
 
 use crate::world::Comm;
 use crate::{Datatype, Rank, Tag};
+
+/// Errors surfaced through the `Result`-returning request/receive APIs
+/// (the panicking wrappers remain for code that treats these as bugs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiError {
+    /// A [`Request::wait_timeout`] deadline expired before any message
+    /// matched the request.
+    Timeout {
+        /// Virtual nanoseconds waited before giving up.
+        waited_ns: SimNs,
+    },
+    /// A message did not fit the caller's buffer
+    /// ([`Comm::try_recv_into`]).
+    Truncated {
+        /// Incoming payload length in bytes.
+        len: usize,
+        /// Caller buffer capacity in bytes.
+        capacity: usize,
+    },
+    /// A rank argument was outside the communicator.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: Rank,
+        /// Communicator size.
+        size: usize,
+    },
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::Timeout { waited_ns } => {
+                write!(f, "request timed out after {waited_ns} virtual ns")
+            }
+            MpiError::Truncated { len, capacity } => {
+                write!(
+                    f,
+                    "message of {len} bytes truncated into {capacity}-byte buffer"
+                )
+            }
+            MpiError::RankOutOfRange { rank, size } => {
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
 
 /// Delivery information of a completed receive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,7 +209,10 @@ pub struct Request {
 
 enum ReqKind {
     /// An `isend`: completes when injection ends (buffer reusable).
-    Send { done_at: SimNs },
+    /// `delivered` is false when the fabric's fault plan dropped the
+    /// message (the sender's NIC learns the fate at injection time — a
+    /// link-layer NACK — which is what the clMPI retry layer polls).
+    Send { done_at: SimNs, delivered: bool },
     /// An `irecv`: completes when the matched message has arrived.
     Recv {
         id: u64,
@@ -184,11 +239,23 @@ impl Request {
         matches!(self.kind, ReqKind::Send { .. })
     }
 
+    /// For send requests: did the fabric deliver the message? `false`
+    /// means the fault plan dropped it (link-layer NACK observed by the
+    /// sender NIC at injection time); the payload never reaches the
+    /// receiver's inbox and the sender must retransmit. Always `true`
+    /// for receive requests.
+    pub fn delivered(&self) -> bool {
+        match &self.kind {
+            ReqKind::Send { delivered, .. } => *delivered,
+            ReqKind::Recv { .. } => true,
+        }
+    }
+
     /// Virtual completion instant, if already determined (`Send` always;
     /// `Recv` once matched).
     pub fn known_completion(&self) -> Option<SimNs> {
         match &self.kind {
-            ReqKind::Send { done_at } => Some(*done_at),
+            ReqKind::Send { done_at, .. } => Some(*done_at),
             ReqKind::Recv { id, state, .. } => {
                 state.peek(|st| st.matched.get(id).map(|m| m.visible_at))
             }
@@ -199,7 +266,7 @@ impl Request {
     /// payload for receives, `None` for sends.
     pub fn wait(self, actor: &Actor) -> Option<RecvResult> {
         match self.kind {
-            ReqKind::Send { done_at } => {
+            ReqKind::Send { done_at, .. } => {
                 actor.advance_until(done_at);
                 None
             }
@@ -229,12 +296,95 @@ impl Request {
         }
     }
 
+    /// Like [`Request::wait`], but give up after `timeout_ns` of virtual
+    /// time. A receive times out only while **unmatched**: once a message
+    /// has matched the request its arrival instant is committed, so the
+    /// wait sees it through even past the deadline (retrying a message the
+    /// fabric already delivered would duplicate it). On timeout the
+    /// request is cancelled and consumed.
+    pub fn wait_timeout(
+        self,
+        actor: &Actor,
+        timeout_ns: SimNs,
+    ) -> Result<Option<RecvResult>, MpiError> {
+        let deadline = actor.now_ns() + timeout_ns;
+        match self.kind {
+            ReqKind::Send { done_at, .. } => {
+                if done_at <= deadline {
+                    actor.advance_until(done_at);
+                    Ok(None)
+                } else {
+                    actor.advance_until(deadline);
+                    Err(MpiError::Timeout {
+                        waited_ns: timeout_ns,
+                    })
+                }
+            }
+            ReqKind::Recv { id, state, members } => {
+                let clock = state.clock().clone();
+                clock.schedule_alarm(deadline);
+                let res = state.wait_labeled(actor, "mpi recv (timeout)", move |st| {
+                    let now = clock.now_ns();
+                    match st.matched.get(&id) {
+                        Some(m) if m.visible_at <= now => {
+                            let msg = st.matched.remove(&id).expect("matched entry vanished");
+                            Some(Ok(RecvResult {
+                                status: Status {
+                                    source: to_local(&members, msg.src),
+                                    tag: msg.tag,
+                                    len: msg.payload.len(),
+                                    datatype: msg.datatype,
+                                },
+                                data: msg.payload,
+                            }))
+                        }
+                        Some(_) => None, // matched, in flight: arrival committed
+                        None if now >= deadline => {
+                            st.pending.retain(|p| p.id != id);
+                            Some(Err(MpiError::Timeout {
+                                waited_ns: timeout_ns,
+                            }))
+                        }
+                        None => None,
+                    }
+                });
+                res.map(Some)
+            }
+        }
+    }
+
+    /// Cancel the operation (`MPI_Cancel` semantics, simplified). A
+    /// receive that has not matched is withdrawn and `true` is returned; a
+    /// receive whose message already matched cannot be cancelled — the
+    /// message is returned to the inbox for other receives and `false` is
+    /// returned. Sends are eager (injected at post time) and never
+    /// cancellable.
+    pub fn cancel(self) -> bool {
+        match self.kind {
+            ReqKind::Send { .. } => false,
+            ReqKind::Recv { id, state, .. } => state.with(|st| {
+                let before = st.pending.len();
+                st.pending.retain(|p| p.id != id);
+                if st.pending.len() < before {
+                    return true;
+                }
+                if let Some(msg) = st.matched.remove(&id) {
+                    // Seq is preserved, so non-overtaking order survives
+                    // the round trip through the matcher.
+                    st.inbox.push(msg);
+                    st.try_match();
+                }
+                false
+            }),
+        }
+    }
+
     /// Non-blocking completion check. On completion returns
     /// `Some(payload-for-receives)`; `None` means still in flight.
     #[allow(clippy::option_option)]
     pub fn test(&mut self, actor: &Actor) -> Option<Option<RecvResult>> {
         match &mut self.kind {
-            ReqKind::Send { done_at } => (actor.now_ns() >= *done_at).then_some(None),
+            ReqKind::Send { done_at, .. } => (actor.now_ns() >= *done_at).then_some(None),
             ReqKind::Recv { id, state, members } => {
                 let now = actor.now_ns();
                 let id = *id;
@@ -295,6 +445,37 @@ impl Comm {
         self.isend_typed_from(actor, dst, tag, Datatype::Bytes, data, actor.now_ns())
     }
 
+    /// [`Comm::isend`] that reports an out-of-range destination as an
+    /// error instead of panicking (for callers forwarding unvalidated
+    /// input).
+    pub fn try_isend(
+        &self,
+        actor: &Actor,
+        dst: Rank,
+        tag: Tag,
+        data: &[u8],
+    ) -> Result<Request, MpiError> {
+        if dst >= self.size() {
+            return Err(MpiError::RankOutOfRange {
+                rank: dst,
+                size: self.size(),
+            });
+        }
+        Ok(self.isend(actor, dst, tag, data))
+    }
+
+    /// Blocking [`Comm::try_isend`].
+    pub fn try_send(
+        &self,
+        actor: &Actor,
+        dst: Rank,
+        tag: Tag,
+        data: &[u8],
+    ) -> Result<(), MpiError> {
+        let _ = self.try_isend(actor, dst, tag, data)?.wait(actor);
+        Ok(())
+    }
+
     /// [`Comm::isend`] with an explicit datatype tag and an earliest
     /// injection instant (used by the clMPI runtime to launch a network
     /// stage when a device→host stage will finish, without any thread
@@ -333,22 +514,45 @@ impl Comm {
             None => inner.fabric.reserve(self.rank, gdst, data.len(), earliest),
             Some(d) => inner.fabric.reserve_duration(self.rank, gdst, d, earliest),
         };
-        let dst_state = inner.ranks[gdst].clone();
-        dst_state.with(|st| {
-            st.post(
-                self.rank,
-                self.context,
-                tag,
-                datatype,
-                data.to_vec(),
-                res.arrival,
-            )
-        });
-        // Wake request waiters at both send completion and arrival.
+        // The fate of the message is decided at injection time: a dropped
+        // message still burns the link window it reserved (the bits went
+        // out), but never reaches the receiver's inbox, and the sender
+        // observes the loss on its request (link-layer NACK model).
+        let fate = inner.fabric.fault_decision(self.rank, gdst, tag, res.start);
+        let delivered = match fate {
+            FaultOutcome::Deliver { extra_latency_ns } => {
+                let visible_at = res.arrival + extra_latency_ns;
+                let dst_state = inner.ranks[gdst].clone();
+                dst_state.with(|st| {
+                    st.post(
+                        self.rank,
+                        self.context,
+                        tag,
+                        datatype,
+                        data.to_vec(),
+                        visible_at,
+                    )
+                });
+                // Wake request waiters at arrival.
+                inner.clock.schedule_alarm(visible_at);
+                true
+            }
+            FaultOutcome::Drop(reason) => {
+                let label = match reason {
+                    DropReason::Random => format!("drop r{}→r{gdst} #{tag}", self.rank),
+                    DropReason::LinkDown => format!("down r{}→r{gdst} #{tag}", self.rank),
+                };
+                inner.trace.record("net.fault", label, res.start, res.end);
+                false
+            }
+        };
+        // Wake request waiters at send completion.
         inner.clock.schedule_alarm(res.end);
-        inner.clock.schedule_alarm(res.arrival);
         Request {
-            kind: ReqKind::Send { done_at: res.end },
+            kind: ReqKind::Send {
+                done_at: res.end,
+                delivered,
+            },
         }
     }
 
@@ -390,6 +594,21 @@ impl Comm {
             .expect("recv request yields a payload")
     }
 
+    /// Blocking receive that gives up after `timeout_ns` of virtual time
+    /// with no matching message (see [`Request::wait_timeout`] for the
+    /// exact matched-in-flight semantics).
+    pub fn recv_timeout(
+        &self,
+        actor: &Actor,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout_ns: SimNs,
+    ) -> Result<RecvResult, MpiError> {
+        self.irecv(actor, src, tag)
+            .wait_timeout(actor, timeout_ns)
+            .map(|r| r.expect("recv request yields a payload"))
+    }
+
     /// Blocking receive into a caller buffer; panics if the payload does
     /// not fit (message truncation is an error, as in MPI).
     pub fn recv_into(
@@ -399,15 +618,28 @@ impl Comm {
         tag: Option<Tag>,
         buf: &mut [u8],
     ) -> Status {
+        self.try_recv_into(actor, src, tag, buf)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Comm::recv_into`] with truncation reported as
+    /// [`MpiError::Truncated`] instead of a panic.
+    pub fn try_recv_into(
+        &self,
+        actor: &Actor,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Result<Status, MpiError> {
         let res = self.recv(actor, src, tag);
-        assert!(
-            res.data.len() <= buf.len(),
-            "message of {} bytes truncated into {}-byte buffer",
-            res.data.len(),
-            buf.len()
-        );
+        if res.data.len() > buf.len() {
+            return Err(MpiError::Truncated {
+                len: res.data.len(),
+                capacity: buf.len(),
+            });
+        }
         buf[..res.data.len()].copy_from_slice(&res.data);
-        res.status
+        Ok(res.status)
     }
 
     /// Combined send+receive (`MPI_Sendrecv`): posts the send, blocks on

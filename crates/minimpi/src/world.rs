@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use simnet::{ClusterSpec, Fabric};
+use simnet::{ClusterSpec, Fabric, FaultCounts, FaultPlan};
 use simtime::{Actor, Monitor, SimClock, Trace};
 
 use crate::p2p::RankState;
@@ -33,7 +33,13 @@ pub struct World {
 impl World {
     /// Build a world of `size` ranks over `spec`'s interconnect.
     pub fn new(clock: SimClock, spec: ClusterSpec, size: usize) -> Self {
-        let fabric = Fabric::new(clock.clone(), spec, size);
+        Self::with_faults(clock, spec, size, FaultPlan::none())
+    }
+
+    /// Build a world whose fabric runs under `plan`. A [`FaultPlan::none`]
+    /// plan behaves bit-identically to [`World::new`].
+    pub fn with_faults(clock: SimClock, spec: ClusterSpec, size: usize, plan: FaultPlan) -> Self {
+        let fabric = Fabric::with_faults(clock.clone(), spec, size, plan);
         let ranks = (0..size)
             .map(|_| Arc::new(Monitor::new(clock.clone(), RankState::default())))
             .collect();
@@ -66,6 +72,17 @@ impl World {
     /// The cluster description the fabric was built from.
     pub fn cluster(&self) -> &ClusterSpec {
         self.inner.fabric.spec()
+    }
+
+    /// True if a non-trivial fault plan is attached to the fabric.
+    pub fn has_faults(&self) -> bool {
+        self.inner.fabric.has_faults()
+    }
+
+    /// Aggregate fault counters across every link (all zero on a perfect
+    /// fabric).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.inner.fabric.fault_counts()
     }
 
     /// A communication endpoint for `rank`. Any thread of the rank may use
@@ -154,12 +171,7 @@ impl Comm {
     /// `color` end up in the same child communicator, ordered by
     /// `(key, parent rank)`. Collective over all members. `None` color
     /// (`MPI_UNDEFINED`) yields `None`.
-    pub fn split(
-        &self,
-        actor: &simtime::Actor,
-        color: Option<i32>,
-        key: i32,
-    ) -> Option<Comm> {
+    pub fn split(&self, actor: &simtime::Actor, color: Option<i32>, key: i32) -> Option<Comm> {
         // Gather (color, key, global rank) from every member.
         let mine = {
             let mut b = Vec::with_capacity(16);

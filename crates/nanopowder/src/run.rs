@@ -6,7 +6,7 @@ use clmpi::{ClMpi, SystemConfig};
 use minicl::HostBuffer;
 use minimpi::datatype::{bytes_to_f32, f32_as_bytes};
 use minimpi::{run_world_sized, Process, Tag};
-use parking_lot::Mutex;
+use simtime::plock::Mutex;
 use simtime::SimNs;
 
 use crate::model::{coagulation_step, pair_count, NanoModel};
@@ -91,7 +91,9 @@ pub fn run_nanopowder(variant: NanoVariant, cfg: NanoConfig) -> NanoResult {
     let nodes = cfg.nodes;
     let steps = cfg.steps;
     let cfg = Arc::new(cfg);
-    let res = run_world_sized(cluster, nodes, move |p: Process| rank_main(variant, &cfg, p));
+    let res = run_world_sized(cluster, nodes, move |p: Process| {
+        rank_main(variant, &cfg, p)
+    });
     let total_ns = res
         .outputs
         .iter()
@@ -193,7 +195,12 @@ fn rank_main(variant: NanoVariant, cfg: &NanoConfig, p: Process) -> RankOut {
         };
         // Coagulation kernel, gated on its inputs.
         let dn_shared = Arc::new(Mutex::new(vec![0.0f32; rows]));
-        let (c2, n2, d2, dns) = (c_dev.clone(), n_dev.clone(), dn_dev.clone(), dn_shared.clone());
+        let (c2, n2, d2, dns) = (
+            c_dev.clone(),
+            n_dev.clone(),
+            dn_dev.clone(),
+            dn_shared.clone(),
+        );
         let e_k = q.enqueue_kernel("coagulation", kernel_cost, &[e_n, e_c], move || {
             let mut out = vec![0.0f32; r1 - r0];
             // Read in place (consistent lock order: coefficients, then
@@ -221,8 +228,7 @@ fn rank_main(variant: NanoVariant, cfg: &NanoConfig, p: Process) -> RankOut {
             }
             m.integrate(&dn_all);
         } else {
-            p.comm
-                .send(&p.actor, 0, TAG_DN, &dn_stage.to_vec());
+            p.comm.send(&p.actor, 0, TAG_DN, &dn_stage.to_vec());
         }
     }
     rt.shutdown(&p.actor);

@@ -1,6 +1,7 @@
 //! Cluster topology: nodes with per-direction NIC timelines over a shared
 //! fabric spec, with presets for the paper's two systems (Table I).
 
+use crate::fault::{FaultInjector, FaultOutcome, FaultPlan};
 use crate::link::{reserve_pair, Link, LinkSpec, Reservation};
 use simtime::{SimClock, SimNs};
 
@@ -41,9 +42,9 @@ impl ClusterSpec {
             nic: "Gigabit Ethernet",
             mpi: "Open MPI 1.6.0",
             link: LinkSpec {
-                latency_ns: 50_000,            // ~50 us TCP/GbE
-                bandwidth_bps: 117.5e6,        // ~117.5 MB/s sustained
-                per_msg_overhead_ns: 30_000,   // per-message software cost
+                latency_ns: 50_000,          // ~50 us TCP/GbE
+                bandwidth_bps: 117.5e6,      // ~117.5 MB/s sustained
+                per_msg_overhead_ns: 30_000, // per-message software cost
             },
         }
     }
@@ -60,8 +61,8 @@ impl ClusterSpec {
             nic: "InfiniBand DDR (IPoIB)",
             mpi: "Open MPI 1.6.1",
             link: LinkSpec {
-                latency_ns: 25_000,            // IPoIB adds software latency
-                bandwidth_bps: 1.30e9,         // ~1.3 GB/s over IPoIB
+                latency_ns: 25_000,    // IPoIB adds software latency
+                bandwidth_bps: 1.30e9, // ~1.3 GB/s over IPoIB
                 // IPoIB + MPI_THREAD_MULTIPLE pays a hefty per-message
                 // software cost (TCP stack over IB, MPI locking); this is
                 // the overhead the pipelined strategy's block size trades
@@ -88,11 +89,21 @@ pub struct Fabric {
     spec: ClusterSpec,
     tx: Vec<Link>,
     rx: Vec<Link>,
+    /// One fault injector per source node's tx link (None: perfect fabric,
+    /// zero overhead on the hot path).
+    faults: Option<Vec<FaultInjector>>,
 }
 
 impl Fabric {
     /// Build a fabric for the first `nodes` nodes of `spec`.
     pub fn new(clock: SimClock, spec: ClusterSpec, nodes: usize) -> Self {
+        Self::with_faults(clock, spec, nodes, FaultPlan::none())
+    }
+
+    /// Build a fabric whose links run under `plan`. A [`FaultPlan::none`]
+    /// plan attaches no injectors and behaves bit-identically to
+    /// [`Fabric::new`].
+    pub fn with_faults(clock: SimClock, spec: ClusterSpec, nodes: usize, plan: FaultPlan) -> Self {
         assert!(nodes >= 1, "fabric needs at least one node");
         assert!(
             nodes <= spec.nodes,
@@ -107,7 +118,17 @@ impl Fabric {
         let rx = (0..nodes)
             .map(|_| Link::new(clock.clone(), spec.link))
             .collect();
-        Fabric { spec, tx, rx }
+        let faults = (!plan.is_none()).then(|| {
+            (0..nodes)
+                .map(|i| FaultInjector::new(plan.clone(), i as u64))
+                .collect()
+        });
+        Fabric {
+            spec,
+            tx,
+            rx,
+            faults,
+        }
     }
 
     /// The static description this fabric was built from.
@@ -120,11 +141,47 @@ impl Fabric {
         self.tx.len()
     }
 
+    /// True if a non-trivial fault plan is attached.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Decide the fate of the next message of flow `(src, dst, tag)` whose
+    /// injection starts at `start`. Loopback (src == dst) traffic and
+    /// fault-free fabrics always deliver cleanly.
+    pub fn fault_decision(&self, src: NodeId, dst: NodeId, tag: i32, start: SimNs) -> FaultOutcome {
+        match &self.faults {
+            Some(inj) if src != dst => inj[src].decide(src, dst, tag, start),
+            _ => FaultOutcome::Deliver {
+                extra_latency_ns: 0,
+            },
+        }
+    }
+
+    /// Aggregate fault counters across every link (zeroes when no plan is
+    /// attached).
+    pub fn fault_counts(&self) -> crate::fault::FaultCounts {
+        let mut total = crate::fault::FaultCounts::default();
+        if let Some(inj) = &self.faults {
+            for i in inj {
+                let c = i.counts();
+                total.delivered += c.delivered;
+                total.dropped_random += c.dropped_random;
+                total.dropped_down += c.dropped_down;
+                total.jitter_ns_total += c.jitter_ns_total;
+            }
+        }
+        total
+    }
+
     /// Reserve an inter-node transfer of `bytes` from `src` to `dst`,
     /// starting no earlier than `earliest`. Intra-node transfers (src ==
     /// dst) pay a fast loopback: no NIC occupancy, small fixed latency.
     pub fn reserve(&self, src: NodeId, dst: NodeId, bytes: usize, earliest: SimNs) -> Reservation {
-        assert!(src < self.nodes() && dst < self.nodes(), "node out of range");
+        assert!(
+            src < self.nodes() && dst < self.nodes(),
+            "node out of range"
+        );
         if src == dst {
             // Shared-memory loopback: ~6 GB/s memcpy, 1 us latency.
             let inj = 1_000 + (bytes as f64 / 6.0e9 * 1e9).round() as SimNs;
@@ -147,7 +204,10 @@ impl Fabric {
         duration_ns: SimNs,
         earliest: SimNs,
     ) -> Reservation {
-        assert!(src < self.nodes() && dst < self.nodes(), "node out of range");
+        assert!(
+            src < self.nodes() && dst < self.nodes(),
+            "node out of range"
+        );
         if src == dst {
             return Reservation {
                 start: earliest,
@@ -223,7 +283,10 @@ mod tests {
         let f = Fabric::new(clock, ClusterSpec::cichlid(), 2);
         let r = f.reserve(1, 1, 1 << 20, 0);
         let remote = f.reserve(0, 1, 1 << 20, 0);
-        assert!(r.arrival < remote.arrival / 10, "loopback ≫ faster than GbE");
+        assert!(
+            r.arrival < remote.arrival / 10,
+            "loopback ≫ faster than GbE"
+        );
     }
 
     #[test]

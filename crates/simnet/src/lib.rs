@@ -16,11 +16,13 @@
 //! paper's clMPI relies on).
 
 mod cluster;
+mod fault;
 mod link;
 mod mailbox;
 
 pub use cluster::{ClusterSpec, Fabric, NodeId};
-pub use link::{Link, LinkSpec, Reservation};
+pub use fault::{DropReason, FaultCounts, FaultInjector, FaultOutcome, FaultPlan};
+pub use link::{reserve_pair, Link, LinkSpec, Reservation};
 pub use mailbox::{Envelope, Mailbox};
 
 #[cfg(test)]

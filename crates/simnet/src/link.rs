@@ -116,20 +116,26 @@ impl Link {
 
     /// Run `f` with both links' busy-until timelines locked (self first —
     /// callers must use a consistent order).
-    pub fn with_timelines<R>(&self, other: &Link, f: impl FnOnce(&mut SimNs, &mut SimNs) -> R) -> R {
+    pub fn with_timelines<R>(
+        &self,
+        other: &Link,
+        f: impl FnOnce(&mut SimNs, &mut SimNs) -> R,
+    ) -> R {
         self.timeline.with(|a| other.timeline.with(|b| f(a, b)))
     }
 }
 
 /// Reserve a transfer across **two** serialized timelines (e.g. sender NIC
 /// tx and receiver NIC rx): injection occupies both for the same window.
+///
+/// The endpoints may have different cost models (a heterogeneous fabric,
+/// e.g. GbE feeding an IB-attached node): the transfer proceeds at the
+/// pace of the **slower** side — injection takes the larger of the two
+/// injection times and the payload is visible after the larger of the two
+/// latencies.
 pub fn reserve_pair(tx: &Link, rx: &Link, bytes: usize, earliest: SimNs) -> Reservation {
-    debug_assert_eq!(
-        tx.spec(),
-        rx.spec(),
-        "paired reservation expects a homogeneous fabric"
-    );
-    let inj = tx.spec.injection_ns(bytes);
+    let inj = tx.spec.injection_ns(bytes).max(rx.spec.injection_ns(bytes));
+    let latency = tx.spec.latency_ns.max(rx.spec.latency_ns);
     // Lock ordering: always tx then rx; all callers go through this helper.
     tx.timeline.with(|tx_busy| {
         rx.timeline.with(|rx_busy| {
@@ -140,7 +146,7 @@ pub fn reserve_pair(tx: &Link, rx: &Link, bytes: usize, earliest: SimNs) -> Rese
             Reservation {
                 start,
                 end,
-                arrival: end + tx.spec.latency_ns,
+                arrival: end + latency,
             }
         })
     })
@@ -208,5 +214,31 @@ mod tests {
         assert_eq!(r.start, 5_100);
         assert_eq!(tx.busy_until(), r.end);
         assert_eq!(rx.busy_until(), r.end);
+    }
+
+    #[test]
+    fn heterogeneous_pair_paces_to_the_slower_spec() {
+        let clock = SimClock::new();
+        let fast = LinkSpec {
+            latency_ns: 500,
+            bandwidth_bps: 10e9, // 0.1 ns/byte
+            per_msg_overhead_ns: 10,
+        };
+        let slow = spec(); // 1 ns/byte, 100 ns overhead, 1000 ns latency
+                           // Fast sender into slow receiver: receiver-bound.
+        let tx = Link::new(clock.clone(), fast);
+        let rx = Link::new(clock.clone(), slow);
+        let r = reserve_pair(&tx, &rx, 1_000, 0);
+        assert_eq!(r.end - r.start, slow.injection_ns(1_000));
+        assert_eq!(r.arrival, r.end + slow.latency_ns);
+        // Slow sender into fast receiver: sender-bound, same numbers.
+        let tx2 = Link::new(clock.clone(), slow);
+        let rx2 = Link::new(clock, fast);
+        let r2 = reserve_pair(&tx2, &rx2, 1_000, 0);
+        assert_eq!(r2.end - r2.start, slow.injection_ns(1_000));
+        assert_eq!(r2.arrival, r2.end + slow.latency_ns);
+        // Both timelines advanced to the common end.
+        assert_eq!(tx2.busy_until(), r2.end);
+        assert_eq!(rx2.busy_until(), r2.end);
     }
 }

@@ -89,13 +89,14 @@ impl<T: Send> Mailbox<T> {
         });
         // Phase 2: wait for that envelope's visibility, then take it.
         let clock = self.inner.clock().clone();
-        self.inner.wait_labeled(actor, "mailbox visibility", move |st| {
-            if clock.now_ns() < visible_at {
-                return None;
-            }
-            let idx = st.queue.iter().position(|e| e.seq == seq)?;
-            Some(st.queue.swap_remove(idx))
-        })
+        self.inner
+            .wait_labeled(actor, "mailbox visibility", move |st| {
+                if clock.now_ns() < visible_at {
+                    return None;
+                }
+                let idx = st.queue.iter().position(|e| e.seq == seq)?;
+                Some(st.queue.swap_remove(idx))
+            })
     }
 
     /// Non-blocking probe: is a matching envelope present **and visible**?

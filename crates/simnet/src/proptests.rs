@@ -1,72 +1,118 @@
-//! Property-based tests for the link/fabric reservation invariants.
+//! Property-style tests for the link/fabric reservation invariants,
+//! driven by seeded [`XorShift64`] input loops (deterministic, no external
+//! test-generation dependency).
 
-use proptest::prelude::*;
+use crate::{ClusterSpec, Fabric, FaultPlan, Link, LinkSpec};
+use simtime::{SimClock, XorShift64};
 
-use crate::{ClusterSpec, Fabric, Link, LinkSpec};
-use simtime::SimClock;
-
-fn arb_spec() -> impl Strategy<Value = LinkSpec> {
-    (1u64..1_000_000, 1.0e6f64..1.0e10, 0u64..1_000_000).prop_map(
-        |(latency_ns, bandwidth_bps, per_msg_overhead_ns)| LinkSpec {
-            latency_ns,
-            bandwidth_bps,
-            per_msg_overhead_ns,
-        },
-    )
+fn arb_spec(rng: &mut XorShift64) -> LinkSpec {
+    LinkSpec {
+        latency_ns: rng.gen_range_u64(1, 1_000_000),
+        bandwidth_bps: 1.0e6 + rng.next_f64() * (1.0e10 - 1.0e6),
+        per_msg_overhead_ns: rng.gen_range_u64(0, 1_000_000),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Reservations on one link never overlap and never move backwards.
-    #[test]
-    fn link_reservations_are_disjoint_and_monotone(
-        spec in arb_spec(),
-        requests in proptest::collection::vec((0usize..1 << 24, 0u64..1_000_000_000), 1..40),
-    ) {
+/// Reservations on one link never overlap and never move backwards.
+#[test]
+fn link_reservations_are_disjoint_and_monotone() {
+    for case in 0..64u64 {
+        let mut rng = XorShift64::new(0x11_0000 + case);
+        let spec = arb_spec(&mut rng);
         let clock = SimClock::new();
         let link = Link::new(clock, spec);
         let mut prev_end = 0u64;
-        for (bytes, earliest) in requests {
+        for _ in 0..rng.gen_range_usize(1, 40) {
+            let bytes = rng.gen_range_usize(0, 1 << 24);
+            let earliest = rng.gen_range_u64(0, 1_000_000_000);
             let r = link.reserve(bytes, earliest);
-            prop_assert!(r.start >= earliest);
-            prop_assert!(r.start >= prev_end, "FIFO: starts after previous end");
-            prop_assert_eq!(r.end, r.start + spec.injection_ns(bytes));
-            prop_assert_eq!(r.arrival, r.end + spec.latency_ns);
+            assert!(r.start >= earliest, "case {case}");
+            assert!(
+                r.start >= prev_end,
+                "case {case}: FIFO start after previous end"
+            );
+            assert_eq!(r.end, r.start + spec.injection_ns(bytes), "case {case}");
+            assert_eq!(r.arrival, r.end + spec.latency_ns, "case {case}");
             prev_end = r.end;
         }
     }
+}
 
-    /// Injection time is monotone in message size.
-    #[test]
-    fn injection_monotone_in_bytes(spec in arb_spec(), a in 0usize..1 << 26, b in 0usize..1 << 26) {
+/// Injection time is monotone in message size.
+#[test]
+fn injection_monotone_in_bytes() {
+    for case in 0..64u64 {
+        let mut rng = XorShift64::new(0x22_0000 + case);
+        let spec = arb_spec(&mut rng);
+        let a = rng.gen_range_usize(0, 1 << 26);
+        let b = rng.gen_range_usize(0, 1 << 26);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(spec.injection_ns(lo) <= spec.injection_ns(hi));
+        assert!(
+            spec.injection_ns(lo) <= spec.injection_ns(hi),
+            "case {case}: {lo} vs {hi}"
+        );
     }
+}
 
-    /// Sustained bandwidth never exceeds the link's peak bandwidth.
-    #[test]
-    fn sustained_bw_bounded_by_peak(spec in arb_spec(), bytes in 1usize..1 << 26) {
+/// Sustained bandwidth never exceeds the link's peak bandwidth.
+#[test]
+fn sustained_bw_bounded_by_peak() {
+    for case in 0..64u64 {
+        let mut rng = XorShift64::new(0x33_0000 + case);
+        let spec = arb_spec(&mut rng);
+        let bytes = rng.gen_range_usize(1, 1 << 26);
         let s = spec.sustained_bps(bytes);
-        prop_assert!(s <= spec.bandwidth_bps * 1.0001);
-        prop_assert!(s > 0.0);
+        assert!(s <= spec.bandwidth_bps * 1.0001, "case {case}");
+        assert!(s > 0.0, "case {case}");
     }
+}
 
-    /// In a fabric, transfers between disjoint node pairs never delay one
-    /// another, while transfers sharing a tx or rx endpoint serialize.
-    #[test]
-    fn fabric_contention_is_per_endpoint(
-        bytes in 1usize..1 << 22,
-    ) {
+/// In a fabric, transfers between disjoint node pairs never delay one
+/// another, while transfers sharing a tx or rx endpoint serialize.
+#[test]
+fn fabric_contention_is_per_endpoint() {
+    for case in 0..16u64 {
+        let mut rng = XorShift64::new(0x44_0000 + case);
+        let bytes = rng.gen_range_usize(1, 1 << 22);
         let clock = SimClock::new();
         let f = Fabric::new(clock, ClusterSpec::ricc(), 4);
         let r01 = f.reserve(0, 1, bytes, 0);
         let r23 = f.reserve(2, 3, bytes, 0);
-        prop_assert_eq!(r01.start, 0);
-        prop_assert_eq!(r23.start, 0);
+        assert_eq!(r01.start, 0, "case {case}");
+        assert_eq!(r23.start, 0, "case {case}");
         let r02 = f.reserve(0, 2, bytes, 0); // shares tx with r01
-        prop_assert_eq!(r02.start, r01.end);
+        assert_eq!(r02.start, r01.end, "case {case}");
         let r31 = f.reserve(3, 1, bytes, 0); // shares rx with r01
-        prop_assert_eq!(r31.start, r01.end);
+        assert_eq!(r31.start, r01.end, "case {case}");
     }
+}
+
+/// A fabric under a seeded fault plan hands out identical fate sequences
+/// across runs, and a `FaultPlan::none` fabric reports no fault machinery.
+#[test]
+fn fabric_fault_decisions_replay_exactly() {
+    let run = || {
+        let clock = SimClock::new();
+        let f = Fabric::with_faults(
+            clock,
+            ClusterSpec::cichlid(),
+            4,
+            FaultPlan::drops(77, 0.2).with_jitter(10_000),
+        );
+        let mut fates = Vec::new();
+        for k in 0..200u64 {
+            fates.push(f.fault_decision(0, 1, (k % 5) as i32, k * 1_000));
+            fates.push(f.fault_decision(2, 3, 1, k * 1_000));
+        }
+        (fates, f.fault_counts())
+    };
+    let (fates_a, counts_a) = run();
+    let (fates_b, counts_b) = run();
+    assert_eq!(fates_a, fates_b);
+    assert_eq!(counts_a, counts_b);
+    assert!(counts_a.dropped() > 0, "20% drops over 400 draws");
+
+    let clean = Fabric::new(SimClock::new(), ClusterSpec::cichlid(), 2);
+    assert!(!clean.has_faults());
+    assert_eq!(clean.fault_counts(), crate::FaultCounts::default());
 }

@@ -19,7 +19,7 @@
 //!   unchanged. Every cross-actor state change bumps `gen` via
 //!   [`SimClock::notify`].
 
-use parking_lot::{Condvar, Mutex};
+use crate::plock::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -88,7 +88,17 @@ impl ClockInner {
                 return;
             }
             let next_sleep = st.sleepers.peek().map(|Reverse((t, _))| *t);
-            let next_alarm = st.alarms.peek().map(|Reverse(t)| *t);
+            // Alarms exist to re-check blocked predicate waiters. With
+            // nobody blocked they must not *drive* the advance — a stale
+            // alarm (e.g. a recv timeout satisfied early) would otherwise
+            // drag the clock forward after the run's real work ended. They
+            // stay queued: a sleeper may still wake and block on a
+            // predicate whose wake-up is one of these alarms.
+            let next_alarm = if st.blocked > 0 {
+                st.alarms.peek().map(|Reverse(t)| *t)
+            } else {
+                None
+            };
             let target = match (next_sleep, next_alarm) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
@@ -483,6 +493,19 @@ mod tests {
     }
 
     #[test]
+    fn stale_alarm_does_not_drag_final_time() {
+        // An alarm scheduled for a wake-up that turned out unnecessary
+        // (e.g. a timeout satisfied early) must not push virtual time
+        // forward once every actor has finished its work.
+        let c = SimClock::new();
+        let a = c.register("worker");
+        c.schedule_alarm(1_000_000_000);
+        a.advance_ns(500);
+        drop(a);
+        assert_eq!(c.now_ns(), 500);
+    }
+
+    #[test]
     fn two_sleepers_same_instant_both_wake() {
         let c = SimClock::new();
         let actors: Vec<_> = (0..2).map(|i| c.register(format!("s{i}"))).collect();
@@ -521,9 +544,9 @@ mod tests {
         let got = b.wait_until(move || m2.lock().take());
         assert_eq!(got, 10);
         assert_eq!(b.now_ns(), 10); // B observed the message at send time
-        // Deregister before joining: the sender still owes 90 ns of virtual
-        // time, and a join while holding a runnable actor would stall the
-        // clock (os-level wait the clock cannot see).
+                                    // Deregister before joining: the sender still owes 90 ns of virtual
+                                    // time, and a join while holding a runnable actor would stall the
+                                    // clock (os-level wait the clock cannot see).
         drop(b);
         sender.join().unwrap();
         assert_eq!(c.now_ns(), 100);

@@ -4,7 +4,7 @@
 //! (upholding the crate-level contract) and every wait participates in
 //! virtual-time accounting instead of holding the clock hostage.
 
-use parking_lot::Mutex;
+use crate::plock::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 

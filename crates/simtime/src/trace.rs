@@ -2,7 +2,7 @@
 //! time and render them as ASCII Gantt charts. Used to reproduce the
 //! paper's Figure 4 timing diagrams from actual runs.
 
-use parking_lot::Mutex;
+use crate::plock::Mutex;
 use std::sync::Arc;
 
 use crate::SimNs;
@@ -33,8 +33,18 @@ impl Trace {
     }
 
     /// Record one interval.
-    pub fn record(&self, lane: impl Into<String>, label: impl Into<String>, start: SimNs, end: SimNs) {
-        let (start, end) = if end >= start { (start, end) } else { (end, start) };
+    pub fn record(
+        &self,
+        lane: impl Into<String>,
+        label: impl Into<String>,
+        start: SimNs,
+        end: SimNs,
+    ) {
+        let (start, end) = if end >= start {
+            (start, end)
+        } else {
+            (end, start)
+        };
         self.spans.lock().push(Span {
             lane: lane.into(),
             label: label.into(),
@@ -90,8 +100,7 @@ impl Trace {
         for lane in &lanes {
             // Rows within a lane: greedy placement avoiding overlap.
             let mut rows: Vec<Vec<&Span>> = Vec::new();
-            let mut lane_spans: Vec<&Span> =
-                spans.iter().filter(|s| &s.lane == lane).collect();
+            let mut lane_spans: Vec<&Span> = spans.iter().filter(|s| &s.lane == lane).collect();
             lane_spans.sort_by_key(|s| s.start);
             for s in lane_spans {
                 let row = rows
@@ -119,7 +128,10 @@ impl Trace {
                         };
                     }
                 }
-                out.push_str(&format!("{name:>12} |{}|\n", line.iter().collect::<String>()));
+                out.push_str(&format!(
+                    "{name:>12} |{}|\n",
+                    line.iter().collect::<String>()
+                ));
             }
         }
         out

@@ -1,36 +1,47 @@
-//! Property-based tests of the virtual-clock invariants.
+//! Property-style tests of the virtual-clock invariants.
+//!
+//! Inputs are generated from a seeded [`XorShift64`] loop (many cases per
+//! test), so each test is a deterministic, dependency-free property check:
+//! the case number doubles as the replay seed.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use std::thread;
 
-use simtime::{SimBarrier, SimClock};
+use simtime::plock::Mutex;
+use simtime::{SimBarrier, SimClock, XorShift64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// A single actor's advances always sum exactly.
-    #[test]
-    fn serial_advances_sum_exactly(durations in proptest::collection::vec(0u64..1_000_000, 1..50)) {
+/// A single actor's advances always sum exactly.
+#[test]
+fn serial_advances_sum_exactly() {
+    for case in 0..48u64 {
+        let mut rng = XorShift64::new(0x5E41_0000 + case);
+        let durations: Vec<u64> = (0..rng.gen_range_usize(1, 50))
+            .map(|_| rng.gen_range_u64(0, 1_000_000))
+            .collect();
         let clock = SimClock::new();
         let a = clock.register("solo");
         let mut expect = 0u64;
         for d in durations {
             a.advance_ns(d);
             expect += d;
-            prop_assert_eq!(a.now_ns(), expect);
+            assert_eq!(a.now_ns(), expect, "case {case}");
         }
     }
+}
 
-    /// N actors advancing concurrently finish at exactly their own sums,
-    /// and the clock ends at the maximum — never the total.
-    #[test]
-    fn concurrent_advances_overlap_to_max(
-        plans in proptest::collection::vec(
-            proptest::collection::vec(1u64..100_000, 1..10),
-            2..6,
-        )
-    ) {
+/// N actors advancing concurrently finish at exactly their own sums, and
+/// the clock ends at the maximum — never the total.
+#[test]
+fn concurrent_advances_overlap_to_max() {
+    for case in 0..24u64 {
+        let mut rng = XorShift64::new(0xC0_0000 + case);
+        let plans: Vec<Vec<u64>> = (0..rng.gen_range_usize(2, 6))
+            .map(|_| {
+                (0..rng.gen_range_usize(1, 10))
+                    .map(|_| rng.gen_range_u64(1, 100_000))
+                    .collect()
+            })
+            .collect();
         let clock = SimClock::new();
         let actors: Vec<_> = (0..plans.len())
             .map(|i| clock.register(format!("w{i}")))
@@ -49,16 +60,22 @@ proptest! {
             .collect();
         let ends: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         let sums: Vec<u64> = plans.iter().map(|p| p.iter().sum()).collect();
-        prop_assert_eq!(&ends, &sums);
-        prop_assert_eq!(clock.now_ns(), *sums.iter().max().unwrap());
+        assert_eq!(ends, sums, "case {case}");
+        assert_eq!(clock.now_ns(), *sums.iter().max().unwrap(), "case {case}");
     }
+}
 
-    /// Clock time is monotone across arbitrary alarm/advance interleaving.
-    #[test]
-    fn alarms_never_move_clock_backwards(
-        alarms in proptest::collection::vec(0u64..500_000, 0..20),
-        steps in proptest::collection::vec(1u64..100_000, 1..20),
-    ) {
+/// Clock time is monotone across arbitrary alarm/advance interleaving.
+#[test]
+fn alarms_never_move_clock_backwards() {
+    for case in 0..48u64 {
+        let mut rng = XorShift64::new(0xA1A2_0000 + case);
+        let alarms: Vec<u64> = (0..rng.gen_range_usize(0, 20))
+            .map(|_| rng.gen_range_u64(0, 500_000))
+            .collect();
+        let steps: Vec<u64> = (0..rng.gen_range_usize(1, 20))
+            .map(|_| rng.gen_range_u64(1, 100_000))
+            .collect();
         let clock = SimClock::new();
         let a = clock.register("stepper");
         for t in alarms {
@@ -68,20 +85,21 @@ proptest! {
         for d in steps {
             a.advance_ns(d);
             let now = a.now_ns();
-            prop_assert!(now >= last);
+            assert!(now >= last, "case {case}");
             last = now;
         }
     }
+}
 
-    /// Barriers align every participant to at least the latest arrival,
-    /// for arbitrary per-actor workloads, repeatedly.
-    #[test]
-    fn barrier_rounds_align(
-        rounds in proptest::collection::vec(
-            proptest::collection::vec(1u64..50_000, 3),
-            1..6,
-        )
-    ) {
+/// Barriers align every participant to exactly the latest arrival, for
+/// arbitrary per-actor workloads, repeatedly.
+#[test]
+fn barrier_rounds_align() {
+    for case in 0..16u64 {
+        let mut rng = XorShift64::new(0xBA44_0000 + case);
+        let rounds: Vec<Vec<u64>> = (0..rng.gen_range_usize(1, 6))
+            .map(|_| (0..3).map(|_| rng.gen_range_u64(1, 50_000)).collect())
+            .collect();
         let clock = SimClock::new();
         let bar = Arc::new(SimBarrier::new(clock.clone(), 3));
         let actors: Vec<_> = (0..3).map(|i| clock.register(format!("p{i}"))).collect();
@@ -108,23 +126,32 @@ proptest! {
         for (ri, r) in rounds.iter().enumerate() {
             floor += *r.iter().max().unwrap();
             for out in &outs {
-                // Everyone leaves round ri at >= the slowest arrival so far
-                // (floor is exact because rounds synchronize).
-                prop_assert!(out[ri] >= floor.min(out[ri]));
-                prop_assert!(out[ri] <= floor, "no one leaves after the round bound");
+                assert!(
+                    out[ri] <= floor,
+                    "case {case}: no one leaves after the bound"
+                );
             }
             let times: Vec<u64> = outs.iter().map(|o| o[ri]).collect();
-            prop_assert_eq!(times[0], floor);
-            prop_assert!(times.iter().all(|&t| t == times[0]), "aligned exit");
+            assert_eq!(times[0], floor, "case {case}");
+            assert!(
+                times.iter().all(|&t| t == times[0]),
+                "case {case}: aligned exit"
+            );
         }
     }
+}
 
-    /// Message passing via notify: a receiver observes each token at the
-    /// sender's virtual send time, never later than the next send.
-    #[test]
-    fn token_stream_preserves_timestamps(gaps in proptest::collection::vec(1u64..10_000, 1..30)) {
+/// Message passing via notify: a receiver observes each token at the
+/// sender's virtual send time, never later than the next send.
+#[test]
+fn token_stream_preserves_timestamps() {
+    for case in 0..24u64 {
+        let mut rng = XorShift64::new(0x707E_0000 + case);
+        let gaps: Vec<u64> = (0..rng.gen_range_usize(1, 30))
+            .map(|_| rng.gen_range_u64(1, 10_000))
+            .collect();
         let clock = SimClock::new();
-        let slot: Arc<parking_lot::Mutex<Option<u64>>> = Arc::new(parking_lot::Mutex::new(None));
+        let slot: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
         let s = clock.register("send");
         let r = clock.register("recv");
         let n = gaps.len();
@@ -142,8 +169,8 @@ proptest! {
         for _ in 0..n {
             let sent_at = r.wait_until(|| slot.lock().take());
             r.clock().notify();
-            prop_assert!(sent_at >= last);
-            prop_assert!(r.now_ns() >= sent_at);
+            assert!(sent_at >= last, "case {case}");
+            assert!(r.now_ns() >= sent_at, "case {case}");
             last = sent_at;
         }
         sender.join().unwrap();

@@ -33,15 +33,13 @@ fn tune_on(mk: fn() -> SystemConfig) {
             p.comm.barrier(&p.actor);
         }
         rt.shutdown(&p.actor);
-        (p.rank() == 0).then(|| {
-            (
-                sel.winner_for(size).map(|s| s.name()),
-                stats.report(),
-            )
-        })
+        (p.rank() == 0).then(|| (sel.winner_for(size).map(|s| s.name()), stats.report()))
     });
     let (winner, report) = res.outputs[0].clone().expect("rank 0 reports");
-    println!("== {name}: tuner converged on {:?} for 256 KiB transfers", winner);
+    println!(
+        "== {name}: tuner converged on {:?} for 256 KiB transfers",
+        winner
+    );
     println!("{report}");
 }
 

@@ -23,7 +23,16 @@ fn main() {
             let ek = q.enqueue_kernel("step", 40_000_000, &[], || {});
             ek.wait(&p.actor);
             let ew = rt
-                .enqueue_write_file(&q, &state, 0, STATE, &storage, format!("ckpt{step}"), &[], &p.actor)
+                .enqueue_write_file(
+                    &q,
+                    &state,
+                    0,
+                    STATE,
+                    &storage,
+                    format!("ckpt{step}"),
+                    &[],
+                    &p.actor,
+                )
                 .unwrap();
             ew.wait(&p.actor);
         }
@@ -36,7 +45,16 @@ fn main() {
         for step in 0..3 {
             let ek = q.enqueue_kernel("step", 40_000_000, &[], || {});
             let ew = rt
-                .enqueue_write_file(&q, &state, 0, STATE, &storage, format!("ov{step}"), std::slice::from_ref(&ek), &p.actor)
+                .enqueue_write_file(
+                    &q,
+                    &state,
+                    0,
+                    STATE,
+                    &storage,
+                    format!("ov{step}"),
+                    std::slice::from_ref(&ek),
+                    &p.actor,
+                )
                 .unwrap();
             ek.wait(&p.actor);
             pending.push(ew);
@@ -47,8 +65,14 @@ fn main() {
         let overlapped = p.actor.now_ns() - t1;
 
         println!("3 steps × (40 ms compute + 16 MiB checkpoint to ~200 MB/s disk):");
-        println!("  checkpoint-then-compute (serialized): {}", fmt_ns(serialized));
-        println!("  checkpoint-under-compute (events):    {}", fmt_ns(overlapped));
+        println!(
+            "  checkpoint-then-compute (serialized): {}",
+            fmt_ns(serialized)
+        );
+        println!(
+            "  checkpoint-under-compute (events):    {}",
+            fmt_ns(overlapped)
+        );
         println!(
             "  saved: {} ({:.0}%)",
             fmt_ns(serialized - overlapped),

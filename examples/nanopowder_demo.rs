@@ -20,7 +20,10 @@ fn main() {
         "nanopowder: K={sections} sections ({:.1} MB coefficients/step/node), {steps} steps, RICC\n",
         (sections * sections * 4) as f64 / 1e6
     );
-    println!("{:>6}  {:>14}  {:>14}  {:>8}", "nodes", "baseline ms", "clMPI ms", "gain");
+    println!(
+        "{:>6}  {:>14}  {:>14}  {:>8}",
+        "nodes", "baseline ms", "clMPI ms", "gain"
+    );
     let reference = reference_simulation(sections, steps);
     for nodes in [1usize, 2, 4] {
         let base = run_nanopowder(NanoVariant::Baseline, cfg(nodes));

@@ -21,12 +21,20 @@ fn main() {
             // through the host.
             let b = buf.clone();
             let ek = q.enqueue_kernel("fill", 1_000_000, &[], move || {
-                b.write(|d| d.as_f32_mut().iter_mut().enumerate().for_each(|(i, x)| *x = i as f32));
+                b.write(|d| {
+                    d.as_f32_mut()
+                        .iter_mut()
+                        .enumerate()
+                        .for_each(|(i, x)| *x = i as f32)
+                });
             });
             let es = rt
                 .enqueue_send_buffer(&q, &buf, false, 0, BYTES, 1, 7, &[ek], &p.actor)
                 .expect("enqueue send");
-            println!("rank 0: enqueued kernel+send, host is free at t={}", fmt_ns(p.actor.now_ns()));
+            println!(
+                "rank 0: enqueued kernel+send, host is free at t={}",
+                fmt_ns(p.actor.now_ns())
+            );
             es.wait(&p.actor);
             println!("rank 0: send complete at t={}", fmt_ns(p.actor.now_ns()));
         } else {

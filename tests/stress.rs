@@ -2,7 +2,7 @@
 
 use clmpi_repro::clmpi::{ClMpi, SystemConfig};
 use clmpi_repro::minimpi::{run_world_sized, ANY_SOURCE, ANY_TAG};
-use rand::{Rng, SeedableRng};
+use clmpi_repro::simtime::XorShift64;
 
 #[test]
 fn forty_rank_world_smoke() {
@@ -36,16 +36,16 @@ fn random_traffic_storm_terminates_and_delivers() {
     let res = run_world_sized(SystemConfig::cichlid().cluster.clone(), 4, |p| {
         let n = p.size();
         let me = p.rank();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = XorShift64::new(99);
         // Every rank derives the same global plan: (src, dst, tag, len).
         let plan: Vec<(usize, usize, i32, usize)> = (0..120)
             .map(|i| {
-                let src = rng.gen_range(0..n);
-                let mut dst = rng.gen_range(0..n);
+                let src = rng.gen_range_usize(0, n);
+                let mut dst = rng.gen_range_usize(0, n);
                 if dst == src {
                     dst = (dst + 1) % n;
                 }
-                (src, dst, i, rng.gen_range(1..20_000))
+                (src, dst, i, rng.gen_range_usize(1, 20_000))
             })
             .collect();
         let mut recvs = Vec::new();
