@@ -1,0 +1,105 @@
+//! Wall-clock benchmark of the Himeno M overlap run (clMPI variant),
+//! persisted as BENCH json under `results/` so refactors of the runtime
+//! can show before/after numbers.
+//!
+//! Besides the wall-clock samples (the simulator's own speed), the json
+//! records the **virtual-time** outcome of the run — elapsed ns, GFLOPS,
+//! gosa, checksum — plus a small nanopowder run. Those fields are the
+//! bit-identity witnesses: a behavior-preserving refactor must reproduce
+//! them exactly.
+//!
+//! Usage: `himeno_wallclock [--label before|after] [--out path]
+//!                          [--samples N] [--iters N] [--nodes N]`
+
+use clmpi::SystemConfig;
+use clmpi_bench::wallclock_samples;
+use himeno::{run_himeno, GridSize, HimenoConfig, Variant};
+use nanopowder::{run_nanopowder, NanoConfig, NanoVariant};
+
+/// FNV-1a over a byte stream; stable fingerprint for f32 vectors.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = "run".to_string();
+    let mut out = "results/bench_himeno_m.json".to_string();
+    let mut samples = 3usize;
+    let mut iters = 12usize;
+    let mut nodes = 4usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--label" => label = it.next().expect("--label needs a value").clone(),
+            "--out" => out = it.next().expect("--out needs a value").clone(),
+            "--samples" => samples = it.next().expect("value").parse().expect("samples"),
+            "--iters" => iters = it.next().expect("value").parse().expect("iters"),
+            "--nodes" => nodes = it.next().expect("value").parse().expect("nodes"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let cfg = || HimenoConfig {
+        size: GridSize::M,
+        iters,
+        sys: SystemConfig::cichlid(),
+        nodes,
+        strategy: None,
+    };
+    // One canonical run for the virtual-time witnesses...
+    let him = run_himeno(Variant::ClMpi, cfg());
+    // ...then the timed wall-clock samples of the same run.
+    let times = wallclock_samples(samples, || {
+        let _ = run_himeno(Variant::ClMpi, cfg());
+    });
+    let ms = |n: u128| n as f64 / 1e6;
+
+    let nano = run_nanopowder(
+        NanoVariant::ClMpi,
+        NanoConfig {
+            sections: 120,
+            steps: 2,
+            sys: SystemConfig::ricc(),
+            nodes: 4,
+        },
+    );
+    let nano_fnv = fnv1a(
+        &nano
+            .final_n
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect::<Vec<u8>>(),
+    );
+
+    // Hand-rolled json (workspace has zero external deps). f64 witnesses
+    // are stored as IEEE-754 bit patterns so equality is exact.
+    let json = format!(
+        "{{\n  \"bench\": \"himeno_m_overlap\",\n  \"label\": \"{label}\",\n  \
+         \"himeno\": {{\n    \"grid\": \"M\", \"variant\": \"clMPI\", \"system\": \"cichlid\",\n    \
+         \"nodes\": {nodes}, \"iters\": {iters},\n    \
+         \"virtual_elapsed_ns\": {}, \"gflops\": {:.6},\n    \
+         \"gosa_bits\": {}, \"checksum_bits\": {}\n  }},\n  \
+         \"nanopowder\": {{\n    \"sections\": 120, \"steps\": 2, \"system\": \"ricc\", \"nodes\": 4,\n    \
+         \"virtual_total_ns\": {}, \"virtual_step_ns\": {}, \"final_n_fnv1a\": {}\n  }},\n  \
+         \"wallclock_ms\": {{ \"samples\": {samples}, \"min\": {:.3}, \"median\": {:.3}, \"max\": {:.3} }}\n}}\n",
+        him.elapsed_ns,
+        him.gflops,
+        him.gosa.to_bits(),
+        him.checksum.to_bits(),
+        nano.total_ns,
+        nano.step_ns,
+        nano_fnv,
+        ms(times[0]),
+        ms(times[times.len() / 2]),
+        ms(times[times.len() - 1]),
+    );
+    println!("{json}");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("(bench json written to {out})");
+}

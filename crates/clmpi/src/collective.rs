@@ -11,12 +11,15 @@
 //! can chain on its completion — the same programming model as the
 //! point-to-point commands.
 
-use minicl::{Buffer, ClError, ClResult, CommandQueue, Event};
+use std::sync::Arc;
+
+use minicl::{Buffer, ClError, ClResult, CommandQueue, Device, Event, UserEvent};
 use minimpi::{Datatype, Rank, Tag};
-use simtime::Actor;
+use simtime::{Actor, SimNs};
 
 use crate::data_tag;
-use crate::runtime::ClMpi;
+use crate::engine::{deps_settled, EngineOp, Step};
+use crate::runtime::{ClMpi, Inner};
 use crate::strategy::{ResolvedStrategy, TransferStrategy};
 
 impl ClMpi {
@@ -50,60 +53,119 @@ impl ClMpi {
         }
         // Root: one device→host staging pass, then per-destination
         // network injections (serialized on the root's NIC, as a flat
-        // broadcast is). Runs on a runtime thread like every command.
+        // broadcast is). A machine on the rank's engine, like every
+        // command.
         let ue = self.context().create_user_event(format!("bcast→all#{tag}"));
         let event = ue.event();
-        let inner = self.inner_handle();
-        let strategy = self.resolved_for(size);
-        let wait: Vec<Event> = wait_list.to_vec();
-        let buf = buf.clone();
-        let device = queue.device().clone();
-        let nranks = self.comm().size();
-        let me = self.rank();
-        self.spawn_runtime_job(format!("clmpi-bcast-r{me}-t{tag}"), move |a| {
-            Event::wait_all(&wait, a);
-            let plan = ResolvedStrategy::plan(strategy, size);
-            let pcie = device.spec().pcie;
-            let t0 = a.now_ns();
-            let mut done_at = t0;
-            // Stage each chunk once; send it to every destination.
-            let mut first = true;
-            for &(coff, clen) in &plan.chunks {
-                let bytes = buf
-                    .load(offset + coff, clen)
-                    .expect("range checked at enqueue");
-                let staged_end = match strategy {
-                    TransferStrategy::Mapped => t0 + pcie.map_setup_ns,
-                    _ => {
-                        let earliest = if first { t0 + pcie.pin_setup_ns } else { t0 };
-                        device
-                            .d2h_link()
-                            .reserve_duration(pcie.staged_ns(clen, true), earliest)
-                            .end
-                    }
-                };
-                first = false;
-                for r in 0..nranks {
-                    if r == me {
-                        // Local copy: the root's own region already holds
-                        // the data.
-                        continue;
-                    }
-                    let req = inner.comm_handle().isend_raw(
-                        a,
-                        r,
-                        data_tag(tag),
-                        Datatype::ClMem,
-                        &bytes,
-                        staged_end,
-                        None,
-                    );
-                    done_at = done_at.max(req.known_completion().expect("send known"));
-                }
-            }
-            a.advance_until(done_at);
-            ue.set_complete(a.now_ns()).expect("bcast completed once");
-        });
+        self.inner.engine.submit(Box::new(BcastOp {
+            inner: self.inner.clone(),
+            device: queue.device().clone(),
+            buf: buf.clone(),
+            offset,
+            size,
+            wire_tag: data_tag(tag),
+            strategy: self.resolve(size),
+            wait: wait_list.to_vec(),
+            ue,
+            label: format!("clmpi-bcast-r{}-t{tag}", self.rank()),
+            state: BcastState::WaitDeps,
+        }));
         Ok(event)
+    }
+}
+
+/// The root side of `enqueue_bcast_buffer`: wait list → one staging +
+/// fan-out burst (all reservations made at the deps-ready instant) →
+/// completion at the last injection's end.
+struct BcastOp {
+    inner: Arc<Inner>,
+    device: Device,
+    buf: Buffer,
+    offset: usize,
+    size: usize,
+    wire_tag: Tag,
+    strategy: TransferStrategy,
+    wait: Vec<Event>,
+    ue: UserEvent,
+    label: String,
+    state: BcastState,
+}
+
+enum BcastState {
+    WaitDeps,
+    Finish { done_at: SimNs },
+    Done,
+}
+
+impl EngineOp for BcastOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, actor: &Actor) -> Step {
+        loop {
+            match self.state {
+                BcastState::WaitDeps => {
+                    // The prototype ignores dependency failures (like the
+                    // blocking `Event::wait_all` it grew from): the
+                    // broadcast proceeds once every dependency settled.
+                    if !deps_settled(&self.wait) {
+                        return Step::Park(None);
+                    }
+                    let plan = ResolvedStrategy::plan(self.strategy, self.size);
+                    let pcie = self.device.spec().pcie;
+                    let t0 = now;
+                    let mut done_at = t0;
+                    // Stage each chunk once; send it to every destination.
+                    let mut first = true;
+                    let nranks = self.inner.comm.size();
+                    let me = self.inner.comm.rank();
+                    for &(coff, clen) in &plan.chunks {
+                        let bytes = self
+                            .buf
+                            .load(self.offset + coff, clen)
+                            .expect("range checked at enqueue");
+                        let staged_end = match self.strategy {
+                            TransferStrategy::Mapped => t0 + pcie.map_setup_ns,
+                            _ => {
+                                let earliest = if first { t0 + pcie.pin_setup_ns } else { t0 };
+                                self.device
+                                    .d2h_link()
+                                    .reserve_duration(pcie.staged_ns(clen, true), earliest)
+                                    .end
+                            }
+                        };
+                        first = false;
+                        for r in 0..nranks {
+                            if r == me {
+                                // Local copy: the root's own region
+                                // already holds the data.
+                                continue;
+                            }
+                            let req = self.inner.comm.isend_raw(
+                                actor,
+                                r,
+                                self.wire_tag,
+                                Datatype::ClMem,
+                                &bytes,
+                                staged_end,
+                                None,
+                            );
+                            done_at = done_at.max(req.known_completion().expect("send known"));
+                        }
+                    }
+                    self.state = BcastState::Finish { done_at };
+                }
+                BcastState::Finish { done_at } => {
+                    if now < done_at {
+                        return Step::Park(Some(done_at));
+                    }
+                    self.ue.set_complete(done_at).expect("bcast completed once");
+                    self.state = BcastState::Done;
+                    return Step::Done;
+                }
+                BcastState::Done => return Step::Done,
+            }
+        }
     }
 }

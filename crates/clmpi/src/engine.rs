@@ -1,0 +1,1395 @@
+//! The per-rank progress engine: one long-lived runtime actor that drives
+//! every in-flight clMPI operation as an explicit state machine.
+//!
+//! ### Why an engine (paper §V-A, revisited)
+//!
+//! The paper's runtime executes communication commands on an internal
+//! thread so the host thread is never blocked. Earlier revisions of this
+//! reproduction spawned one short-lived runtime thread per command; this
+//! module replaces them with the paper's actual architecture: a single
+//! per-rank progress thread that multiplexes **all** outstanding work —
+//! chunked transfers, MPI request wrappers, collective fan-outs, file
+//! I/O, and retry/backoff timers — as cooperative state machines.
+//!
+//! ### Execution model
+//!
+//! Each operation implements [`EngineOp`]: a `step` function that runs at
+//! the engine's current virtual instant and returns a [`Step`] verdict.
+//! The engine actor evaluates all registered machines to a fixpoint at
+//! one frozen instant, then blocks until either a clock notification
+//! (event completed, message matched, new submission) or one of the
+//! future instants the machines asked to be woken at (retry backoff
+//! expiry, injection end, staging completion) — scheduled as thread-less
+//! clock alarms, never as a parked thread.
+//!
+//! **The engine never blocks inside a machine.** A machine that needs a
+//! future instant *parks* with a wake hint; a machine that needs another
+//! actor's progress parks without one and relies on the clock's notify
+//! protocol. This is what the repo's CI lint enforces: this file must
+//! contain no blocking wait, no blocking receive, and no virtual-time
+//! sleep — the only places the data plane may touch virtual time are
+//! reservation timelines and alarms.
+//!
+//! ### Determinism
+//!
+//! Submissions are handled at the submitting actor's *current* virtual
+//! instant: `submit` notifies the clock, and the clock cannot advance
+//! until every blocked actor — the engine included — has re-evaluated its
+//! predicate. Within one engine, machines step in FIFO submission order,
+//! which makes same-instant resource reservations deterministic per rank
+//! (the previous one-thread-per-command design raced them).
+
+use std::sync::Arc;
+use std::thread::{JoinHandle, ThreadId};
+
+use minicl::{
+    Buffer, ClError, ClResult, Device, Event, HostBuffer, UserEvent, WaitListStatus,
+    CL_MPI_TRANSFER_ERROR, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST,
+};
+use minimpi::{Datatype, MpiError, Rank, RecvResult, Request, Tag};
+use simtime::plock::Mutex;
+use simtime::{Actor, Completion, CompletionState, Monitor, SimClock, SimNs};
+
+use crate::retry::RetryPolicy;
+use crate::runtime::Inner;
+use crate::strategy::{ResolvedStrategy, TransferStrategy};
+
+// ----------------------------------------------------------------------
+// Engine core
+// ----------------------------------------------------------------------
+
+/// Verdict of one [`EngineOp::step`] call at the engine's current instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The machine changed state and wants to be stepped again at the
+    /// same instant (e.g. it finished one phase and the next phase can
+    /// start immediately).
+    Progressed,
+    /// Nothing to do right now. `Some(t)` asks for a wake-up at the
+    /// strictly-future instant `t` (a retry backoff expiry, an injection
+    /// end); `None` means "wake me on any cross-actor notification"
+    /// (an event completing, a message matching). A machine that could
+    /// settle at the current instant must progress instead of parking.
+    Park(Option<SimNs>),
+    /// The operation finished (its event settled, its result landed);
+    /// the engine unregisters it.
+    Done,
+}
+
+/// An in-flight operation driven by the engine. Implementations are
+/// state machines: `step` runs at a frozen virtual instant, must never
+/// block, and reports how the engine should treat the machine next.
+pub trait EngineOp: Send {
+    /// Diagnostic label (mirrors the thread names of the old
+    /// one-thread-per-command design).
+    fn label(&self) -> &str;
+
+    /// Advance the machine as far as possible at virtual instant `now`.
+    /// `actor` is the engine's own clock actor: machines may use it to
+    /// post non-blocking MPI calls, but must never park it.
+    fn step(&mut self, now: SimNs, actor: &Actor) -> Step;
+}
+
+#[derive(Default)]
+struct EngineShared {
+    /// Newly submitted machines, drained by the worker at the
+    /// submission instant.
+    incoming: Vec<Box<dyn EngineOp>>,
+    /// Machines submitted but not yet finished (incoming + registered).
+    active: usize,
+    /// Once set, the worker exits as soon as every machine finishes.
+    shutdown: bool,
+}
+
+/// The per-rank progress engine. Owns one worker thread (a clock actor)
+/// that steps every registered [`EngineOp`] to completion.
+pub struct Engine {
+    shared: Arc<Monitor<EngineShared>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    worker_id: ThreadId,
+}
+
+impl Engine {
+    /// Start an engine on `clock`. The calling thread must be a running
+    /// clock actor (the registration rule): the worker's actor is
+    /// registered here, before its thread spawns.
+    pub fn start(clock: &SimClock, label: String) -> Engine {
+        let actor = clock.register(label.clone());
+        let shared = Arc::new(Monitor::new(clock.clone(), EngineShared::default()));
+        let worker_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name(label)
+            .spawn(move || worker(actor, worker_shared))
+            .expect("spawn clMPI progress engine");
+        let worker_id = handle.thread().id();
+        Engine {
+            shared,
+            handle: Mutex::new(Some(handle)),
+            worker_id,
+        }
+    }
+
+    /// Register a machine. It is first stepped at the caller's current
+    /// virtual instant — the clock cannot advance past the submission
+    /// before the engine has seen it.
+    pub fn submit(&self, op: Box<dyn EngineOp>) {
+        self.shared.with(|s| {
+            assert!(!s.shutdown, "clMPI engine already shut down");
+            s.active += 1;
+            s.incoming.push(op);
+        });
+    }
+
+    /// Block `actor` (in virtual time) until every submitted machine has
+    /// finished.
+    pub fn wait_idle(&self, actor: &Actor) {
+        self.shared
+            .wait_labeled(actor, "clmpi shutdown", |s| (s.active == 0).then_some(()));
+    }
+
+    /// Number of machines submitted but not yet finished.
+    pub fn active(&self) -> usize {
+        self.shared.peek(|s| s.active)
+    }
+
+    /// True when called from the engine's own worker thread (used by
+    /// drop paths that must not join themselves).
+    pub(crate) fn on_worker_thread(&self) -> bool {
+        std::thread::current().id() == self.worker_id
+    }
+}
+
+impl Drop for Engine {
+    /// Ask the worker to exit once its machines drain, and reap it.
+    /// Callers must drain first ([`Engine::wait_idle`]) unless dropping
+    /// from the worker itself — joining an engine that still owes
+    /// virtual-time progress would stall the clock.
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return; // clock is poisoned; the worker dies on its own
+        }
+        self.shared.with(|s| s.shutdown = true);
+        if let Some(h) = self.handle.lock().take() {
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The engine loop. Runs entirely inside one predicate wait: every pass
+/// happens at a frozen virtual instant (the worker is runnable while
+/// stepping), and between passes the worker is a blocked actor whose
+/// scheduled alarms are eligible to drive the clock.
+fn worker(actor: Actor, shared: Arc<Monitor<EngineShared>>) {
+    let clock = actor.clock().clone();
+    let mut ops: Vec<Box<dyn EngineOp>> = Vec::new();
+    // Alarm instants already scheduled, so repeated parks at the same
+    // target do not flood the clock's alarm heap.
+    let mut alarms: Vec<SimNs> = Vec::new();
+    actor.wait_until_labeled("clmpi engine", || {
+        if let Some(mut newly) = shared.try_now(|s| {
+            if s.incoming.is_empty() {
+                None
+            } else {
+                Some(std::mem::take(&mut s.incoming))
+            }
+        }) {
+            ops.append(&mut newly);
+        }
+        let now = clock.now_ns();
+        alarms.retain(|&t| t > now);
+        let mut made_progress = true;
+        while made_progress {
+            made_progress = false;
+            let mut i = 0;
+            while i < ops.len() {
+                match ops[i].step(now, &actor) {
+                    Step::Progressed => {
+                        made_progress = true;
+                        i += 1;
+                    }
+                    Step::Park(hint) => {
+                        if let Some(t) = hint {
+                            debug_assert!(t > now, "machines must progress, not park, when due");
+                            if t > now && !alarms.contains(&t) {
+                                clock.schedule_alarm(t);
+                                alarms.push(t);
+                            }
+                        }
+                        i += 1;
+                    }
+                    Step::Done => {
+                        let op = ops.remove(i);
+                        // Decrement while the machine is still alive:
+                        // dropping it may release the last handle on the
+                        // runtime, whose drop path reads this counter.
+                        shared.with(|s| s.active -= 1);
+                        drop(op);
+                        made_progress = true;
+                    }
+                }
+            }
+        }
+        (ops.is_empty() && shared.peek(|s| s.shutdown && s.incoming.is_empty())).then_some(())
+    });
+}
+
+// ----------------------------------------------------------------------
+// Shared building blocks
+// ----------------------------------------------------------------------
+
+/// Poll a wait list the way the old runtime threads waited on it, but
+/// without blocking: `Pending` until *every* event settles, then the
+/// first failure in list order (poisoning), or `Ready`.
+pub(crate) fn poll_deps(wait: &[Event]) -> WaitListStatus {
+    Event::poll_wait_list(wait)
+}
+
+/// Like [`poll_deps`] but ignoring failures — the collective and file
+/// commands historically only ordered on settlement, not success.
+pub(crate) fn deps_settled(wait: &[Event]) -> bool {
+    !matches!(Event::poll_wait_list(wait), WaitListStatus::Pending)
+}
+
+/// One wire chunk injected reliably: on sender-observed loss (the
+/// fabric's link-layer NACK model) the machine enters a virtual-time
+/// backoff and retransmits when the engine wakes it, up to the policy's
+/// attempt budget. Feeds the degradation latch and the fault counters.
+/// This replaces the old eager retry loop: the backoff is now a real
+/// engine-scheduled timer instead of a pre-dated reservation.
+pub(crate) struct ReliableChunkSend {
+    dst: Rank,
+    wire_tag: Tag,
+    bytes: Vec<u8>,
+    duration: Option<SimNs>,
+    policy: RetryPolicy,
+    attempt: u32,
+    state: ChunkState,
+}
+
+enum ChunkState {
+    /// Ready to inject, no earlier than `earliest`.
+    Ready { earliest: SimNs },
+    /// Last injection was dropped; retransmit at `resume_at`.
+    Backoff { resume_at: SimNs },
+    /// Injection succeeded; the wire is busy until `done_at`.
+    Sent { done_at: SimNs },
+    /// Retry budget exhausted; the failure settles at `at` (the end of
+    /// the last burned injection, as the old path charged it).
+    Failed { at: SimNs },
+}
+
+/// Verdict of one [`ReliableChunkSend::step`].
+pub(crate) enum ChunkStep {
+    /// State changed; step again at the same instant.
+    Progressed,
+    /// Waiting for a future instant (backoff expiry or failure charge).
+    Park(SimNs),
+    /// Delivered; injection ended at the given instant.
+    Sent(SimNs),
+    /// Permanently failed at the given instant.
+    Failed(SimNs),
+}
+
+impl ReliableChunkSend {
+    /// Snapshot the runtime's current retry policy (per chunk, as the
+    /// old path read it per call) and arm the first injection.
+    pub(crate) fn new(
+        inner: &Inner,
+        dst: Rank,
+        wire_tag: Tag,
+        bytes: Vec<u8>,
+        earliest: SimNs,
+        duration: Option<SimNs>,
+    ) -> Self {
+        ReliableChunkSend {
+            dst,
+            wire_tag,
+            bytes,
+            duration,
+            policy: *inner.retry.lock(),
+            attempt: 0,
+            state: ChunkState::Ready { earliest },
+        }
+    }
+
+    /// The error the old path returned on budget exhaustion.
+    pub(crate) fn exhaustion_error(&self) -> ClError {
+        ClError::TransferFailed(format!(
+            "chunk to rank {} lost {} time(s) on tag {}; retry budget exhausted",
+            self.dst, self.policy.max_attempts, self.wire_tag
+        ))
+    }
+
+    pub(crate) fn step(&mut self, inner: &Inner, now: SimNs, actor: &Actor) -> ChunkStep {
+        match self.state {
+            ChunkState::Ready { earliest } => {
+                self.attempt += 1;
+                let req = inner.comm.isend_raw(
+                    actor,
+                    self.dst,
+                    self.wire_tag,
+                    Datatype::ClMem,
+                    &self.bytes,
+                    earliest,
+                    self.duration,
+                );
+                let done = req.known_completion().expect("send completion known");
+                if req.delivered() {
+                    inner.fault_state.lock().consecutive_drops = 0;
+                    self.state = ChunkState::Sent { done_at: done };
+                    return ChunkStep::Progressed;
+                }
+                // The chunk burned link time but never reached the peer.
+                if let Some(stats) = inner.stats.lock().as_ref() {
+                    stats.note_drop();
+                }
+                let newly_degraded = {
+                    let mut fs = inner.fault_state.lock();
+                    fs.consecutive_drops += 1;
+                    if !fs.degraded && fs.consecutive_drops >= self.policy.degrade_after {
+                        fs.degraded = true;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let fault_lane = format!("r{}.fault", inner.comm.rank());
+                if newly_degraded {
+                    if let Some(stats) = inner.stats.lock().as_ref() {
+                        stats.note_degraded();
+                    }
+                    inner
+                        .trace
+                        .record(fault_lane.as_str(), "degrade pipelined→pinned", done, done);
+                }
+                if self.attempt == self.policy.max_attempts {
+                    if let Some(stats) = inner.stats.lock().as_ref() {
+                        stats.note_failure();
+                    }
+                    self.state = ChunkState::Failed { at: done };
+                    return ChunkStep::Progressed;
+                }
+                let backoff = self.policy.backoff_ns(self.attempt);
+                inner.trace.record(
+                    fault_lane.as_str(),
+                    format!("retry#{}→r{}", self.attempt, self.dst),
+                    done,
+                    done.saturating_add(backoff),
+                );
+                if let Some(stats) = inner.stats.lock().as_ref() {
+                    stats.note_retry();
+                }
+                self.state = ChunkState::Backoff {
+                    resume_at: done.saturating_add(backoff),
+                };
+                ChunkStep::Progressed
+            }
+            ChunkState::Backoff { resume_at } => {
+                if now >= resume_at {
+                    self.state = ChunkState::Ready {
+                        earliest: resume_at,
+                    };
+                    ChunkStep::Progressed
+                } else {
+                    ChunkStep::Park(resume_at)
+                }
+            }
+            ChunkState::Sent { done_at } => ChunkStep::Sent(done_at),
+            ChunkState::Failed { at } => {
+                if now >= at {
+                    ChunkStep::Failed(at)
+                } else {
+                    // Charge the time actually spent trying before the
+                    // failure becomes observable (the old path slept to
+                    // the last injection's end before erroring).
+                    ChunkStep::Park(at)
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Device-buffer transfer machines (enqueue_send/recv_buffer, gpu-aware)
+// ----------------------------------------------------------------------
+
+/// Where a machine reports its final result when a caller is blocked on
+/// it (the gpu-aware comparator paths). The event carries the same
+/// outcome for event-ordered callers.
+pub(crate) type ResultSlot = Arc<Monitor<Option<ClResult<()>>>>;
+
+/// `clEnqueueSendBuffer` as a state machine: wait list → chunked
+/// device→host staging and reliable network injection → completion at
+/// the last injection's end.
+pub(crate) struct SendOp {
+    inner: Arc<Inner>,
+    device: Device,
+    buf: Buffer,
+    offset: usize,
+    size: usize,
+    dst: Rank,
+    wire_tag: Tag,
+    strategy: TransferStrategy,
+    wait: Vec<Event>,
+    ue: UserEvent,
+    result: Option<ResultSlot>,
+    label: String,
+    state: SendState,
+}
+
+enum SendState {
+    WaitDeps,
+    Transfer(SendTransfer),
+    Finish { done_at: SimNs },
+    Done,
+}
+
+struct SendTransfer {
+    t0: SimNs,
+    chunks: Vec<(usize, usize)>,
+    next_chunk: usize,
+    first: bool,
+    /// The in-flight chunk and the trace spans to record once it lands.
+    current: Option<(ReliableChunkSend, ChunkTrace)>,
+    done_at: SimNs,
+}
+
+enum ChunkTrace {
+    /// Mapped path: one fused map+send span from `t0`.
+    Mapped { t0: SimNs },
+    /// Staged path: the d2h span, then a net span from `d2h.1`.
+    Staged { d2h: (SimNs, SimNs) },
+}
+
+impl SendOp {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        device: Device,
+        buf: Buffer,
+        offset: usize,
+        size: usize,
+        dst: Rank,
+        user_tag: Tag,
+        wire_tag: Tag,
+        strategy: TransferStrategy,
+        wait: Vec<Event>,
+        ue: UserEvent,
+        result: Option<ResultSlot>,
+    ) -> Self {
+        let label = format!("clmpi-send-r{}-t{user_tag}", inner.comm.rank());
+        SendOp {
+            inner,
+            device,
+            buf,
+            offset,
+            size,
+            dst,
+            wire_tag,
+            strategy,
+            wait,
+            ue,
+            result,
+            label,
+            state: SendState::WaitDeps,
+        }
+    }
+
+    fn settle(&mut self, outcome: ClResult<()>, at: SimNs) -> Step {
+        if let Some(slot) = &self.result {
+            slot.with(|s| *s = Some(outcome.clone()));
+        }
+        match outcome {
+            Ok(()) => self.ue.set_complete(at).expect("send event completed once"),
+            Err(ClError::EventFailed { .. }) => self
+                .ue
+                .set_failed(at, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST)
+                .expect("send event settled once"),
+            Err(_) => self
+                .ue
+                .set_failed(at, CL_MPI_TRANSFER_ERROR)
+                .expect("send event settled once"),
+        }
+        self.state = SendState::Done;
+        Step::Done
+    }
+}
+
+impl EngineOp for SendOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, actor: &Actor) -> Step {
+        loop {
+            match &mut self.state {
+                SendState::WaitDeps => match poll_deps(&self.wait) {
+                    WaitListStatus::Pending => return Step::Park(None),
+                    WaitListStatus::Failed { code, label } => {
+                        // A failed dependency poisons this command, as
+                        // the queue executor does for ordinary commands.
+                        return self.settle(Err(ClError::EventFailed { code, label }), now);
+                    }
+                    WaitListStatus::Ready => {
+                        let plan = ResolvedStrategy::plan(self.strategy, self.size);
+                        self.state = SendState::Transfer(SendTransfer {
+                            t0: now,
+                            chunks: plan.chunks,
+                            next_chunk: 0,
+                            first: true,
+                            current: None,
+                            done_at: now,
+                        });
+                    }
+                },
+                SendState::Transfer(tr) => {
+                    if tr.current.is_none()
+                        && tr.first
+                        && tr.next_chunk >= tr.chunks.len()
+                        && !matches!(self.strategy, TransferStrategy::Mapped)
+                    {
+                        // Zero-byte staged send: nothing to inject.
+                        let (t0, done_at) = (tr.t0, tr.done_at);
+                        if let Some(stats) = self.inner.stats.lock().as_ref() {
+                            stats.record(
+                                "send",
+                                &self.strategy.name(),
+                                self.size,
+                                done_at.saturating_sub(t0),
+                            );
+                        }
+                        if let Some(sel) = self.inner.adaptive.lock().as_ref() {
+                            sel.observe(self.size, self.strategy, done_at.saturating_sub(t0));
+                        }
+                        self.state = SendState::Finish { done_at };
+                        continue;
+                    }
+                    if tr.current.is_none() {
+                        let pcie = self.device.spec().pcie;
+                        let (chunk, spans) = match self.strategy {
+                            TransferStrategy::Mapped => {
+                                // Map the whole region once; the NIC
+                                // streams straight through PCIe, fused
+                                // with the injection.
+                                let bytes = self
+                                    .buf
+                                    .load(self.offset, self.size)
+                                    .expect("range checked at enqueue");
+                                let stream =
+                                    (self.size as f64 * 1e9 / pcie.mapped_bps).round() as SimNs;
+                                let fused = self
+                                    .inner
+                                    .cfg
+                                    .cluster
+                                    .link
+                                    .injection_ns(self.size)
+                                    .max(stream);
+                                tr.next_chunk = tr.chunks.len(); // single fused transfer
+                                (
+                                    ReliableChunkSend::new(
+                                        &self.inner,
+                                        self.dst,
+                                        self.wire_tag,
+                                        bytes,
+                                        tr.t0 + pcie.map_setup_ns,
+                                        Some(fused),
+                                    ),
+                                    ChunkTrace::Mapped { t0: tr.t0 },
+                                )
+                            }
+                            TransferStrategy::Pinned | TransferStrategy::Pipelined(_) => {
+                                // Staged path: chunks flow d2h (pinned
+                                // staging) then network. Retransmits
+                                // re-inject from the host staging copy —
+                                // the d2h stage is not repeated.
+                                let (coff, clen) = tr.chunks[tr.next_chunk];
+                                tr.next_chunk += 1;
+                                let bytes = self
+                                    .buf
+                                    .load(self.offset + coff, clen)
+                                    .expect("range checked at enqueue");
+                                let earliest = if tr.first {
+                                    tr.t0 + pcie.pin_setup_ns
+                                } else {
+                                    tr.t0
+                                };
+                                tr.first = false;
+                                let d2h = self
+                                    .device
+                                    .d2h_link()
+                                    .reserve_duration(pcie.staged_ns(clen, true), earliest);
+                                (
+                                    ReliableChunkSend::new(
+                                        &self.inner,
+                                        self.dst,
+                                        self.wire_tag,
+                                        bytes,
+                                        d2h.end,
+                                        None,
+                                    ),
+                                    ChunkTrace::Staged {
+                                        d2h: (d2h.start, d2h.end),
+                                    },
+                                )
+                            }
+                            TransferStrategy::Auto => {
+                                unreachable!("strategy resolved before dispatch")
+                            }
+                        };
+                        tr.current = Some((chunk, spans));
+                    }
+                    let (chunk, _) = tr.current.as_mut().expect("chunk armed above");
+                    match chunk.step(&self.inner, now, actor) {
+                        ChunkStep::Progressed => continue,
+                        ChunkStep::Park(t) => return Step::Park(Some(t)),
+                        ChunkStep::Failed(at) => {
+                            let (chunk, _) = tr.current.take().expect("chunk present");
+                            return self.settle(Err(chunk.exhaustion_error()), at);
+                        }
+                        ChunkStep::Sent(done) => {
+                            let lane = format!("r{}.comm", self.inner.comm.rank());
+                            let (_, spans) = tr.current.take().expect("chunk present");
+                            match spans {
+                                ChunkTrace::Mapped { t0 } => self.inner.trace.record(
+                                    lane.as_str(),
+                                    format!("map+send→{}", self.dst),
+                                    t0,
+                                    done,
+                                ),
+                                ChunkTrace::Staged { d2h } => {
+                                    self.inner.trace.record(lane.as_str(), "d2h", d2h.0, d2h.1);
+                                    self.inner.trace.record(
+                                        lane.as_str(),
+                                        format!("net→{}", self.dst),
+                                        d2h.1,
+                                        done,
+                                    );
+                                }
+                            }
+                            tr.done_at = done;
+                            if tr.next_chunk < tr.chunks.len() {
+                                continue; // arm the next chunk at this instant
+                            }
+                            let (t0, done_at) = (tr.t0, tr.done_at);
+                            if let Some(stats) = self.inner.stats.lock().as_ref() {
+                                stats.record(
+                                    "send",
+                                    &self.strategy.name(),
+                                    self.size,
+                                    done_at.saturating_sub(t0),
+                                );
+                            }
+                            if let Some(sel) = self.inner.adaptive.lock().as_ref() {
+                                sel.observe(self.size, self.strategy, done_at.saturating_sub(t0));
+                            }
+                            self.state = SendState::Finish { done_at };
+                        }
+                    }
+                }
+                SendState::Finish { done_at } => {
+                    let done_at = *done_at;
+                    if now >= done_at {
+                        return self.settle(Ok(()), done_at);
+                    }
+                    return Step::Park(Some(done_at));
+                }
+                SendState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+/// `clEnqueueRecvBuffer` as a state machine: wait list → staging setup →
+/// per-chunk matched receive (with the retry policy's patience under a
+/// fault plan) → host→device staging → completion with the data in
+/// device memory.
+pub(crate) struct RecvOp {
+    inner: Arc<Inner>,
+    device: Device,
+    buf: Buffer,
+    offset: usize,
+    size: usize,
+    src: Rank,
+    wire_tag: Tag,
+    strategy: TransferStrategy,
+    wait: Vec<Event>,
+    ue: UserEvent,
+    result: Option<ResultSlot>,
+    label: String,
+    received: usize,
+    recv_t0: SimNs,
+    state: RecvState,
+}
+
+enum RecvState {
+    WaitDeps,
+    /// One-time staging setup cost, paid up front (it overlaps the wait
+    /// for the first chunk, which it precedes).
+    Setup {
+        resume_at: SimNs,
+    },
+    /// A posted matched-receive; `deadline` is the per-chunk patience
+    /// under a fault plan (never set on a perfect fabric, keeping the
+    /// zero-fault path exactly the seed's).
+    AwaitChunk {
+        req: Request,
+        deadline: Option<(SimNs, SimNs)>, // (expiry instant, patience)
+    },
+    /// Staged path: the chunk is crossing PCIe until `end`.
+    Stage {
+        data: Vec<u8>,
+        start: SimNs,
+        end: SimNs,
+    },
+    /// Mapped path: the post-transfer unmap cost.
+    Unmap {
+        resume_at: SimNs,
+    },
+    Done,
+}
+
+impl RecvOp {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        device: Device,
+        buf: Buffer,
+        offset: usize,
+        size: usize,
+        src: Rank,
+        user_tag: Tag,
+        wire_tag: Tag,
+        strategy: TransferStrategy,
+        wait: Vec<Event>,
+        ue: UserEvent,
+        result: Option<ResultSlot>,
+    ) -> Self {
+        let label = format!("clmpi-recv-r{}-t{user_tag}", inner.comm.rank());
+        RecvOp {
+            inner,
+            device,
+            buf,
+            offset,
+            size,
+            src,
+            wire_tag,
+            strategy,
+            wait,
+            ue,
+            result,
+            label,
+            received: 0,
+            recv_t0: 0,
+            state: RecvState::WaitDeps,
+        }
+    }
+
+    fn settle(&mut self, outcome: ClResult<()>, at: SimNs) -> Step {
+        if let Some(slot) = &self.result {
+            slot.with(|s| *s = Some(outcome.clone()));
+        }
+        match outcome {
+            Ok(()) => self.ue.set_complete(at).expect("recv event completed once"),
+            Err(ClError::EventFailed { .. }) => self
+                .ue
+                .set_failed(at, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST)
+                .expect("recv event settled once"),
+            Err(_) => self
+                .ue
+                .set_failed(at, CL_MPI_TRANSFER_ERROR)
+                .expect("recv event settled once"),
+        }
+        self.state = RecvState::Done;
+        Step::Done
+    }
+
+    /// Post the matched receive for the next wire chunk. On a perfect
+    /// fabric the machine waits indefinitely (the seed's blocking-recv
+    /// semantics); under a fault plan it applies the policy's per-chunk
+    /// patience, read per chunk as the old path did.
+    fn post_chunk(&mut self, now: SimNs, actor: &Actor) {
+        let req = self
+            .inner
+            .comm
+            .irecv(actor, Some(self.src), Some(self.wire_tag));
+        let deadline = self.inner.comm.world().has_faults().then(|| {
+            let patience = self.inner.retry.lock().chunk_timeout_ns;
+            (now + patience, patience)
+        });
+        self.state = RecvState::AwaitChunk { req, deadline };
+    }
+
+    /// Store a fully arrived-and-staged chunk, then either post the next
+    /// receive or finish the command.
+    fn chunk_done(&mut self, len: usize, now: SimNs, actor: &Actor) -> Option<Step> {
+        self.received += len;
+        if self.received < self.size {
+            self.post_chunk(now, actor);
+            return None;
+        }
+        if self.strategy == TransferStrategy::Mapped {
+            // Unmap after the MPI transfer completes (map → MPI → unmap,
+            // the paper's mapped implementation).
+            let pcie = self.device.spec().pcie;
+            self.state = RecvState::Unmap {
+                resume_at: now + pcie.map_setup_ns,
+            };
+            return None;
+        }
+        Some(self.finish(now))
+    }
+
+    fn finish(&mut self, now: SimNs) -> Step {
+        if let Some(stats) = self.inner.stats.lock().as_ref() {
+            stats.record(
+                "recv",
+                &self.strategy.name(),
+                self.size,
+                now.saturating_sub(self.recv_t0),
+            );
+        }
+        if let Some(sel) = self.inner.adaptive.lock().as_ref() {
+            sel.observe(self.size, self.strategy, now.saturating_sub(self.recv_t0));
+        }
+        self.settle(Ok(()), now)
+    }
+}
+
+impl EngineOp for RecvOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, actor: &Actor) -> Step {
+        loop {
+            match &mut self.state {
+                RecvState::WaitDeps => match poll_deps(&self.wait) {
+                    WaitListStatus::Pending => return Step::Park(None),
+                    WaitListStatus::Failed { code, label } => {
+                        return self.settle(Err(ClError::EventFailed { code, label }), now);
+                    }
+                    WaitListStatus::Ready => {
+                        self.recv_t0 = now;
+                        let pcie = self.device.spec().pcie;
+                        let setup = match self.strategy {
+                            TransferStrategy::Mapped => pcie.map_setup_ns,
+                            TransferStrategy::Pinned | TransferStrategy::Pipelined(_) => {
+                                pcie.pin_setup_ns
+                            }
+                            TransferStrategy::Auto => {
+                                unreachable!("strategy resolved before dispatch")
+                            }
+                        };
+                        self.state = RecvState::Setup {
+                            resume_at: now + setup,
+                        };
+                    }
+                },
+                RecvState::Setup { resume_at } => {
+                    let resume_at = *resume_at;
+                    if now < resume_at {
+                        return Step::Park(Some(resume_at));
+                    }
+                    // `chunk_done(0)` posts the first receive, or — for a
+                    // zero-byte transfer — goes straight to completion.
+                    if let Some(step) = self.chunk_done(0, now, actor) {
+                        return step;
+                    }
+                }
+                RecvState::AwaitChunk { req, deadline } => {
+                    let deadline = *deadline;
+                    if let Some(result) = req.test(actor) {
+                        let r = result.expect("matched receive yields a payload");
+                        if self.received + r.data.len() > self.size {
+                            return self.settle(
+                                Err(ClError::TransferFailed(format!(
+                                    "clMPI transfer overflow: got {} bytes into a {}-byte receive",
+                                    self.received + r.data.len(),
+                                    self.size
+                                ))),
+                                now,
+                            );
+                        }
+                        match self.strategy {
+                            TransferStrategy::Mapped => {
+                                // Zero-copy: the NIC already wrote through
+                                // PCIe during the sender-fused stream; the
+                                // data is usable at arrival.
+                                self.buf
+                                    .store(self.offset + self.received, &r.data)
+                                    .expect("range checked at enqueue");
+                                if let Some(step) = self.chunk_done(r.data.len(), now, actor) {
+                                    return step;
+                                }
+                            }
+                            TransferStrategy::Pinned | TransferStrategy::Pipelined(_) => {
+                                let pcie = self.device.spec().pcie;
+                                let h2d = self
+                                    .device
+                                    .h2d_link()
+                                    .reserve_duration(pcie.staged_ns(r.data.len(), true), now);
+                                self.state = RecvState::Stage {
+                                    data: r.data,
+                                    start: h2d.start,
+                                    end: h2d.end,
+                                };
+                            }
+                            TransferStrategy::Auto => unreachable!(),
+                        }
+                    } else if let Some(at) = req.known_completion() {
+                        // Matched, in flight: the arrival instant is
+                        // committed (even past a deadline — retrying a
+                        // message the fabric already delivered would
+                        // duplicate it).
+                        return Step::Park(Some(at.max(now + 1)));
+                    } else if let Some((at, patience)) = deadline {
+                        if now >= at {
+                            let state = std::mem::replace(&mut self.state, RecvState::Done);
+                            if let RecvState::AwaitChunk { req, .. } = state {
+                                req.cancel();
+                            }
+                            if let Some(stats) = self.inner.stats.lock().as_ref() {
+                                stats.note_failure();
+                            }
+                            let e = MpiError::Timeout {
+                                waited_ns: patience,
+                            };
+                            return self.settle(
+                                Err(ClError::TransferFailed(format!(
+                                    "receive from rank {} (tag {}) gave up: {e}",
+                                    self.src, self.wire_tag
+                                ))),
+                                now,
+                            );
+                        }
+                        return Step::Park(Some(at));
+                    } else {
+                        return Step::Park(None);
+                    }
+                }
+                RecvState::Stage { end, .. } => {
+                    let end = *end;
+                    if now < end {
+                        return Step::Park(Some(end));
+                    }
+                    let state = std::mem::replace(&mut self.state, RecvState::Done);
+                    let RecvState::Stage { data, start, end } = state else {
+                        unreachable!("matched above")
+                    };
+                    self.buf
+                        .store(self.offset + self.received, &data)
+                        .expect("range checked at enqueue");
+                    let lane = format!("r{}.comm", self.inner.comm.rank());
+                    self.inner.trace.record(lane.as_str(), "h2d", start, end);
+                    if let Some(step) = self.chunk_done(data.len(), now, actor) {
+                        return step;
+                    }
+                }
+                RecvState::Unmap { resume_at } => {
+                    let resume_at = *resume_at;
+                    if now < resume_at {
+                        return Step::Park(Some(resume_at));
+                    }
+                    return self.finish(now);
+                }
+                RecvState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Host-buffer MPI_CL_MEM machines (isend_cl / irecv_cl) and
+// clCreateEventFromMPIRequest
+// ----------------------------------------------------------------------
+
+/// Where [`HostSendOp`] reports its outcome: the last injection's end
+/// instant on success, the exhaustion error on permanent failure.
+pub(crate) type SendSlot = Arc<Monitor<Option<ClResult<SimNs>>>>;
+
+/// `MPI_Isend` on `MPI_CL_MEM` (`isend_cl`): the payload chunks are
+/// injected reliably from the submission instant. In a zero-fault run
+/// every chunk is accepted in the first burst and the machine retires
+/// immediately — an un-awaited request never delays shutdown, exactly as
+/// before. Under faults, retries continue on engine timers after the
+/// caller has resumed.
+pub(crate) struct HostSendOp {
+    inner: Arc<Inner>,
+    dst: Rank,
+    wire_tag: Tag,
+    /// Per-chunk payload and duration override, prepared on the caller.
+    chunks: Vec<(Vec<u8>, Option<SimNs>)>,
+    next_chunk: usize,
+    current: Option<ReliableChunkSend>,
+    done_at: SimNs,
+    t0: Option<SimNs>,
+    /// Handshake: flipped after the machine's first pass so the caller
+    /// resumes only once the initial injection burst is on the wire
+    /// (keeping the fabric reservation order of the old inline path).
+    issued: Arc<Monitor<bool>>,
+    issued_done: bool,
+    slot: SendSlot,
+    label: String,
+}
+
+impl HostSendOp {
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        dst: Rank,
+        wire_tag: Tag,
+        chunks: Vec<(Vec<u8>, Option<SimNs>)>,
+        issued: Arc<Monitor<bool>>,
+        slot: SendSlot,
+    ) -> Self {
+        let label = format!("clmpi-isend-r{}", inner.comm.rank());
+        HostSendOp {
+            inner,
+            dst,
+            wire_tag,
+            chunks,
+            next_chunk: 0,
+            current: None,
+            done_at: 0,
+            t0: None,
+            issued,
+            issued_done: false,
+            slot,
+            label,
+        }
+    }
+
+    fn drive(&mut self, now: SimNs, actor: &Actor) -> Step {
+        let t0 = *self.t0.get_or_insert(now);
+        loop {
+            if self.current.is_none() {
+                if self.next_chunk == self.chunks.len() {
+                    self.slot.with(|s| *s = Some(Ok(self.done_at)));
+                    return Step::Done;
+                }
+                let (bytes, duration) = {
+                    let entry = &mut self.chunks[self.next_chunk];
+                    (std::mem::take(&mut entry.0), entry.1)
+                };
+                self.next_chunk += 1;
+                self.current = Some(ReliableChunkSend::new(
+                    &self.inner,
+                    self.dst,
+                    self.wire_tag,
+                    bytes,
+                    t0,
+                    duration,
+                ));
+            }
+            let chunk = self.current.as_mut().expect("chunk armed above");
+            match chunk.step(&self.inner, now, actor) {
+                ChunkStep::Progressed => continue,
+                ChunkStep::Park(at) => return Step::Park(Some(at)),
+                ChunkStep::Sent(done) => {
+                    self.done_at = self.done_at.max(done);
+                    self.current = None;
+                }
+                ChunkStep::Failed(_) => {
+                    let chunk = self.current.take().expect("chunk armed above");
+                    self.slot.with(|s| *s = Some(Err(chunk.exhaustion_error())));
+                    return Step::Done;
+                }
+            }
+        }
+    }
+}
+
+impl EngineOp for HostSendOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, actor: &Actor) -> Step {
+        let verdict = self.drive(now, actor);
+        if !self.issued_done {
+            self.issued_done = true;
+            self.issued.with(|i| *i = true);
+        }
+        verdict
+    }
+}
+
+/// `MPI_Irecv` into `MPI_CL_MEM` (`irecv_cl`): matched receives are
+/// posted back-to-back into the pinned host landing buffer; the returned
+/// event completes when the full payload has arrived.
+pub(crate) struct IrecvClOp {
+    inner: Arc<Inner>,
+    src: Rank,
+    wire_tag: Tag,
+    size: usize,
+    host: HostBuffer,
+    received: usize,
+    ue: UserEvent,
+    label: String,
+    state: IrecvState,
+}
+
+enum IrecvState {
+    Start,
+    AwaitChunk {
+        req: Request,
+        deadline: Option<(SimNs, SimNs)>, // (expiry instant, patience)
+    },
+    Done,
+}
+
+impl IrecvClOp {
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        src: Rank,
+        wire_tag: Tag,
+        size: usize,
+        host: HostBuffer,
+        ue: UserEvent,
+    ) -> Self {
+        let label = format!("clmpi-irecv-r{}", inner.comm.rank());
+        IrecvClOp {
+            inner,
+            src,
+            wire_tag,
+            size,
+            host,
+            received: 0,
+            ue,
+            label,
+            state: IrecvState::Start,
+        }
+    }
+
+    fn post_chunk(&mut self, now: SimNs, actor: &Actor) {
+        let req = self
+            .inner
+            .comm
+            .irecv(actor, Some(self.src), Some(self.wire_tag));
+        let deadline = self.inner.comm.world().has_faults().then(|| {
+            let patience = self.inner.retry.lock().chunk_timeout_ns;
+            (now + patience, patience)
+        });
+        self.state = IrecvState::AwaitChunk { req, deadline };
+    }
+
+    fn fail(&mut self, at: SimNs) -> Step {
+        if let Some(stats) = self.inner.stats.lock().as_ref() {
+            stats.note_failure();
+        }
+        self.ue
+            .set_failed(at, CL_MPI_TRANSFER_ERROR)
+            .expect("irecv event settled once");
+        self.state = IrecvState::Done;
+        Step::Done
+    }
+}
+
+impl EngineOp for IrecvClOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, actor: &Actor) -> Step {
+        loop {
+            match &mut self.state {
+                IrecvState::Start => {
+                    if self.received == self.size {
+                        // Zero-byte receive: complete immediately.
+                        self.ue
+                            .set_complete(now)
+                            .expect("irecv event completed once");
+                        self.state = IrecvState::Done;
+                        return Step::Done;
+                    }
+                    self.post_chunk(now, actor);
+                }
+                IrecvState::AwaitChunk { req, deadline } => {
+                    let deadline = *deadline;
+                    if let Some(result) = req.test(actor) {
+                        let r = result.expect("matched receive yields a payload");
+                        let len = r.data.len();
+                        if self.received + len > self.size {
+                            self.ue
+                                .set_failed(now, CL_MPI_TRANSFER_ERROR)
+                                .expect("irecv event settled once");
+                            self.state = IrecvState::Done;
+                            return Step::Done;
+                        }
+                        let at = self.received;
+                        self.host
+                            .write(|h| h.as_mut_slice()[at..at + len].copy_from_slice(&r.data));
+                        self.received += len;
+                        if self.received == self.size {
+                            self.ue
+                                .set_complete(now)
+                                .expect("irecv event completed once");
+                            self.state = IrecvState::Done;
+                            return Step::Done;
+                        }
+                        self.post_chunk(now, actor);
+                    } else if let Some(at) = req.known_completion() {
+                        return Step::Park(Some(at.max(now + 1)));
+                    } else if let Some((at, _patience)) = deadline {
+                        if now >= at {
+                            let state = std::mem::replace(&mut self.state, IrecvState::Done);
+                            if let IrecvState::AwaitChunk { req, .. } = state {
+                                req.cancel();
+                            }
+                            return self.fail(now);
+                        }
+                        return Step::Park(Some(at));
+                    } else {
+                        return Step::Park(None);
+                    }
+                }
+                IrecvState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+/// `clCreateEventFromMPIRequest`: adapts a plain MPI request into an
+/// event. The machine polls the request's completion signal and, once it
+/// settles, publishes the payload (if any) and completes the event at
+/// the settlement instant.
+pub(crate) struct EventFromRequestOp {
+    req: Option<Request>,
+    ue: UserEvent,
+    slot: Arc<Monitor<Option<RecvResult>>>,
+    label: String,
+}
+
+impl EventFromRequestOp {
+    pub(crate) fn new(
+        req: Request,
+        ue: UserEvent,
+        slot: Arc<Monitor<Option<RecvResult>>>,
+        rank: Rank,
+    ) -> Self {
+        EventFromRequestOp {
+            req: Some(req),
+            ue,
+            slot,
+            label: format!("clmpi-event-from-request-r{rank}"),
+        }
+    }
+}
+
+impl EngineOp for EventFromRequestOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, actor: &Actor) -> Step {
+        let req = self.req.as_mut().expect("stepped after completion");
+        match req.poll(now) {
+            CompletionState::Pending => Step::Park(req.wake_hint(now).filter(|&t| t > now)),
+            CompletionState::Complete(_) | CompletionState::Failed(..) => {
+                let mut req = self.req.take().expect("present above");
+                let result = req.test(actor).expect("completion signalled above");
+                self.slot.with(|s| *s = result);
+                self.ue
+                    .set_complete(now)
+                    .expect("request event completed once");
+                Step::Done
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::SimClock;
+
+    /// A machine that parks until a fixed instant, then records when the
+    /// engine retired it.
+    struct TimerOp {
+        fire_at: SimNs,
+        fired: Arc<Monitor<Option<SimNs>>>,
+    }
+
+    impl EngineOp for TimerOp {
+        fn label(&self) -> &str {
+            "timer"
+        }
+
+        fn step(&mut self, now: SimNs, _actor: &Actor) -> Step {
+            if now < self.fire_at {
+                return Step::Park(Some(self.fire_at));
+            }
+            self.fired.with(|f| *f = Some(now));
+            Step::Done
+        }
+    }
+
+    #[test]
+    fn engine_fires_timers_at_their_virtual_instant() {
+        let clock = SimClock::new();
+        // Register the caller first: the engine worker must never be the
+        // only actor (the deadlock detector would trip at start-up).
+        let actor = clock.register("caller");
+        let engine = Engine::start(&clock, "test-engine".into());
+        let fired = Arc::new(Monitor::new(clock.clone(), None));
+        engine.submit(Box::new(TimerOp {
+            fire_at: 5_000,
+            fired: fired.clone(),
+        }));
+        engine.wait_idle(&actor);
+        assert_eq!(fired.peek(|f| *f), Some(5_000));
+        assert_eq!(actor.now_ns(), 5_000);
+    }
+
+    #[test]
+    fn engine_orders_independent_timers_without_blocking_each_other() {
+        let clock = SimClock::new();
+        // Register the caller first: the engine worker must never be the
+        // only actor (the deadlock detector would trip at start-up).
+        let actor = clock.register("caller");
+        let engine = Engine::start(&clock, "test-engine".into());
+        let order = Arc::new(Monitor::new(clock.clone(), Vec::<SimNs>::new()));
+        struct LoggingTimer {
+            fire_at: SimNs,
+            order: Arc<Monitor<Vec<SimNs>>>,
+        }
+        impl EngineOp for LoggingTimer {
+            fn label(&self) -> &str {
+                "logging-timer"
+            }
+            fn step(&mut self, now: SimNs, _actor: &Actor) -> Step {
+                if now < self.fire_at {
+                    return Step::Park(Some(self.fire_at));
+                }
+                self.order.with(|o| o.push(now));
+                Step::Done
+            }
+        }
+        // Submit out of order; the engine must retire them in virtual
+        // order because each parks on its own alarm.
+        for &at in &[20_000u64, 12_000, 16_000] {
+            engine.submit(Box::new(LoggingTimer {
+                fire_at: at,
+                order: order.clone(),
+            }));
+        }
+        engine.wait_idle(&actor);
+        assert_eq!(order.peek(|o| o.clone()), vec![12_000, 16_000, 20_000]);
+        assert_eq!(actor.now_ns(), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "already shut down")]
+    fn submitting_after_shutdown_panics() {
+        let clock = SimClock::new();
+        // Register the caller first: the engine worker must never be the
+        // only actor (the deadlock detector would trip at start-up).
+        let actor = clock.register("caller");
+        let engine = Engine::start(&clock, "test-engine".into());
+        engine.wait_idle(&actor);
+        engine.shared.with(|s| s.shutdown = true);
+        let fired = Arc::new(Monitor::new(clock.clone(), None));
+        engine.submit(Box::new(TimerOp { fire_at: 1, fired }));
+    }
+}

@@ -11,10 +11,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use minicl::{Buffer, ClResult, CommandQueue, Event};
+use minicl::{Buffer, ClResult, CommandQueue, Device, Event, UserEvent};
 use simnet::{Link, LinkSpec};
 use simtime::plock::Mutex;
 use simtime::{Actor, SimClock, SimNs};
+
+use crate::engine::{deps_settled, EngineOp, Step};
 
 /// A simulated node-local storage device: an in-memory "filesystem" plus
 /// a serialized bandwidth/latency timeline (one head, like a real disk or
@@ -62,7 +64,7 @@ impl SimStorage {
         self.files.lock().insert(path.to_string(), data);
     }
 
-    fn reserve(&self, bytes: usize, earliest: SimNs) -> SimNs {
+    pub(crate) fn reserve(&self, bytes: usize, earliest: SimNs) -> SimNs {
         let r = self.link.reserve(bytes, earliest);
         r.arrival
     }
@@ -93,24 +95,18 @@ impl crate::runtime::ClMpi {
             .context()
             .create_user_event(format!("write-file {size}B"));
         let event = ue.event();
-        let wait: Vec<Event> = wait_list.to_vec();
-        let buf = buf.clone();
-        let storage = storage.clone();
-        let device = queue.device().clone();
-        let path = path.into();
-        self.spawn_runtime_job(format!("clmpi-fwrite-r{}", self.rank()), move |a| {
-            Event::wait_all(&wait, a);
-            let pcie = device.spec().pcie;
-            let staged = device
-                .d2h_link()
-                .reserve_duration(pcie.staged_ns(size, true), a.now_ns() + pcie.pin_setup_ns);
-            let bytes = buf.load(offset, size).expect("range checked at enqueue");
-            let durable_at = storage.reserve(size, staged.end);
-            a.advance_until(durable_at);
-            storage.write_file(&path, bytes);
-            ue.set_complete(a.now_ns())
-                .expect("file write completed once");
-        });
+        self.inner.engine.submit(Box::new(FileWriteOp {
+            device: queue.device().clone(),
+            buf: buf.clone(),
+            offset,
+            size,
+            storage: storage.clone(),
+            path: path.into(),
+            wait: wait_list.to_vec(),
+            ue,
+            label: format!("clmpi-fwrite-r{}", self.rank()),
+            state: FileState::WaitDeps,
+        }));
         Ok(event)
     }
 
@@ -134,32 +130,166 @@ impl crate::runtime::ClMpi {
             .context()
             .create_user_event(format!("read-file {size}B"));
         let event = ue.event();
-        let wait: Vec<Event> = wait_list.to_vec();
-        let buf = buf.clone();
-        let storage = storage.clone();
-        let device = queue.device().clone();
-        let path = path.into();
-        self.spawn_runtime_job(format!("clmpi-fread-r{}", self.rank()), move |a| {
-            Event::wait_all(&wait, a);
-            let data = storage
-                .read_file(&path)
-                .unwrap_or_else(|| panic!("enqueue_read_file: no file '{path}'"));
-            assert!(
-                data.len() >= size,
-                "file '{path}' holds {} bytes, {size} requested",
-                data.len()
-            );
-            let pcie = device.spec().pcie;
-            let read_done = storage.reserve(size, a.now_ns());
-            let h2d = device
-                .h2d_link()
-                .reserve_duration(pcie.staged_ns(size, true), read_done + pcie.pin_setup_ns);
-            a.advance_until(h2d.end);
-            buf.store(offset, &data[..size]).expect("range checked");
-            ue.set_complete(a.now_ns())
-                .expect("file read completed once");
-        });
+        self.inner.engine.submit(Box::new(FileReadOp {
+            device: queue.device().clone(),
+            buf: buf.clone(),
+            offset,
+            size,
+            storage: storage.clone(),
+            path: path.into(),
+            wait: wait_list.to_vec(),
+            ue,
+            label: format!("clmpi-fread-r{}", self.rank()),
+            state: FileState::WaitDeps,
+        }));
         Ok(event)
+    }
+}
+
+/// Shared two-phase shape of both file machines: wait for the
+/// dependency list, make every reservation in one burst, then park until
+/// the terminal instant and publish the payload.
+enum FileState {
+    WaitDeps,
+    Finish { at: SimNs, payload: Vec<u8> },
+    Done,
+}
+
+/// `enqueue_write_file`: device→host staging (pinned path), then the
+/// storage stream; the bytes become durable — and the event completes —
+/// at the storage timeline's arrival instant.
+struct FileWriteOp {
+    device: Device,
+    buf: Buffer,
+    offset: usize,
+    size: usize,
+    storage: SimStorage,
+    path: String,
+    wait: Vec<Event>,
+    ue: UserEvent,
+    label: String,
+    state: FileState,
+}
+
+impl EngineOp for FileWriteOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, _actor: &Actor) -> Step {
+        loop {
+            match self.state {
+                FileState::WaitDeps => {
+                    // Like the collective prototype, this future-work
+                    // command ignores dependency failures.
+                    if !deps_settled(&self.wait) {
+                        return Step::Park(None);
+                    }
+                    let pcie = self.device.spec().pcie;
+                    let staged = self
+                        .device
+                        .d2h_link()
+                        .reserve_duration(pcie.staged_ns(self.size, true), now + pcie.pin_setup_ns);
+                    // Snapshot the region when staging starts: later
+                    // device-side writes do not leak into the checkpoint.
+                    let bytes = self
+                        .buf
+                        .load(self.offset, self.size)
+                        .expect("range checked at enqueue");
+                    let durable_at = self.storage.reserve(self.size, staged.end);
+                    self.state = FileState::Finish {
+                        at: durable_at,
+                        payload: bytes,
+                    };
+                }
+                FileState::Finish { at, .. } => {
+                    if now < at {
+                        return Step::Park(Some(at));
+                    }
+                    let state = std::mem::replace(&mut self.state, FileState::Done);
+                    let FileState::Finish { payload, .. } = state else {
+                        unreachable!("matched above")
+                    };
+                    self.storage.write_file(&self.path, payload);
+                    self.ue.set_complete(at).expect("file write completed once");
+                    return Step::Done;
+                }
+                FileState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+/// `enqueue_read_file`: the storage stream, then host→device staging;
+/// the event completes with the data in device memory. A missing or
+/// short file is a programming error and panics (poisoning the world,
+/// like any rank panic).
+struct FileReadOp {
+    device: Device,
+    buf: Buffer,
+    offset: usize,
+    size: usize,
+    storage: SimStorage,
+    path: String,
+    wait: Vec<Event>,
+    ue: UserEvent,
+    label: String,
+    state: FileState,
+}
+
+impl EngineOp for FileReadOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, _actor: &Actor) -> Step {
+        loop {
+            match self.state {
+                FileState::WaitDeps => {
+                    if !deps_settled(&self.wait) {
+                        return Step::Park(None);
+                    }
+                    let path = &self.path;
+                    // Snapshot the file when the read starts (the old
+                    // behavior): later writes do not leak into it.
+                    let data = self
+                        .storage
+                        .read_file(path)
+                        .unwrap_or_else(|| panic!("enqueue_read_file: no file '{path}'"));
+                    assert!(
+                        data.len() >= self.size,
+                        "file '{path}' holds {} bytes, {} requested",
+                        data.len(),
+                        self.size
+                    );
+                    let pcie = self.device.spec().pcie;
+                    let read_done = self.storage.reserve(self.size, now);
+                    let h2d = self.device.h2d_link().reserve_duration(
+                        pcie.staged_ns(self.size, true),
+                        read_done + pcie.pin_setup_ns,
+                    );
+                    self.state = FileState::Finish {
+                        at: h2d.end,
+                        payload: data,
+                    };
+                }
+                FileState::Finish { at, .. } => {
+                    if now < at {
+                        return Step::Park(Some(at));
+                    }
+                    let state = std::mem::replace(&mut self.state, FileState::Done);
+                    let FileState::Finish { payload, .. } = state else {
+                        unreachable!("matched above")
+                    };
+                    self.buf
+                        .store(self.offset, &payload[..self.size])
+                        .expect("range checked");
+                    self.ue.set_complete(at).expect("file read completed once");
+                    return Step::Done;
+                }
+                FileState::Done => return Step::Done,
+            }
+        }
     }
 }
 

@@ -52,6 +52,7 @@
 
 pub mod adaptive;
 mod collective;
+mod engine;
 mod fileio;
 mod retry;
 mod runtime;
@@ -60,6 +61,7 @@ mod strategy;
 mod system;
 
 pub use adaptive::AdaptiveSelector;
+pub use engine::{Engine, EngineOp, Step};
 pub use fileio::SimStorage;
 pub use retry::RetryPolicy;
 pub use runtime::{ClMpi, ClRecvRequest, ClSendRequest, RequestOutcome};
@@ -67,10 +69,11 @@ pub use stats::{FaultStats, TransferStats};
 pub use strategy::{analytic, chunk_layout, ResolvedStrategy, TransferStrategy};
 pub use system::SystemConfig;
 
-/// Event execution status of a transfer that failed permanently (retry
-/// budget exhausted or receiver timeout). Negative, like every OpenCL
-/// error code; chosen from the vendor-extension range.
-pub const CL_MPI_TRANSFER_ERROR: i32 = -1100;
+// Event execution status of a transfer that failed permanently (retry
+// budget exhausted or receiver timeout). Defined once in
+// `minicl::status` (see that module for the full error-code story) and
+// re-exported here so `clmpi::CL_MPI_TRANSFER_ERROR` keeps working.
+pub use minicl::status::CL_MPI_TRANSFER_ERROR;
 
 /// Tag space base for clMPI-internal messages; user tags passed to
 /// `enqueue_*_buffer` and the `*_cl` wrappers are mapped above

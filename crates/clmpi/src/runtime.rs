@@ -5,80 +5,88 @@
 //! The paper implements the extension *on top of* a proprietary OpenCL:
 //! inter-node communication commands return **user events** that mimic
 //! command events, and a runtime-internal thread executes the MPI calls so
-//! the host thread is never blocked. This reproduction does the same, with
-//! one simplification: instead of one long-lived communication thread
-//! multiplexing requests, each communication command runs on its own
-//! short-lived runtime thread (a clock actor). The observable semantics
-//! are identical — transfers begin when their wait lists complete and
-//! progress with no host involvement — while avoiding a hand-rolled
-//! progress engine. Resource contention (PCIe, NIC) is still fully
-//! accounted through the shared reservation timelines.
+//! the host thread is never blocked. This reproduction does the same, the
+//! paper's way: one long-lived per-rank progress thread (the
+//! [`crate::Engine`]) multiplexes every outstanding command as a
+//! cooperative state machine — chunked transfers, MPI request wrappers,
+//! collective fan-outs, file I/O, and the retry/backoff timers of the
+//! failure model (see `engine.rs` for the execution model). Transfers
+//! begin when their wait lists complete and progress with no host
+//! involvement; resource contention (PCIe, NIC) is fully accounted
+//! through the shared reservation timelines.
+//!
+//! This module is the *control plane*: argument validation, strategy
+//! resolution, machine construction and submission. The only places it
+//! blocks the calling actor are the explicitly blocking API flavors,
+//! each marked `// blocking-api:` for the CI lint.
 
 use simtime::plock::Mutex;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use minicl::{
-    Buffer, ClError, ClResult, CommandQueue, Context, Device, Event, HostBuffer,
-    EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST,
-};
-use minimpi::{Comm, Datatype, MpiError, Process, Rank, RecvResult, Request, Tag};
+use minicl::{Buffer, ClError, ClResult, CommandQueue, Context, Device, Event, HostBuffer};
+use minimpi::{Comm, Process, Rank, RecvResult, Request, Tag};
 use simtime::{Actor, Monitor, SimClock, SimNs, Trace};
 
+use crate::data_tag;
+use crate::engine::{
+    Engine, EventFromRequestOp, HostSendOp, IrecvClOp, RecvOp, ResultSlot, SendOp, SendSlot,
+};
 use crate::retry::RetryPolicy;
 use crate::strategy::{ResolvedStrategy, TransferStrategy};
 use crate::system::SystemConfig;
-use crate::{data_tag, CL_MPI_TRANSFER_ERROR};
 
 /// Loss bookkeeping behind the degradation heuristic.
 #[derive(Default)]
-struct FaultState {
+pub(crate) struct FaultState {
     /// Chunk losses observed since the last successful delivery.
-    consecutive_drops: u32,
+    pub(crate) consecutive_drops: u32,
     /// Once set, pipelined transfers resolve to pinned (fewer wire
     /// messages → fewer loss draws) until [`ClMpi::reset_degradation`].
-    degraded: bool,
+    pub(crate) degraded: bool,
 }
 
 pub(crate) struct Inner {
-    comm: Comm,
-    ctx: Context,
-    device: Device,
-    cfg: SystemConfig,
-    forced: Mutex<Option<TransferStrategy>>,
-    outstanding: Monitor<usize>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
-    trace: Trace,
-    stats: Mutex<Option<crate::stats::TransferStats>>,
-    adaptive: Mutex<Option<Arc<crate::adaptive::AdaptiveSelector>>>,
-    retry: Mutex<RetryPolicy>,
-    fault_state: Mutex<FaultState>,
+    pub(crate) comm: Comm,
+    pub(crate) ctx: Context,
+    pub(crate) device: Device,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) clock: SimClock,
+    pub(crate) engine: Engine,
+    pub(crate) forced: Mutex<Option<TransferStrategy>>,
+    pub(crate) trace: Trace,
+    pub(crate) stats: Mutex<Option<crate::stats::TransferStats>>,
+    pub(crate) adaptive: Mutex<Option<Arc<crate::adaptive::AdaptiveSelector>>>,
+    pub(crate) retry: Mutex<RetryPolicy>,
+    pub(crate) fault_state: Mutex<FaultState>,
 }
 
 /// The per-rank clMPI runtime: binds one MPI endpoint to one OpenCL
 /// context/device and provides the extension API.
 #[derive(Clone)]
 pub struct ClMpi {
-    inner: Arc<Inner>,
+    pub(crate) inner: Arc<Inner>,
 }
 
 impl ClMpi {
     /// Create the runtime for `p`'s rank under system config `cfg`. Builds
-    /// a fresh [`Context`] holding `cfg.device`.
+    /// a fresh [`Context`] holding `cfg.device` and starts the rank's
+    /// progress engine (the calling thread must be a running clock actor,
+    /// which `run_world` rank closures always are).
     pub fn new(p: &Process, cfg: SystemConfig) -> Self {
         let clock = p.clock().clone();
         let ctx = Context::new(clock.clone(), &[cfg.device]);
         let device = ctx.device(0).clone();
         let trace = p.comm.world().trace().clone();
+        let engine = Engine::start(&clock, format!("clmpi-engine-r{}", p.rank()));
         ClMpi {
             inner: Arc::new(Inner {
                 comm: p.comm.clone(),
                 ctx,
                 device,
                 cfg,
+                clock,
+                engine,
                 forced: Mutex::new(None),
-                outstanding: Monitor::new(clock, 0),
-                handles: Mutex::new(Vec::new()),
                 trace,
                 stats: Mutex::new(None),
                 adaptive: Mutex::new(None),
@@ -111,6 +119,11 @@ impl ClMpi {
     /// This rank.
     pub fn rank(&self) -> Rank {
         self.inner.comm.rank()
+    }
+
+    /// The rank's progress engine (the machines behind every command).
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
     }
 
     /// Force every subsequent transfer onto `strategy` (`None` restores
@@ -161,27 +174,7 @@ impl ClMpi {
         stats
     }
 
-    fn clock(&self) -> &SimClock {
-        self.inner.outstanding.clock()
-    }
-
-    pub(crate) fn inner_handle(&self) -> Arc<Inner> {
-        self.inner.clone()
-    }
-
-    pub(crate) fn resolved_for(&self, size: usize) -> TransferStrategy {
-        self.resolve(size)
-    }
-
-    pub(crate) fn spawn_runtime_job(
-        &self,
-        label: String,
-        job: impl FnOnce(&Actor) + Send + 'static,
-    ) {
-        self.spawn_job(label, job)
-    }
-
-    fn resolve(&self, size: usize) -> TransferStrategy {
+    pub(crate) fn resolve(&self, size: usize) -> TransferStrategy {
         // A forced strategy is an explicit benchmark request: honored
         // verbatim, even under degradation.
         if let Some(forced) = *self.inner.forced.lock() {
@@ -200,35 +193,10 @@ impl ClMpi {
         chosen
     }
 
-    /// Spawn a runtime communication thread (clock actor). The calling
-    /// thread must itself be a running actor (the registration rule).
-    fn spawn_job(&self, label: String, job: impl FnOnce(&Actor) + Send + 'static) {
-        let actor = self.clock().register(label.clone());
-        self.inner.outstanding.with(|n| *n += 1);
-        let inner = self.inner.clone();
-        let handle = std::thread::Builder::new()
-            .name(label)
-            .spawn(move || {
-                job(&actor);
-                // Decrement while still registered: dropping the actor
-                // first would let the deadlock detector fire in the gap
-                // where shutdown waiters still see outstanding > 0.
-                inner.outstanding.with(|n| *n -= 1);
-                drop(actor);
-            })
-            .expect("spawn clMPI communication thread");
-        self.inner.handles.lock().push(handle);
-    }
-
-    /// Wait (in virtual time) for all outstanding communication commands,
-    /// then reap the runtime threads. Call before the rank returns.
+    /// Wait (in virtual time) until every outstanding command's machine
+    /// has finished. Call before the rank returns.
     pub fn shutdown(&self, actor: &Actor) {
-        self.inner
-            .outstanding
-            .wait_labeled(actor, "clmpi shutdown", |n| (*n == 0).then_some(()));
-        for h in self.inner.handles.lock().drain(..) {
-            let _ = h.join();
-        }
+        self.inner.engine.wait_idle(actor);
     }
 
     // ------------------------------------------------------------------
@@ -260,39 +228,29 @@ impl ClMpi {
         if dst >= self.inner.comm.size() {
             return Err(ClError::InvalidValue(format!("rank {dst} out of range")));
         }
-        crate::checked_data_tag(tag)?;
+        let wire_tag = crate::checked_data_tag(tag)?;
         let ue = self
             .inner
             .ctx
             .create_user_event(format!("send→{dst}#{tag}"));
         let event = ue.event();
-        let inner = self.inner.clone();
         let strategy = self.resolve(size);
-        let wait: Vec<Event> = wait_list.to_vec();
-        let buf = buf.clone();
-        let device = queue.device().clone();
-        self.spawn_job(format!("clmpi-send-r{}-t{tag}", self.rank()), move |a| {
-            if Event::wait_all_result(&wait, a).is_err() {
-                // A failed dependency poisons this command, as the queue
-                // executor does for ordinary OpenCL commands.
-                ue.set_failed(a.now_ns(), EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST)
-                    .expect("send event settled once");
-                return;
-            }
-            match run_send(&inner, &device, &buf, offset, size, dst, tag, strategy, a) {
-                Ok(done_at) => {
-                    a.advance_until(done_at);
-                    ue.set_complete(a.now_ns())
-                        .expect("send event completed once");
-                }
-                Err(_) => {
-                    ue.set_failed(a.now_ns(), CL_MPI_TRANSFER_ERROR)
-                        .expect("send event settled once");
-                }
-            }
-        });
+        self.inner.engine.submit(Box::new(SendOp::new(
+            self.inner.clone(),
+            queue.device().clone(),
+            buf.clone(),
+            offset,
+            size,
+            dst,
+            tag,
+            wire_tag,
+            strategy,
+            wait_list.to_vec(),
+            ue,
+            None,
+        )));
         if blocking {
-            event.wait(actor);
+            event.wait(actor); // blocking-api: explicit blocking enqueue flag
         }
         Ok(event)
     }
@@ -317,34 +275,29 @@ impl ClMpi {
         if src >= self.inner.comm.size() {
             return Err(ClError::InvalidValue(format!("rank {src} out of range")));
         }
-        crate::checked_data_tag(tag)?;
+        let wire_tag = crate::checked_data_tag(tag)?;
         let ue = self
             .inner
             .ctx
             .create_user_event(format!("recv←{src}#{tag}"));
         let event = ue.event();
-        let inner = self.inner.clone();
         let strategy = self.resolve(size);
-        let wait: Vec<Event> = wait_list.to_vec();
-        let buf = buf.clone();
-        let device = queue.device().clone();
-        self.spawn_job(format!("clmpi-recv-r{}-t{tag}", self.rank()), move |a| {
-            if Event::wait_all_result(&wait, a).is_err() {
-                ue.set_failed(a.now_ns(), EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST)
-                    .expect("recv event settled once");
-                return;
-            }
-            match run_recv(&inner, &device, &buf, offset, size, src, tag, strategy, a) {
-                Ok(()) => ue
-                    .set_complete(a.now_ns())
-                    .expect("recv event completed once"),
-                Err(_) => ue
-                    .set_failed(a.now_ns(), CL_MPI_TRANSFER_ERROR)
-                    .expect("recv event settled once"),
-            }
-        });
+        self.inner.engine.submit(Box::new(RecvOp::new(
+            self.inner.clone(),
+            queue.device().clone(),
+            buf.clone(),
+            offset,
+            size,
+            src,
+            tag,
+            wire_tag,
+            strategy,
+            wait_list.to_vec(),
+            ue,
+            None,
+        )));
         if blocking {
-            event.wait(actor);
+            event.wait(actor); // blocking-api: explicit blocking enqueue flag
         }
         Ok(event)
     }
@@ -399,12 +352,12 @@ impl ClMpi {
 
     /// A **GPU-aware MPI** send, as in cudaMPI / MPI-ACC / MVAPICH2-GPU:
     /// the MPI call accepts a device buffer directly and uses the same
-    /// optimized transfer path as clMPI — but it executes **on the calling
-    /// host thread**, which blocks until the send completes. The caller
-    /// must have already synchronized with any producing kernel (that is
-    /// the §II limitation clMPI removes: "the host thread needs to wait
-    /// for the kernel execution completion in order to serialize the
-    /// kernel execution and the MPI communication").
+    /// optimized transfer path as clMPI — but it blocks **the calling
+    /// host thread** until the send completes. The caller must have
+    /// already synchronized with any producing kernel (that is the §II
+    /// limitation clMPI removes: "the host thread needs to wait for the
+    /// kernel execution completion in order to serialize the kernel
+    /// execution and the MPI communication").
     #[allow(clippy::too_many_arguments)]
     pub fn gpu_aware_send(
         &self,
@@ -418,19 +371,27 @@ impl ClMpi {
     ) -> ClResult<()> {
         buf.check_range(offset, size)?;
         let strategy = self.resolve(size);
-        let done = run_send(
-            &self.inner,
-            queue.device(),
-            buf,
+        let ue = self
+            .inner
+            .ctx
+            .create_user_event(format!("gpu-send→{dst}#{tag}"));
+        let slot: ResultSlot = Arc::new(Monitor::new(self.inner.clock.clone(), None));
+        self.inner.engine.submit(Box::new(SendOp::new(
+            self.inner.clone(),
+            queue.device().clone(),
+            buf.clone(),
             offset,
             size,
             dst,
             tag,
+            data_tag(tag),
             strategy,
-            actor,
-        )?;
-        actor.advance_until(done);
-        Ok(())
+            Vec::new(),
+            ue,
+            Some(slot.clone()),
+        )));
+        // blocking-api: GPU-aware MPI is synchronous by definition.
+        slot.wait_labeled(actor, "gpu-aware send", |s| s.take())
     }
 
     /// GPU-aware MPI receive into a device buffer; blocks the calling
@@ -448,17 +409,27 @@ impl ClMpi {
     ) -> ClResult<()> {
         buf.check_range(offset, size)?;
         let strategy = self.resolve(size);
-        run_recv(
-            &self.inner,
-            queue.device(),
-            buf,
+        let ue = self
+            .inner
+            .ctx
+            .create_user_event(format!("gpu-recv←{src}#{tag}"));
+        let slot: ResultSlot = Arc::new(Monitor::new(self.inner.clock.clone(), None));
+        self.inner.engine.submit(Box::new(RecvOp::new(
+            self.inner.clone(),
+            queue.device().clone(),
+            buf.clone(),
             offset,
             size,
             src,
             tag,
+            data_tag(tag),
             strategy,
-            actor,
-        )
+            Vec::new(),
+            ue,
+            Some(slot.clone()),
+        )));
+        // blocking-api: GPU-aware MPI is synchronous by definition.
+        slot.wait_labeled(actor, "gpu-aware recv", |s| s.take())
     }
 
     // ------------------------------------------------------------------
@@ -472,60 +443,63 @@ impl ClMpi {
         let ue = self.inner.ctx.create_user_event("mpi-request");
         let event = ue.event();
         let outcome = RequestOutcome {
-            slot: Arc::new(Monitor::new(self.clock().clone(), None)),
+            slot: Arc::new(Monitor::new(self.inner.clock.clone(), None)),
         };
-        let slot = outcome.slot.clone();
-        self.spawn_job(format!("clmpi-evreq-r{}", self.rank()), move |a| {
-            let result = req.wait(a);
-            slot.with(|s| *s = result);
-            ue.set_complete(a.now_ns())
-                .expect("request event completed once");
-        });
+        self.inner.engine.submit(Box::new(EventFromRequestOp::new(
+            req,
+            ue,
+            outcome.slot.clone(),
+            self.rank(),
+        )));
         (event, outcome)
     }
 
     /// `MPI_Isend` with `MPI_CL_MEM` from **host** memory to a remote
     /// communicator device: the runtime chunks the payload so the remote
     /// side can overlap its host→device stage with the network (§V-A's
-    /// wrapper functions).
+    /// wrapper functions). The send progresses on the engine; the caller
+    /// resumes as soon as the initial injection burst is on the wire.
     pub fn isend_cl(&self, actor: &Actor, dst: Rank, tag: Tag, data: &[u8]) -> ClSendRequest {
         let strategy = self.resolve(data.len());
         let plan = ResolvedStrategy::plan(strategy, data.len());
         let net = &self.inner.cfg.cluster.link;
         let pcie = &self.inner.cfg.device.pcie;
-        let mut done_at = actor.now_ns();
-        let mut error = None;
-        for &(off, len) in &plan.chunks {
-            let duration = match strategy {
-                TransferStrategy::Mapped => {
-                    let stream = (len as f64 * 1e9 / pcie.mapped_bps).round() as SimNs;
-                    Some(net.injection_ns(len).max(stream))
-                }
-                _ => None,
-            };
-            match send_chunk_reliable(
-                &self.inner,
-                actor,
-                dst,
-                data_tag(tag),
-                Datatype::ClMem,
-                &data[off..off + len],
-                actor.now_ns(),
-                duration,
-            ) {
-                Ok(done) => done_at = done,
-                Err(e) => {
-                    error = Some(e);
-                    break;
-                }
-            }
-        }
-        ClSendRequest { done_at, error }
+        let wire_tag = data_tag(tag);
+        let chunks: Vec<(Vec<u8>, Option<SimNs>)> = plan
+            .chunks
+            .iter()
+            .map(|&(off, len)| {
+                let duration = match strategy {
+                    TransferStrategy::Mapped => {
+                        let stream = (len as f64 * 1e9 / pcie.mapped_bps).round() as SimNs;
+                        Some(net.injection_ns(len).max(stream))
+                    }
+                    _ => None,
+                };
+                (data[off..off + len].to_vec(), duration)
+            })
+            .collect();
+        let issued = Arc::new(Monitor::new(self.inner.clock.clone(), false));
+        let slot: SendSlot = Arc::new(Monitor::new(self.inner.clock.clone(), None));
+        self.inner.engine.submit(Box::new(HostSendOp::new(
+            self.inner.clone(),
+            dst,
+            wire_tag,
+            chunks,
+            issued.clone(),
+            slot.clone(),
+        )));
+        // Hand-off handshake: resume once the engine has pushed the first
+        // injection burst onto the wire, keeping the fabric reservation
+        // order identical to an inline send (costs no virtual time — the
+        // engine runs at this same frozen instant).
+        issued.wait_labeled(actor, "clmpi isend_cl", |i| i.then_some(()));
+        ClSendRequest { slot }
     }
 
     /// Blocking [`ClMpi::isend_cl`] (`MPI_Send` with `MPI_CL_MEM`).
     pub fn send_cl(&self, actor: &Actor, dst: Rank, tag: Tag, data: &[u8]) {
-        self.isend_cl(actor, dst, tag, data).wait(actor);
+        self.isend_cl(actor, dst, tag, data).wait(actor); // blocking-api: MPI_Send semantics
     }
 
     /// `MPI_Irecv` with `MPI_CL_MEM` into **host** memory from a remote
@@ -534,39 +508,19 @@ impl ClMpi {
     /// bytes have arrived.
     pub fn irecv_cl(&self, _actor: &Actor, src: Rank, tag: Tag, size: usize) -> ClRecvRequest {
         // Map the tag on the calling thread: a bad tag is the caller's
-        // error and must not panic a runtime thread.
+        // error and must not panic the engine.
         let wire_tag = data_tag(tag);
         let ue = self.inner.ctx.create_user_event(format!("irecv_cl←{src}"));
         let event = ue.event();
         let host = HostBuffer::pinned(size);
-        let host2 = host.clone();
-        let inner = self.inner.clone();
-        self.spawn_job(format!("clmpi-irecvcl-r{}", self.rank()), move |a| {
-            let mut received = 0usize;
-            while received < size {
-                let r = match recv_chunk(&inner, a, src, wire_tag) {
-                    Ok(r) => r,
-                    Err(_) => {
-                        ue.set_failed(a.now_ns(), CL_MPI_TRANSFER_ERROR)
-                            .expect("irecv_cl event settled once");
-                        return;
-                    }
-                };
-                if received + r.data.len() > size {
-                    // Sender sent more than the posted size: a permanent
-                    // protocol failure, reported through the event.
-                    ue.set_failed(a.now_ns(), CL_MPI_TRANSFER_ERROR)
-                        .expect("irecv_cl event settled once");
-                    return;
-                }
-                host2.write(|h| {
-                    h.as_mut_slice()[received..received + r.data.len()].copy_from_slice(&r.data)
-                });
-                received += r.data.len();
-            }
-            ue.set_complete(a.now_ns())
-                .expect("irecv_cl completed once");
-        });
+        self.inner.engine.submit(Box::new(IrecvClOp::new(
+            self.inner.clone(),
+            src,
+            wire_tag,
+            size,
+            host.clone(),
+            ue,
+        )));
         ClRecvRequest { event, data: host }
     }
 }
@@ -574,41 +528,30 @@ impl ClMpi {
 impl Drop for Inner {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            return; // clock is poisoned; runtime threads die on their own
+            return; // clock is poisoned; the engine worker dies on its own
         }
-        let handles: Vec<_> = self.handles.lock().drain(..).collect();
-        if handles.is_empty() {
+        if self.engine.on_worker_thread() {
+            // The engine's last machine held the last runtime handle: the
+            // worker is already draining, and must not join itself (the
+            // Engine field's drop skips the self-join too).
             return;
         }
-        // Wait clock-aware for outstanding jobs with a temporary actor
-        // (the dropping thread is a running actor, so registration is
-        // legal), then reap the threads.
-        let tmp = self.outstanding.clock().register("clmpi-drop");
-        self.outstanding
-            .wait_labeled(&tmp, "clmpi drop", |n| (*n == 0).then_some(()));
-        drop(tmp);
-        let me = std::thread::current().id();
-        for h in handles {
-            // If the last owner of the runtime is one of its own job
-            // threads, it cannot join itself.
-            if h.thread().id() != me {
-                let _ = h.join();
-            }
+        if self.engine.active() > 0 {
+            // Wait clock-aware for outstanding machines with a temporary
+            // actor (the dropping thread is a running actor, so
+            // registration is legal); the Engine field's drop then reaps
+            // the worker thread.
+            let tmp = self.clock.register("clmpi-drop");
+            self.engine.wait_idle(&tmp);
         }
     }
 }
 
-impl Inner {
-    pub(crate) fn comm_handle(&self) -> &Comm {
-        &self.comm
-    }
-}
-
-/// Completion handle of a host-side `MPI_CL_MEM` send.
+/// Completion handle of a host-side `MPI_CL_MEM` send. The transfer
+/// progresses on the rank's engine; this handle only observes it.
 #[must_use = "wait the request to observe send completion"]
 pub struct ClSendRequest {
-    done_at: SimNs,
-    error: Option<ClError>,
+    slot: SendSlot,
 }
 
 impl ClSendRequest {
@@ -616,32 +559,30 @@ impl ClSendRequest {
     /// Panics if the transfer failed permanently; use
     /// [`ClSendRequest::wait_result`] to handle that gracefully.
     pub fn wait(&self, actor: &Actor) {
-        if let Some(e) = &self.error {
-            panic!("{e}");
+        // blocking-api: the whole point of waiting a send request.
+        let outcome = self
+            .slot
+            .wait_labeled(actor, "isend_cl done", |s| s.clone());
+        match outcome {
+            Ok(done_at) => actor.advance_until(done_at),
+            Err(e) => panic!("{e}"),
         }
-        actor.advance_until(self.done_at);
     }
 
     /// Block until the send completes, or return the transfer error if
     /// the retry budget was exhausted.
     pub fn wait_result(self, actor: &Actor) -> ClResult<()> {
-        match self.error {
-            Some(e) => Err(e),
-            None => {
-                actor.advance_until(self.done_at);
+        // blocking-api: the whole point of waiting a send request.
+        let outcome = self
+            .slot
+            .wait_labeled(actor, "isend_cl done", |s| s.clone());
+        match outcome {
+            Ok(done_at) => {
+                actor.advance_until(done_at);
                 Ok(())
             }
+            Err(e) => Err(e),
         }
-    }
-
-    /// The permanent transfer error, if the send failed.
-    pub fn error(&self) -> Option<&ClError> {
-        self.error.as_ref()
-    }
-
-    /// Virtual completion instant.
-    pub fn done_at(&self) -> SimNs {
-        self.done_at
     }
 }
 
@@ -666,269 +607,4 @@ impl RequestOutcome {
     pub fn take(&self) -> Option<RecvResult> {
         self.slot.with(|s| s.take())
     }
-}
-
-// ----------------------------------------------------------------------
-// Transfer execution (runtime threads)
-// ----------------------------------------------------------------------
-
-/// Inject one wire chunk reliably: on sender-observed loss (the fabric's
-/// link-layer NACK model), back off in virtual time and retransmit, up
-/// to the policy's attempt budget. Feeds the degradation latch and the
-/// fault counters; returns the completion instant of the successful
-/// injection.
-#[allow(clippy::too_many_arguments)]
-fn send_chunk_reliable(
-    inner: &Inner,
-    a: &Actor,
-    dst: Rank,
-    wire_tag: Tag,
-    datatype: Datatype,
-    bytes: &[u8],
-    earliest: SimNs,
-    duration: Option<SimNs>,
-) -> Result<SimNs, ClError> {
-    let policy = *inner.retry.lock();
-    let mut earliest = earliest;
-    let mut last_done = earliest;
-    for attempt in 1..=policy.max_attempts {
-        let req = inner
-            .comm
-            .isend_raw(a, dst, wire_tag, datatype, bytes, earliest, duration);
-        let done = req.known_completion().expect("send completion known");
-        last_done = done;
-        if req.delivered() {
-            inner.fault_state.lock().consecutive_drops = 0;
-            return Ok(done);
-        }
-        // The chunk burned link time but never reached the peer.
-        if let Some(stats) = inner.stats.lock().as_ref() {
-            stats.note_drop();
-        }
-        let newly_degraded = {
-            let mut fs = inner.fault_state.lock();
-            fs.consecutive_drops += 1;
-            if !fs.degraded && fs.consecutive_drops >= policy.degrade_after {
-                fs.degraded = true;
-                true
-            } else {
-                false
-            }
-        };
-        let fault_lane = format!("r{}.fault", inner.comm.rank());
-        if newly_degraded {
-            if let Some(stats) = inner.stats.lock().as_ref() {
-                stats.note_degraded();
-            }
-            inner
-                .trace
-                .record(fault_lane.as_str(), "degrade pipelined→pinned", done, done);
-        }
-        if attempt == policy.max_attempts {
-            break;
-        }
-        let backoff = policy.backoff_ns(attempt);
-        inner.trace.record(
-            fault_lane.as_str(),
-            format!("retry#{attempt}→r{dst}"),
-            done,
-            done.saturating_add(backoff),
-        );
-        if let Some(stats) = inner.stats.lock().as_ref() {
-            stats.note_retry();
-        }
-        earliest = done.saturating_add(backoff);
-    }
-    if let Some(stats) = inner.stats.lock().as_ref() {
-        stats.note_failure();
-    }
-    // Charge the time actually spent trying before giving up.
-    a.advance_until(last_done);
-    Err(ClError::TransferFailed(format!(
-        "chunk to rank {dst} lost {} time(s) on tag {wire_tag}; retry budget exhausted",
-        policy.max_attempts
-    )))
-}
-
-/// Execute the send side; returns the virtual completion instant of the
-/// local send (last injection end).
-#[allow(clippy::too_many_arguments)]
-fn run_send(
-    inner: &Inner,
-    device: &Device,
-    buf: &Buffer,
-    offset: usize,
-    size: usize,
-    dst: Rank,
-    tag: Tag,
-    strategy: TransferStrategy,
-    a: &Actor,
-) -> Result<SimNs, ClError> {
-    let plan = ResolvedStrategy::plan(strategy, size);
-    let pcie = device.spec().pcie;
-    let net = &inner.cfg.cluster.link;
-    let lane = format!("r{}.comm", inner.comm.rank());
-    let t0 = a.now_ns();
-    let mut done_at = t0;
-    match strategy {
-        TransferStrategy::Mapped => {
-            let bytes = buf.load(offset, size).expect("range checked at enqueue");
-            let stream = (size as f64 * 1e9 / pcie.mapped_bps).round() as SimNs;
-            let fused = net.injection_ns(size).max(stream);
-            done_at = send_chunk_reliable(
-                inner,
-                a,
-                dst,
-                data_tag(tag),
-                Datatype::ClMem,
-                &bytes,
-                t0 + pcie.map_setup_ns,
-                Some(fused),
-            )?;
-            inner
-                .trace
-                .record(lane.as_str(), format!("map+send→{dst}"), t0, done_at);
-        }
-        TransferStrategy::Pinned | TransferStrategy::Pipelined(_) => {
-            // Staged path: chunks flow d2h (pinned staging) then network,
-            // each chunk's network stage starting when its staging ends.
-            // Retransmits re-inject from the host staging copy — the d2h
-            // stage is not repeated.
-            let stage_earliest = t0 + pcie.pin_setup_ns;
-            let mut first = true;
-            for &(coff, clen) in &plan.chunks {
-                let bytes = buf
-                    .load(offset + coff, clen)
-                    .expect("range checked at enqueue");
-                let earliest = if first { stage_earliest } else { t0 };
-                first = false;
-                let d2h = device
-                    .d2h_link()
-                    .reserve_duration(pcie.staged_ns(clen, true), earliest);
-                done_at = send_chunk_reliable(
-                    inner,
-                    a,
-                    dst,
-                    data_tag(tag),
-                    Datatype::ClMem,
-                    &bytes,
-                    d2h.end,
-                    None,
-                )?;
-                inner.trace.record(lane.as_str(), "d2h", d2h.start, d2h.end);
-                inner
-                    .trace
-                    .record(lane.as_str(), format!("net→{dst}"), d2h.end, done_at);
-            }
-        }
-        TransferStrategy::Auto => unreachable!("strategy resolved before dispatch"),
-    }
-    if let Some(stats) = inner.stats.lock().as_ref() {
-        stats.record("send", &strategy.name(), size, done_at.saturating_sub(t0));
-    }
-    if let Some(sel) = inner.adaptive.lock().as_ref() {
-        sel.observe(size, strategy, done_at.saturating_sub(t0));
-    }
-    Ok(done_at)
-}
-
-/// Execute the receive side; completes when all bytes are in device
-/// memory (the runtime thread has advanced to that instant on return).
-#[allow(clippy::too_many_arguments)]
-fn run_recv(
-    inner: &Inner,
-    device: &Device,
-    buf: &Buffer,
-    offset: usize,
-    size: usize,
-    src: Rank,
-    tag: Tag,
-    strategy: TransferStrategy,
-    a: &Actor,
-) -> Result<(), ClError> {
-    let pcie = device.spec().pcie;
-    let lane = format!("r{}.comm", inner.comm.rank());
-    let recv_t0 = a.now_ns();
-    // One-time staging setup cost, paid up front (overlaps the wait for
-    // the first chunk in practice because it precedes it).
-    match strategy {
-        TransferStrategy::Mapped => a.advance_ns(pcie.map_setup_ns),
-        TransferStrategy::Pinned | TransferStrategy::Pipelined(_) => {
-            a.advance_ns(pcie.pin_setup_ns)
-        }
-        TransferStrategy::Auto => unreachable!("strategy resolved before dispatch"),
-    }
-    let mut received = 0usize;
-    while received < size {
-        let r = recv_chunk(inner, a, src, data_tag(tag))?;
-        let arrival = a.now_ns();
-        if received + r.data.len() > size {
-            return Err(ClError::TransferFailed(format!(
-                "clMPI transfer overflow: got {} bytes into a {}-byte receive",
-                received + r.data.len(),
-                size
-            )));
-        }
-        match strategy {
-            TransferStrategy::Mapped => {
-                // Zero-copy: the NIC already wrote through PCIe during the
-                // (sender-fused) stream; data is usable at arrival.
-                buf.store(offset + received, &r.data)
-                    .expect("range checked at enqueue");
-            }
-            TransferStrategy::Pinned | TransferStrategy::Pipelined(_) => {
-                let h2d = device
-                    .h2d_link()
-                    .reserve_duration(pcie.staged_ns(r.data.len(), true), arrival);
-                a.advance_until(h2d.end);
-                buf.store(offset + received, &r.data)
-                    .expect("range checked at enqueue");
-                inner.trace.record(lane.as_str(), "h2d", h2d.start, h2d.end);
-            }
-            TransferStrategy::Auto => unreachable!(),
-        }
-        received += r.data.len();
-    }
-    if strategy == TransferStrategy::Mapped {
-        // Unmap after the MPI transfer completes (map → MPI → unmap, the
-        // paper's mapped implementation): paid after arrival, which is
-        // what keeps the pinned path ahead for small messages on devices
-        // with expensive mapping bookkeeping (RICC's C1060).
-        a.advance_ns(pcie.map_setup_ns);
-    }
-    if let Some(stats) = inner.stats.lock().as_ref() {
-        stats.record(
-            "recv",
-            &strategy.name(),
-            size,
-            a.now_ns().saturating_sub(recv_t0),
-        );
-    }
-    if let Some(sel) = inner.adaptive.lock().as_ref() {
-        sel.observe(size, strategy, a.now_ns().saturating_sub(recv_t0));
-    }
-    Ok(())
-}
-
-/// Receive one wire chunk. On a perfect fabric this is a plain blocking
-/// receive (the exact seed code path, keeping zero-fault runs
-/// bit-identical); under a fault plan the receiver applies the policy's
-/// per-chunk patience so a permanently lost chunk surfaces as an error
-/// instead of a hang.
-fn recv_chunk(inner: &Inner, a: &Actor, src: Rank, wire_tag: Tag) -> Result<RecvResult, ClError> {
-    if !inner.comm.world().has_faults() {
-        return Ok(inner.comm.recv(a, Some(src), Some(wire_tag)));
-    }
-    let patience = inner.retry.lock().chunk_timeout_ns;
-    inner
-        .comm
-        .recv_timeout(a, Some(src), Some(wire_tag), patience)
-        .map_err(|e: MpiError| {
-            if let Some(stats) = inner.stats.lock().as_ref() {
-                stats.note_failure();
-            }
-            ClError::TransferFailed(format!(
-                "receive from rank {src} (tag {wire_tag}) gave up: {e}"
-            ))
-        })
 }

@@ -2,6 +2,10 @@
 
 use std::fmt;
 
+// Negative event-status codes live in [`crate::status`]; re-exported here
+// so error-handling code finds everything under one module.
+pub use crate::status::{CL_MPI_TRANSFER_ERROR, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST};
+
 /// Errors surfaced by runtime calls.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClError {

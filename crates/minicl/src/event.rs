@@ -13,11 +13,6 @@ use simtime::{Actor, Monitor, SimClock, SimNs};
 
 use crate::{ClError, ClResult};
 
-/// Event status of a command that failed to execute: its wait list
-/// contained a failed event (OpenCL's
-/// `CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST`).
-pub const EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST: i32 = -14;
-
 /// Command execution status (`CL_QUEUED` … `CL_COMPLETE`, or a negative
 /// error code as OpenCL events report abnormal termination).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,9 +26,9 @@ pub enum CommandStatus {
     /// Finished; timestamps final.
     Complete,
     /// Terminated abnormally with a negative OpenCL-style error code
-    /// (e.g. [`EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST`] when a wait
-    /// list dependency failed, or a runtime-specific code such as an
-    /// exhausted-retries transfer error).
+    /// (e.g. [`crate::status::EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST`]
+    /// when a wait list dependency failed, or a runtime-specific code such
+    /// as an exhausted-retries transfer error).
     Failed(i32),
 }
 
@@ -170,14 +165,33 @@ impl Event {
     /// is returned as an error. All events are waited either way, so the
     /// caller observes a quiescent state.
     pub fn wait_all_result(events: &[Event], actor: &Actor) -> ClResult<()> {
-        let mut first_err = Ok(());
+        Event::wait_all(events, actor);
+        match Event::poll_wait_list(events) {
+            WaitListStatus::Ready => Ok(()),
+            WaitListStatus::Failed { code, label } => Err(ClError::EventFailed { code, label }),
+            WaitListStatus::Pending => unreachable!("all events settled"),
+        }
+    }
+
+    /// Non-blocking wait-list poll: the one dependency-readiness rule
+    /// shared by the queue executor and the clMPI progress engine (it used
+    /// to be duplicated as two near-identical loops). A list is `Pending`
+    /// while any member is unsettled; once all are settled, the first
+    /// failure **in list order** wins (matching
+    /// [`Event::wait_all_result`]'s error choice), else `Ready`.
+    pub fn poll_wait_list(events: &[Event]) -> WaitListStatus {
+        if events.iter().any(|e| !e.status().is_settled()) {
+            return WaitListStatus::Pending;
+        }
         for e in events {
-            let r = e.wait_result(actor);
-            if first_err.is_ok() {
-                first_err = r;
+            if let Some(code) = e.error_code() {
+                return WaitListStatus::Failed {
+                    code,
+                    label: e.label(),
+                };
             }
         }
-        first_err
+        WaitListStatus::Ready
     }
 
     /// Register a completion callback (`clSetEventCallback` for
@@ -252,6 +266,41 @@ impl Event {
     }
 }
 
+/// Aggregate readiness of a wait list at one instant, as reported by
+/// [`Event::poll_wait_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitListStatus {
+    /// Every event settled, none failed — dependents may start.
+    Ready,
+    /// At least one event is still unsettled.
+    Pending,
+    /// Every event settled and at least one failed; dependents must be
+    /// poisoned with
+    /// [`crate::status::EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST`].
+    Failed {
+        /// The first failed event's (negative) status code.
+        code: i32,
+        /// The first failed event's diagnostic label.
+        label: String,
+    },
+}
+
+impl simtime::Completion for Event {
+    /// An event is a completion: settled status maps directly, with the
+    /// recorded settling timestamp. A `Pending` event offers no wake hint
+    /// (its settling is driven by whoever executes the command, which
+    /// notifies the clock through the event's `Monitor`).
+    fn poll(&self, _now: SimNs) -> simtime::CompletionState {
+        self.core.peek(|st| match st.status {
+            CommandStatus::Complete => simtime::CompletionState::Complete(st.profiling.completed),
+            CommandStatus::Failed(code) => {
+                simtime::CompletionState::Failed(code, st.profiling.completed)
+            }
+            _ => simtime::CompletionState::Pending,
+        })
+    }
+}
+
 /// A user event (`clCreateUserEvent`): an [`Event`] completable from
 /// application code. The clMPI runtime returns these from its inter-node
 /// communication commands.
@@ -287,7 +336,7 @@ impl UserEvent {
     /// Terminate the event with a negative error code
     /// (`clSetUserEventStatus` with a negative execution status). Commands
     /// gated on this event are poisoned with
-    /// [`EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST`].
+    /// [`crate::status::EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST`].
     pub fn set_failed(&self, at: SimNs, code: i32) -> ClResult<()> {
         if self.event.status().is_settled() {
             return Err(ClError::InvalidOperation(
@@ -428,5 +477,39 @@ mod tests {
         e1.complete(0);
         e2.complete(0);
         Event::wait_all(&[e1, e2], &a); // returns immediately
+    }
+
+    #[test]
+    fn poll_wait_list_reports_pending_then_first_failure_in_list_order() {
+        let clock = SimClock::new();
+        let e1 = Event::new_queued(clock.clone(), "first");
+        let e2 = Event::new_queued(clock.clone(), "second");
+        let list = [e1.clone(), e2.clone()];
+        assert_eq!(Event::poll_wait_list(&list), WaitListStatus::Pending);
+        // The later list entry fails first in time — list order still wins.
+        e2.fail(5, -1100);
+        assert_eq!(Event::poll_wait_list(&list), WaitListStatus::Pending);
+        e1.fail(9, -7);
+        assert_eq!(
+            Event::poll_wait_list(&list),
+            WaitListStatus::Failed {
+                code: -7,
+                label: "first".into()
+            }
+        );
+        assert_eq!(Event::poll_wait_list(&[]), WaitListStatus::Ready);
+    }
+
+    #[test]
+    fn event_implements_completion() {
+        use simtime::{Completion, CompletionState};
+        let clock = SimClock::new();
+        let ok = Event::new_queued(clock.clone(), "ok");
+        let bad = Event::new_queued(clock.clone(), "bad");
+        assert_eq!(ok.poll(0), CompletionState::Pending);
+        ok.complete(42);
+        bad.fail(43, -14);
+        assert_eq!(ok.poll(100), CompletionState::Complete(42));
+        assert_eq!(bad.poll(100), CompletionState::Failed(-14, 43));
     }
 }

@@ -25,18 +25,18 @@
 mod buffer;
 mod context;
 mod device;
-mod error;
+pub mod error;
 mod event;
 mod queue;
+pub mod status;
 
 pub use buffer::{AlignedBytes, Buffer, HostBuffer};
 pub use context::{Context, Device};
 pub use device::{DeviceSpec, PcieModel};
 pub use error::ClError;
-pub use event::{
-    CommandStatus, Event, ProfilingInfo, UserEvent, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST,
-};
+pub use event::{CommandStatus, Event, ProfilingInfo, UserEvent, WaitListStatus};
 pub use queue::CommandQueue;
+pub use status::{CL_MPI_TRANSFER_ERROR, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST};
 
 /// Result alias for fallible runtime calls.
 pub type ClResult<T> = Result<T, ClError>;

@@ -13,7 +13,7 @@ use std::thread::JoinHandle;
 
 use simtime::{Actor, SimChannel, SimClock, SimNs, Trace};
 
-use crate::event::EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST;
+use crate::status::EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST;
 use crate::{Buffer, ClResult, CommandStatus, Device, Event, HostBuffer};
 
 type Body = Box<dyn FnOnce() + Send>;

@@ -412,6 +412,39 @@ impl Request {
     }
 }
 
+impl simtime::Completion for Request {
+    /// Non-consuming progress-engine view of a request: a send completes
+    /// at its injection end (successful or dropped — delivery fate is a
+    /// separate query, [`Request::delivered`]); a receive completes once
+    /// its matched message is visible. Unlike [`Request::test`], polling
+    /// leaves the payload in place — the engine consumes it with `test`
+    /// once the state machine is ready for it.
+    fn poll(&self, now: SimNs) -> simtime::CompletionState {
+        match &self.kind {
+            ReqKind::Send { done_at, .. } => {
+                if now >= *done_at {
+                    simtime::CompletionState::Complete(*done_at)
+                } else {
+                    simtime::CompletionState::Pending
+                }
+            }
+            ReqKind::Recv { id, state, .. } => {
+                match state.peek(|st| st.matched.get(id).map(|m| m.visible_at)) {
+                    Some(at) if at <= now => simtime::CompletionState::Complete(at),
+                    _ => simtime::CompletionState::Pending,
+                }
+            }
+        }
+    }
+
+    /// A send's completion instant is always known; a receive's is the
+    /// matched message's arrival (`None` while unmatched — the matcher's
+    /// `Monitor` notifies on every match).
+    fn wake_hint(&self, _now: SimNs) -> Option<SimNs> {
+        self.known_completion()
+    }
+}
+
 /// Wait for every request; results are positionally aligned (sends yield
 /// `None`).
 pub fn wait_all(requests: Vec<Request>, actor: &Actor) -> Vec<Option<RecvResult>> {

@@ -109,6 +109,24 @@ impl<T: Send> Mailbox<T> {
         })
     }
 
+    /// Non-blocking poll hook for progress engines: the `visible_at` of the
+    /// lowest-seq matching envelope, whether or not it is visible yet.
+    /// `Some(t)` with `t > now` means "a match exists but is still in
+    /// flight — park until `t`"; `None` means no match has been posted, so
+    /// the poller must wait for a clock notify instead of an alarm.
+    pub fn earliest_matching_visibility(
+        &self,
+        mut matches: impl FnMut(&T) -> bool,
+    ) -> Option<SimNs> {
+        self.inner.peek(|st| {
+            st.queue
+                .iter()
+                .filter(|e| matches(&e.payload))
+                .min_by_key(|e| e.seq)
+                .map(|e| e.visible_at)
+        })
+    }
+
     /// Non-blocking matching receive of the lowest-seq visible match.
     pub fn try_recv_matching(&self, mut matches: impl FnMut(&T) -> bool) -> Option<Envelope<T>> {
         let now = self.inner.clock().now_ns();
@@ -191,6 +209,19 @@ mod tests {
         assert!(mb.probe(|_| true));
         assert!(mb.try_recv_matching(|_| true).is_some());
         assert!(mb.try_recv_matching(|_| true).is_none());
+    }
+
+    #[test]
+    fn earliest_matching_visibility_reports_in_flight_matches() {
+        let clock = SimClock::new();
+        let mb = Mailbox::new(clock.clone());
+        assert_eq!(mb.earliest_matching_visibility(|_: &u8| true), None);
+        mb.post(1u8, 9_000);
+        mb.post(2u8, 4_000);
+        // Lowest-seq match wins (post order), not earliest arrival.
+        assert_eq!(mb.earliest_matching_visibility(|_| true), Some(9_000));
+        assert_eq!(mb.earliest_matching_visibility(|p| *p == 2), Some(4_000));
+        assert_eq!(mb.earliest_matching_visibility(|p| *p == 3), None);
     }
 
     #[test]

@@ -44,11 +44,13 @@
 
 mod clock;
 pub mod plock;
+pub mod progress;
 pub mod rng;
 pub mod sync;
 pub mod trace;
 
 pub use clock::{Actor, ActorStatus, SimClock};
+pub use progress::{Completion, CompletionState};
 pub use rng::XorShift64;
 pub use sync::{Monitor, SimBarrier, SimChannel};
 pub use trace::{Span, Trace};

@@ -1,6 +1,6 @@
 //! A small, seeded, deterministic PRNG (xorshift64*).
 //!
-//! Used by the fault injector ([`simnet`]'s `FaultPlan`) and by the
+//! Used by the fault injector (`simnet`'s `FaultPlan`) and by the
 //! seeded-loop property tests, replacing the external `rand` crate. The
 //! stream is a pure function of the seed, so any run that records its seed
 //! is exactly replayable — a requirement for deterministic fault
