@@ -1,0 +1,120 @@
+//! The panic-path ratchet baseline: a committed per-crate count of
+//! `unwrap(` / `expect(` / `panic!` occurrences, stored in
+//! `crates/checker/baseline.toml` and parsed by this hand-rolled reader
+//! (the workspace has zero external dependencies, so no `toml` crate).
+//!
+//! Grammar — a strict subset of TOML, enough for the ratchet:
+//!
+//! ```toml
+//! # comment
+//! [crate-name]
+//! unwrap = 12
+//! expect = 3
+//! panic = 1
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-crate counts of the three panic-path forms.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    pub unwrap: usize,
+    pub expect: usize,
+    pub panic: usize,
+}
+
+/// Baseline table, ordered by crate name so serialization is canonical.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub crates: BTreeMap<String, Counts>,
+}
+
+impl Baseline {
+    /// Parse `baseline.toml` text. Returns `Err(line-number, message)` on
+    /// anything outside the grammar — a malformed baseline must fail the
+    /// build loudly, not silently reset the ratchet to zero.
+    pub fn parse(text: &str) -> Result<Baseline, (u32, String)> {
+        let mut out = Baseline::default();
+        let mut current: Option<String> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim().to_string();
+                out.crates.entry(name.clone()).or_default();
+                current = Some(name);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err((lineno, format!("expected `key = value`, got `{line}`")));
+            };
+            let Some(krate) = &current else {
+                return Err((lineno, "key outside any [crate] section".to_string()));
+            };
+            let n: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| (lineno, format!("`{}` is not a count", value.trim())))?;
+            let counts = out.crates.get_mut(krate).expect("section inserted above");
+            match key.trim() {
+                "unwrap" => counts.unwrap = n,
+                "expect" => counts.expect = n,
+                "panic" => counts.panic = n,
+                other => return Err((lineno, format!("unknown key `{other}`"))),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Canonical serialization, suitable for committing.
+    pub fn serialize(&self) -> String {
+        let mut s = String::from(
+            "# Panic-path ratchet baseline (checker pass 3).\n\
+             # Counts of unwrap( / expect( / panic! tokens per library crate,\n\
+             # src/ and tests/ included, comments and strings excluded.\n\
+             # New code may only move these numbers DOWN. After an improvement,\n\
+             # regenerate with: cargo run -p checker -- --write-baseline\n",
+        );
+        for (krate, c) in &self.crates {
+            let _ = write!(
+                s,
+                "\n[{krate}]\nunwrap = {}\nexpect = {}\npanic = {}\n",
+                c.unwrap, c.expect, c.panic
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let b = Baseline::parse("# hi\n[clmpi]\nunwrap = 3\nexpect=2\n\n[simtime]\npanic = 1\n")
+            .expect("valid baseline parses");
+        assert_eq!(b.crates["clmpi"].unwrap, 3);
+        assert_eq!(b.crates["clmpi"].expect, 2);
+        assert_eq!(b.crates["simtime"].panic, 1);
+        assert_eq!(
+            Baseline::parse(&b.serialize()).expect("canonical form reparses"),
+            b
+        );
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error_not_zero() {
+        assert!(Baseline::parse("unwrap = 3").is_err(), "key before section");
+        assert!(Baseline::parse("[c]\nunwrap three").is_err(), "no `=`");
+        assert!(
+            Baseline::parse("[c]\nunwrap = many").is_err(),
+            "not a count"
+        );
+        assert!(Baseline::parse("[c]\nunknown = 3").is_err(), "unknown key");
+    }
+}

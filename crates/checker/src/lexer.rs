@@ -1,0 +1,545 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant checking.
+//!
+//! The CI grep gates this tool replaces matched *bytes*: a `.wait(` inside
+//! a doc comment or an error-message string tripped them, and nothing
+//! subtler than a regex could be expressed at all. This lexer classifies
+//! every byte of a source file as exactly one of: identifier, numeric
+//! literal, string/char/byte literal, lifetime, comment, or punctuation —
+//! so passes can ask "is this token *code*?" and reason about small token
+//! sequences (`.` `wait` `(`, `-` `14`, `#[cfg(test)] mod … { … }`).
+//!
+//! It is deliberately not a full lexer: float fine-structure, tuple-index
+//! disambiguation, and exotic literal suffixes are lumped into coarse
+//! buckets, because no pass needs them. What it does get right — because
+//! the passes depend on it — is the *boundaries* of comments (line, block,
+//! nested block), of every string flavor (plain, raw with `#` fences,
+//! byte, byte-raw, C), of char literals vs. lifetimes, and line numbers.
+
+/// One classified token. `line` is 1-based and refers to the line the
+/// token *starts* on (multi-line tokens — block comments, raw strings —
+/// span further).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Token classes. String-like literals do not retain their contents:
+/// passes only ever need to know the region is *not* code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword. Raw identifiers (`r#match`) are stored
+    /// without the `r#` prefix.
+    Ident(String),
+    /// Integer literal. `value` is `None` when the literal overflows
+    /// `u128` or uses a form we do not evaluate (never in this tree).
+    Int { text: String, value: Option<u128> },
+    /// Float literal (anything with a `.` fraction or exponent).
+    Float(String),
+    /// String-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `c"…"`, or a char/byte-char literal.
+    StrLike,
+    /// Lifetime such as `'a` or `'static` (also the `'label:` of loops).
+    Lifetime(String),
+    /// `// …` comment (including `///` and `//!` doc comments), content
+    /// stored without the leading slashes.
+    LineComment(String),
+    /// `/* … */` comment (nesting folded in), content stored without the
+    /// delimiters.
+    BlockComment(String),
+    /// Any other single character of punctuation.
+    Punct(char),
+}
+
+impl Tok {
+    /// True for tokens that are part of the program text rather than
+    /// commentary. String-like literals count as code (they exist at
+    /// runtime) but no pass matches inside them.
+    pub fn is_comment(&self) -> bool {
+        matches!(self, Tok::LineComment(_) | Tok::BlockComment(_))
+    }
+}
+
+/// Lex an entire source file. Never fails: unterminated literals and
+/// stray bytes degrade to punctuation/StrLike rather than aborting, so a
+/// half-edited file still produces diagnostics instead of a tool crash.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.char_indices().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run(src)
+}
+
+struct Lexer {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.push(Token { tok, line });
+    }
+
+    fn run(mut self, _src: &str) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '\'' => self.quote(line),
+                '"' => {
+                    self.string_body(0, false);
+                    self.push(Tok::StrLike, line);
+                }
+                c if c.is_ascii_digit() => self.number(line),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(line),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume `//`
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::LineComment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: treat EOF as close
+            }
+        }
+        self.push(Tok::BlockComment(text), line);
+    }
+
+    /// `'` starts either a char literal or a lifetime. Rust's rule: it is
+    /// a char literal iff a closing `'` follows the (possibly escaped)
+    /// payload; `'a` with no closing quote is a lifetime.
+    fn quote(&mut self, line: u32) {
+        self.bump(); // consume `'`
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume the escape, then to `'`.
+                self.bump();
+                self.bump(); // the escaped character (or u of \u{…})
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::StrLike, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` → char; `'abc` (no close) → lifetime.
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    name.push(c);
+                    self.bump();
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.push(Tok::StrLike, line);
+                } else {
+                    self.push(Tok::Lifetime(name), line);
+                }
+            }
+            Some(_) => {
+                // `' '`, `'.'`, digits, …: plain char literal.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(Tok::StrLike, line);
+            }
+            None => self.push(Tok::Punct('\''), line),
+        }
+    }
+
+    /// Body of a `"`-delimited string opened by `hashes` `#` fence chars
+    /// (0 for plain strings). Backslash escapes are honored unless `raw`:
+    /// raw strings — fenced or not — have no escapes, matching Rust.
+    fn string_body(&mut self, hashes: usize, raw: bool) {
+        self.bump(); // consume opening `"`
+        while let Some(c) = self.peek(0) {
+            if c == '\\' && !raw {
+                self.bump();
+                self.bump(); // skip escaped char
+                continue;
+            }
+            if c == '"' {
+                // A raw string closes only on `"` followed by its fence.
+                let closes = (0..hashes).all(|i| self.peek(1 + i) == Some('#'));
+                if closes {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'))
+        {
+            text.push(self.bump().expect("peeked digit"));
+            text.push(self.bump().expect("peeked radix"));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    if matches!(c, 'e' | 'E') && matches!(self.peek(1), Some('+' | '-')) && float {
+                        // exponent sign of a float like 1.5e-3
+                        text.push(c);
+                        self.bump();
+                        text.push(self.bump().expect("peeked sign"));
+                        continue;
+                    }
+                    text.push(c);
+                    self.bump();
+                } else if c == '.' {
+                    // `1.5` continues the number; `1..n` and `1.method()`
+                    // do not.
+                    match self.peek(1) {
+                        Some(d) if d.is_ascii_digit() => {
+                            float = true;
+                            text.push(c);
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        let tok = if float || text.contains('.') {
+            Tok::Float(text)
+        } else {
+            let value = int_value(&text);
+            Tok::Int { text, value }
+        };
+        self.push(tok, line);
+    }
+
+    /// An ident-start character begins an identifier — unless it is one
+    /// of Rust's literal prefixes (`r"`, `r#"`, `b"`, `b'`, `br"`, `c"`,
+    /// `cr#"`) or a raw identifier (`r#ident`).
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let c0 = self.peek(0).expect("caller peeked");
+        // Longest literal prefixes first.
+        let prefix2: String = [self.peek(0), self.peek(1)].into_iter().flatten().collect();
+        let (skip, hashes) = if matches!(prefix2.as_str(), "br" | "cr") {
+            (2, self.count_hashes(2))
+        } else if matches!(c0, 'r' | 'b' | 'c') {
+            (1, self.count_hashes(1))
+        } else {
+            (0, None)
+        };
+        if skip > 0 {
+            // `r`, `br`, `cr` prefixes mean raw: no backslash escapes.
+            let raw = prefix2.starts_with('r') && skip == 1 || skip == 2;
+            if let Some(h) = hashes {
+                // A fenced or plain string with this prefix.
+                if self.peek(skip + h) == Some('"') {
+                    for _ in 0..(skip + h) {
+                        self.bump();
+                    }
+                    self.string_body(h, raw);
+                    self.push(Tok::StrLike, line);
+                    return;
+                }
+                // `r#ident` raw identifier (only r, and only with one #).
+                if c0 == 'r' && h == 1 {
+                    if let Some(c) = self.peek(2) {
+                        if is_ident_start(c) {
+                            self.bump();
+                            self.bump(); // r#
+                            let name = self.ident_text();
+                            self.push(Tok::Ident(name), line);
+                            return;
+                        }
+                    }
+                }
+            }
+            if skip == 1 && c0 == 'b' && self.peek(1) == Some('\'') {
+                // Byte char literal b'x'.
+                self.bump();
+                self.quote(line);
+                // quote() already pushed StrLike
+                return;
+            }
+        }
+        let name = self.ident_text();
+        self.push(Tok::Ident(name), line);
+    }
+
+    /// If the characters after `at` are `#…#"` or `"`, return the number
+    /// of `#` fence characters; otherwise `None` (not a string prefix).
+    fn count_hashes(&self, at: usize) -> Option<usize> {
+        let mut h = 0;
+        while self.peek(at + h) == Some('#') {
+            h += 1;
+        }
+        if self.peek(at + h) == Some('"') || (h == 1 && at == 1) {
+            // `h==1 && at==1` also admits `r#ident`, resolved by caller.
+            Some(h)
+        } else {
+            None
+        }
+    }
+
+    fn ident_text(&mut self) -> String {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            name.push(c);
+            self.bump();
+        }
+        name
+    }
+}
+
+/// Evaluate an integer literal's value: strips `_` separators and any
+/// type suffix, honors `0x`/`0o`/`0b` radices.
+fn int_value(text: &str) -> Option<u128> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = match clean.get(..2) {
+        Some("0x") | Some("0X") => (16, &clean[2..]),
+        Some("0o") | Some("0O") => (8, &clean[2..]),
+        Some("0b") | Some("0B") => (2, &clean[2..]),
+        _ => (10, clean.as_str()),
+    };
+    // Strip a type suffix (`u8`, `i64`, `usize`, …): the first char that
+    // is not a digit of the radix starts the suffix.
+    let end = digits
+        .char_indices()
+        .find(|&(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u128::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_and_doc_comments() {
+        let toks = kinds("let x = 1; // trailing .wait( here\n/// doc .recv(\ny");
+        assert!(toks.contains(&Tok::LineComment(" trailing .wait( here".into())));
+        assert!(toks.contains(&Tok::LineComment("/ doc .recv(".into())));
+        // the forbidden names never surface as identifiers
+        assert_eq!(idents("// .wait( advance_ns(\nok"), vec!["ok"]);
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::BlockComment(" outer /* inner */ still comment ".into()),
+                Tok::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_reaches_eof() {
+        let toks = kinds("a /* never closed");
+        assert_eq!(toks[0], Tok::Ident("a".into()));
+        assert_eq!(toks[1], Tok::BlockComment(" never closed".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let m = "x.wait(y)"; ok"#), vec!["let", "m", "ok"]);
+        // escaped quote does not close the string
+        assert_eq!(idents(r#"f("a \" .recv( b"); ok"#), vec!["f", "ok"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        assert_eq!(
+            idents(r###"let s = r#"has "quotes" and .wait( text"#; ok"###),
+            vec!["let", "s", "ok"]
+        );
+        // an unfenced raw string
+        assert_eq!(idents(r#"r"plain .recv(" ok"#), vec!["ok"]);
+        // backslash is NOT an escape in raw strings
+        assert_eq!(idents(r#"r"ends with \" then_code"#), vec!["then_code"]);
+    }
+
+    #[test]
+    fn byte_and_c_string_literals() {
+        assert_eq!(idents(r#"b"bytes .wait(" ok"#), vec!["ok"]);
+        assert_eq!(idents(r##"br#"raw bytes"# ok"##), vec!["ok"]);
+        assert_eq!(idents(r#"c"cstr" ok"#), vec!["ok"]);
+        // byte char
+        assert_eq!(idents(r#"b'x' ok"#), vec!["ok"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        // 'a' is a char, 'a (no close) is a lifetime
+        let toks = kinds("let c = 'w'; fn f<'a>(x: &'a str) {}");
+        assert!(toks.contains(&Tok::StrLike));
+        assert!(toks.contains(&Tok::Lifetime("a".into())));
+        // escaped quote char literal
+        assert_eq!(idents(r"let q = '\''; ok"), vec!["let", "q", "ok"]);
+        // 'static lifetime
+        assert!(kinds("&'static str").contains(&Tok::Lifetime("static".into())));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("r#match + other"), vec!["match", "other"]);
+    }
+
+    #[test]
+    fn integer_values_with_radix_separator_suffix() {
+        let vals: Vec<Option<u128>> = lex("14 1_100 0x2c 0b1110 1100i32 5usize")
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Int { value, .. } => Some(value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            vals,
+            vec![
+                Some(14),
+                Some(1100),
+                Some(0x2c),
+                Some(14),
+                Some(1100),
+                Some(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_and_ranges() {
+        let toks = kinds("1.5e-3 + 1..4 + x.wait()");
+        assert!(toks.contains(&Tok::Float("1.5e-3".into())));
+        // `1..4` lexes as Int, Punct('.'), Punct('.'), Int
+        assert!(toks.contains(&Tok::Int {
+            text: "1".into(),
+            value: Some(1)
+        }));
+        assert!(toks.contains(&Tok::Int {
+            text: "4".into(),
+            value: Some(4)
+        }));
+        assert!(toks.contains(&Tok::Ident("wait".into())));
+    }
+
+    #[test]
+    fn line_numbers_are_1_based_and_span_multiline_tokens() {
+        let toks = lex("a\n/* two\nlines */\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // comment starts on line 2
+        assert_eq!(toks[2].line, 4); // b lands after the comment's newline
+    }
+}

@@ -1,0 +1,57 @@
+//! `clmpi-check` — a dependency-free, AST-aware invariant checker for
+//! the clmpi workspace.
+//!
+//! ### Why this exists
+//!
+//! PR 2's progress engine made the runtime's correctness rest on
+//! *structural* invariants — "engine.rs never blocks or advances the
+//! clock", "every blocking call in the control plane carries a
+//! `// blocking-api:` marker" — that were enforced by two regex greps in
+//! CI. Greps match inside strings, comments, and doc text, and cannot
+//! express anything deeper (attribute scope, token adjacency, counts
+//! against a baseline). This crate replaces them with a hand-rolled
+//! comment/string/raw-string-aware Rust [`lexer`] and a small pass
+//! framework ([`passes`]) running five checks:
+//!
+//! | id | pass | invariant |
+//! |----|------|-----------|
+//! | P1 | `non-blocking-engine` | engine.rs never blocks or advances virtual time |
+//! | P2 | `blocking-marker` | clmpi blocking calls carry `// blocking-api: <why>` |
+//! | P3 | `panic-ratchet` | unwrap/expect/panic! counts only move down ([`baseline`]) |
+//! | P4 | `determinism` | no wall-clock, real sleeps, or unordered collections |
+//! | P5 | `status-literal` | raw `-14`/`-1100` must use `minicl::status` constants |
+//!
+//! ### How it runs
+//!
+//! * `cargo run -p checker` — the CI gate; prints `file:line: [pass] msg`
+//!   diagnostics and exits non-zero on any finding.
+//! * `cargo run -p checker -- --write-baseline` — regenerates
+//!   `crates/checker/baseline.toml` after a panic-path improvement.
+//! * `cargo test -p checker` — tier-1 coverage: the lexer unit tests,
+//!   fixture-driven positive/negative tests per pass, and a test that
+//!   runs all five passes over the real workspace.
+//!
+//! See DESIGN.md §9 for the invariant rationale and the allow-marker
+//! grammar (`// checker-allow(<pass-id>): <non-empty why>`).
+
+pub mod baseline;
+pub mod lexer;
+pub mod passes;
+pub mod workspace;
+
+pub use baseline::{Baseline, Counts};
+pub use passes::{current_baseline, run_all, Diag};
+pub use workspace::{SourceFile, Workspace};
+
+use std::path::PathBuf;
+
+/// The workspace root, resolved from this crate's own manifest directory
+/// so both `cargo run -p checker` and `cargo test` find the sources
+/// regardless of the invoking directory.
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/checker sits two levels below the workspace root")
+        .to_path_buf()
+}

@@ -1,0 +1,46 @@
+//! CLI entry point: run the five passes over the workspace (the CI
+//! gate), or regenerate the panic-path baseline.
+
+use std::process::ExitCode;
+
+use checker::{current_baseline, run_all, workspace_root, Workspace};
+
+fn main() -> ExitCode {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let root = workspace_root();
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "clmpi-check: cannot load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if write_baseline {
+        let path = root.join("crates/checker/baseline.toml");
+        let text = current_baseline(&ws).serialize();
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("clmpi-check: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        print!("{text}");
+        eprintln!("clmpi-check: wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+    let diags = run_all(&ws);
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!(
+            "clmpi-check: {} files, 5 passes, 0 violations",
+            ws.files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("clmpi-check: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,388 @@
+//! The five invariant passes.
+//!
+//! Each pass walks the lexed token streams of the library crates and
+//! reports [`Diag`]s. All passes share two conventions:
+//!
+//! * **Comments and string literals never match.** The lexer classifies
+//!   them; passes look only at code tokens. This is what the old CI grep
+//!   gates could not do.
+//! * **Line-level allow markers.** A finding on line *L* is suppressed by
+//!   `// checker-allow(<pass-id>): <non-empty why>` on line *L* or
+//!   *L − 1*. The justification is mandatory; an empty one is itself a
+//!   violation of the marker grammar and does not suppress.
+
+use crate::baseline::{Baseline, Counts};
+use crate::lexer::Tok;
+use crate::workspace::{SourceFile, Workspace, LIBRARY_CRATES};
+
+/// One reported violation, printed as `file:line: [pass] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    pub pass: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.pass, self.msg
+        )
+    }
+}
+
+/// Run every pass; diagnostics come back grouped by pass, then file,
+/// then line — the scan order is deterministic.
+pub fn run_all(ws: &Workspace) -> Vec<Diag> {
+    let mut out = Vec::new();
+    pass_nonblocking_engine(ws, &mut out);
+    pass_blocking_markers(ws, &mut out);
+    pass_panic_ratchet(ws, &mut out);
+    pass_determinism(ws, &mut out);
+    pass_status_literals(ws, &mut out);
+    out
+}
+
+fn ident_is<'f>(f: &'f SourceFile, idx: usize, names: &[&str]) -> Option<&'f str> {
+    match f.tok(idx) {
+        Tok::Ident(s) if names.iter().any(|n| n == s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Method-call shape at `idx`: `.` `name` `(` with `name` in `names`.
+/// Returns the method name. Comments between the tokens are skipped, so
+/// a marker comment cannot break the match.
+fn method_call<'f>(f: &'f SourceFile, idx: usize, names: &[&str]) -> Option<&'f str> {
+    let name = ident_is(f, idx, names)?;
+    if !matches!(f.prev_code(idx).map(|i| f.tok(i)), Some(Tok::Punct('.'))) {
+        return None;
+    }
+    match f.next_code(idx + 1).map(|i| f.tok(i)) {
+        Some(Tok::Punct('(')) => Some(name),
+        _ => None,
+    }
+}
+
+/// Call shape at `idx`: `name` `(` with `name` in `names` (any receiver).
+fn any_call<'f>(f: &'f SourceFile, idx: usize, names: &[&str]) -> Option<&'f str> {
+    let name = ident_is(f, idx, names)?;
+    match f.next_code(idx + 1).map(|i| f.tok(i)) {
+        Some(Tok::Punct('(')) => Some(name),
+        _ => None,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pass 1 — non-blocking engine
+// ----------------------------------------------------------------------
+
+/// DESIGN.md §8c invariant 1: `crates/clmpi/src/engine.rs` is the data
+/// plane; it must never block the engine thread (`.wait(…)`, `.recv(…)`,
+/// `.wait_labeled(…)`, `.wait_result(…)`) and must never advance virtual
+/// time itself (`advance_until(…)`, `advance_ns(…)`). Machines *park*
+/// with a wake hint instead. Test modules inside engine.rs are exempt —
+/// tests sit on the control-plane side of the line.
+pub fn pass_nonblocking_engine(ws: &Workspace, out: &mut Vec<Diag>) {
+    const PASS: &str = "non-blocking-engine";
+    const BLOCKING: &[&str] = &["wait", "recv", "wait_labeled", "wait_result"];
+    const CLOCK: &[&str] = &["advance_until", "advance_ns"];
+    for f in ws
+        .files
+        .iter()
+        .filter(|f| f.path.ends_with("clmpi/src/engine.rs"))
+    {
+        for idx in 0..f.tokens.len() {
+            if f.is_test_token(idx) {
+                continue;
+            }
+            let line = f.tokens[idx].line;
+            let hit = method_call(f, idx, BLOCKING)
+                .map(|n| format!("blocking call `.{n}(`"))
+                .or_else(|| {
+                    any_call(f, idx, CLOCK).map(|n| format!("virtual-time advance `{n}(`"))
+                });
+            if let Some(what) = hit {
+                if f.allowed_at(idx, PASS) {
+                    continue;
+                }
+                out.push(Diag {
+                    pass: PASS,
+                    file: f.path.clone(),
+                    line,
+                    msg: format!(
+                        "{what} in the progress engine — machines must park with a \
+                         wake hint, never block or advance the clock (DESIGN.md §9 P1)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pass 2 — blocking-api markers
+// ----------------------------------------------------------------------
+
+/// DESIGN.md §8c invariant 2: the clmpi control plane may block only
+/// where an MPI/OpenCL semantic requires it, and every such call site
+/// carries a `// blocking-api: <why>` marker with a non-empty rationale —
+/// on the call's line, anywhere in the call's (possibly multi-line)
+/// statement, or the line directly above the statement. Applies to all
+/// of `crates/clmpi/src` except engine.rs (pass 1 forbids blocking there
+/// outright); test code blocks freely.
+pub fn pass_blocking_markers(ws: &Workspace, out: &mut Vec<Diag>) {
+    const PASS: &str = "blocking-marker";
+    const BLOCKING: &[&str] = &["wait", "recv", "wait_labeled", "wait_result"];
+    for f in ws.files.iter().filter(|f| {
+        f.krate == "clmpi"
+            && !f.in_tests_dir
+            && f.path.contains("/src/")
+            && !f.path.ends_with("engine.rs")
+    }) {
+        for idx in 0..f.tokens.len() {
+            if f.is_test_token(idx) {
+                continue;
+            }
+            let Some(name) = method_call(f, idx, BLOCKING) else {
+                continue;
+            };
+            let line = f.tokens[idx].line;
+            if f.allowed_at(idx, PASS) {
+                continue;
+            }
+            match f.marker_in_stmt(idx, "blocking-api:") {
+                Some(why) if !why.is_empty() => {}
+                Some(_) => out.push(Diag {
+                    pass: PASS,
+                    file: f.path.clone(),
+                    line,
+                    msg: format!(
+                        "blocking call `.{name}(` has a `// blocking-api:` marker with an \
+                         empty rationale — say why this must block (DESIGN.md §9 P2)"
+                    ),
+                }),
+                None => out.push(Diag {
+                    pass: PASS,
+                    file: f.path.clone(),
+                    line,
+                    msg: format!(
+                        "blocking call `.{name}(` without a `// blocking-api: <why>` marker \
+                         on this line or the line above (DESIGN.md §9 P2)"
+                    ),
+                }),
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pass 3 — panic-path ratchet
+// ----------------------------------------------------------------------
+
+/// Count `unwrap(` / `expect(` / `panic!` code tokens per library crate
+/// and compare against the committed `crates/checker/baseline.toml`.
+/// Counts may only move down; an improvement must be locked in by
+/// regenerating the baseline, and a regression is an error naming the
+/// crate and the delta.
+pub fn pass_panic_ratchet(ws: &Workspace, out: &mut Vec<Diag>) {
+    const PASS: &str = "panic-ratchet";
+    let baseline = match Baseline::parse(&ws.baseline_text) {
+        Ok(b) => b,
+        Err((line, msg)) => {
+            out.push(Diag {
+                pass: PASS,
+                file: "crates/checker/baseline.toml".into(),
+                line,
+                msg,
+            });
+            return;
+        }
+    };
+    for krate in LIBRARY_CRATES {
+        let actual = count_panic_paths(ws, krate);
+        let base = baseline.crates.get(krate).copied().unwrap_or_default();
+        for (kind, got, want) in [
+            ("unwrap(", actual.unwrap, base.unwrap),
+            ("expect(", actual.expect, base.expect),
+            ("panic!", actual.panic, base.panic),
+        ] {
+            if got > want {
+                out.push(Diag {
+                    pass: PASS,
+                    file: format!("crates/{krate}"),
+                    line: 0,
+                    msg: format!(
+                        "`{kind}` count ratcheted UP: {got} > baseline {want} — new code \
+                         must not add panic paths; return a Result or justify with \
+                         context via expect() *and* lower another site (DESIGN.md §9 P3)"
+                    ),
+                });
+            } else if got < want {
+                out.push(Diag {
+                    pass: PASS,
+                    file: format!("crates/{krate}"),
+                    line: 0,
+                    msg: format!(
+                        "`{kind}` count improved: {got} < baseline {want} — lock it in \
+                         with `cargo run -p checker -- --write-baseline` and commit \
+                         crates/checker/baseline.toml"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The counting half of pass 3, also used by `--write-baseline`.
+pub fn count_panic_paths(ws: &Workspace, krate: &str) -> Counts {
+    let mut c = Counts::default();
+    for f in ws.files.iter().filter(|f| f.krate == krate) {
+        for idx in 0..f.tokens.len() {
+            if any_call(f, idx, &["unwrap"]).is_some() {
+                c.unwrap += 1;
+            } else if any_call(f, idx, &["expect"]).is_some() {
+                c.expect += 1;
+            } else if ident_is(f, idx, &["panic"]).is_some()
+                && matches!(
+                    f.next_code(idx + 1).map(|i| f.tok(i)),
+                    Some(Tok::Punct('!'))
+                )
+            {
+                c.panic += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Compute the full baseline for the current tree.
+pub fn current_baseline(ws: &Workspace) -> Baseline {
+    let mut b = Baseline::default();
+    for krate in LIBRARY_CRATES {
+        b.crates
+            .insert(krate.to_string(), count_panic_paths(ws, krate));
+    }
+    b
+}
+
+// ----------------------------------------------------------------------
+// Pass 4 — determinism lint
+// ----------------------------------------------------------------------
+
+/// The five library crates are deterministic by contract: identical
+/// seeds replay identical virtual-time traces. Wall-clock types
+/// (`std::time::Instant`, `SystemTime`), real sleeps (`thread::sleep`),
+/// and iteration-order-unstable collections (`HashMap`, `HashSet`) all
+/// break that contract. Since iteration-sensitivity cannot be decided
+/// lexically, *every* unordered-collection use must either migrate to
+/// `BTreeMap`/`BTreeSet` or carry a
+/// `// checker-allow(determinism): <why>` marker proving keyed-only
+/// access. Test code is exempt (it asserts on outcomes, not traces).
+pub fn pass_determinism(ws: &Workspace, out: &mut Vec<Diag>) {
+    const PASS: &str = "determinism";
+    for f in ws.files.iter().filter(|f| !f.in_tests_dir) {
+        for idx in 0..f.tokens.len() {
+            if f.is_test_token(idx) {
+                continue;
+            }
+            let line = f.tokens[idx].line;
+            let finding = if let Some(n) = ident_is(f, idx, &["Instant", "SystemTime"]) {
+                Some(format!(
+                    "wall-clock type `{n}` — deterministic crates tell time only \
+                     through the simtime clock"
+                ))
+            } else if ident_is(f, idx, &["sleep"]).is_some() && is_thread_path(f, idx) {
+                Some("real `thread::sleep` — park on the simtime clock instead".to_string())
+            } else {
+                ident_is(f, idx, &["HashMap", "HashSet"]).map(|n| {
+                    format!(
+                        "unordered collection `{n}` — use BTreeMap/BTreeSet or justify \
+                         keyed-only access with `// checker-allow(determinism): <why>`"
+                    )
+                })
+            };
+            if let Some(msg) = finding {
+                if f.allowed_at(idx, PASS) {
+                    continue;
+                }
+                out.push(Diag {
+                    pass: PASS,
+                    file: f.path.clone(),
+                    line,
+                    msg: format!("{msg} (DESIGN.md §9 P4)"),
+                });
+            }
+        }
+    }
+}
+
+/// Is the identifier at `idx` path-qualified by `thread::`?
+fn is_thread_path(f: &SourceFile, idx: usize) -> bool {
+    let Some(c1) = f.prev_code(idx) else {
+        return false;
+    };
+    let Some(c2) = f.prev_code(c1) else {
+        return false;
+    };
+    let Some(c3) = f.prev_code(c2) else {
+        return false;
+    };
+    matches!(f.tok(c1), Tok::Punct(':'))
+        && matches!(f.tok(c2), Tok::Punct(':'))
+        && matches!(f.tok(c3), Tok::Ident(s) if s == "thread")
+}
+
+// ----------------------------------------------------------------------
+// Pass 5 — status-literal hygiene
+// ----------------------------------------------------------------------
+
+/// The negative CL status codes live in `minicl::status`; restating them
+/// as raw literals (`-14`, `-1100`) reintroduces the drift that module
+/// was created to end. Outside `crates/minicl/src/status.rs`, any
+/// negated occurrence of a known status value must use the named
+/// constant. String literals and comments (e.g. an assertion message
+/// quoting "-1100") are naturally exempt via the lexer.
+pub fn pass_status_literals(ws: &Workspace, out: &mut Vec<Diag>) {
+    const PASS: &str = "status-literal";
+    const STATUS: &[(u128, &str)] = &[
+        (
+            14,
+            "minicl::status::EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST",
+        ),
+        (1100, "minicl::status::CL_MPI_TRANSFER_ERROR"),
+    ];
+    for f in ws
+        .files
+        .iter()
+        .filter(|f| !f.path.ends_with("minicl/src/status.rs"))
+    {
+        for idx in 0..f.tokens.len() {
+            let Tok::Int { text, value } = f.tok(idx) else {
+                continue;
+            };
+            let Some(&(_, constant)) = STATUS.iter().find(|&&(v, _)| Some(v) == *value) else {
+                continue;
+            };
+            if !matches!(f.prev_code(idx).map(|i| f.tok(i)), Some(Tok::Punct('-'))) {
+                continue;
+            }
+            let line = f.tokens[idx].line;
+            if f.allowed_at(idx, PASS) {
+                continue;
+            }
+            out.push(Diag {
+                pass: PASS,
+                file: f.path.clone(),
+                line,
+                msg: format!(
+                    "raw status literal `-{text}` — name it: use {constant} \
+                     (DESIGN.md §9 P5)"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The checker's view of the workspace: which files exist, which crate
+//! each belongs to, its token stream, and which token ranges are test
+//! code (`#[cfg(test)]` modules and `tests/` integration files).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Tok, Token};
+
+/// The library crates whose source the passes reason about. Application
+/// crates (`himeno`, `nanopowder`), the bench harness (which measures
+/// wall-clock time on purpose), and the checker itself are out of scope
+/// by design — the invariants belong to the runtime stack.
+pub const LIBRARY_CRATES: [&str; 5] = ["simtime", "simnet", "minimpi", "minicl", "clmpi"];
+
+/// One lexed source file.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators, e.g.
+    /// `crates/clmpi/src/engine.rs`.
+    pub path: String,
+    /// Name of the owning crate directory (`simtime`, `clmpi`, …).
+    pub krate: String,
+    /// True for files under the crate's `tests/` directory (integration
+    /// tests — all of their code is test code).
+    pub in_tests_dir: bool,
+    pub tokens: Vec<Token>,
+    /// Half-open token-index ranges lying inside `#[cfg(test)] mod … { }`
+    /// bodies.
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    pub fn parse(path: String, krate: String, in_tests_dir: bool, text: &str) -> Self {
+        let tokens = lex(text);
+        let test_regions = find_test_regions(&tokens);
+        SourceFile {
+            path,
+            krate,
+            in_tests_dir,
+            tokens,
+            test_regions,
+        }
+    }
+
+    /// Is the token at `idx` test code (integration-test file or inside a
+    /// `#[cfg(test)]` module)?
+    pub fn is_test_token(&self, idx: usize) -> bool {
+        self.in_tests_dir
+            || self
+                .test_regions
+                .iter()
+                .any(|&(lo, hi)| (lo..hi).contains(&idx))
+    }
+
+    /// The token at `idx`, comments included.
+    pub fn tok(&self, idx: usize) -> &Tok {
+        &self.tokens[idx].tok
+    }
+
+    /// Index of the next non-comment token at or after `idx`.
+    pub fn next_code(&self, idx: usize) -> Option<usize> {
+        (idx..self.tokens.len()).find(|&i| !self.tokens[i].tok.is_comment())
+    }
+
+    /// Index of the previous non-comment token strictly before `idx`.
+    pub fn prev_code(&self, idx: usize) -> Option<usize> {
+        (0..idx).rev().find(|&i| !self.tokens[i].tok.is_comment())
+    }
+
+    /// Find a marker comment covering `line`: a `//` comment on the same
+    /// line or the line immediately above whose text contains `name`.
+    /// Returns the comment text after `name`, trimmed — the rationale.
+    pub fn marker_on(&self, line: u32, name: &str) -> Option<String> {
+        self.tokens
+            .iter()
+            .filter(|t| t.line + 1 == line || t.line == line)
+            .find_map(|t| match &t.tok {
+                Tok::LineComment(text) => text
+                    .find(name)
+                    .map(|at| text[at + name.len()..].trim().to_string()),
+                _ => None,
+            })
+    }
+
+    /// True when the token at `idx` is covered by a non-empty
+    /// `// checker-allow(<pass>): <why>` marker — on the token's line,
+    /// inside the token's statement, or on the line directly above the
+    /// statement. An allow-marker with no justification does not count —
+    /// the grammar requires saying *why*.
+    pub fn allowed_at(&self, idx: usize, pass: &str) -> bool {
+        let name = format!("checker-allow({pass}):");
+        matches!(self.marker_in_stmt(idx, &name), Some(why) if !why.is_empty())
+    }
+
+    /// First line of the statement (or struct field, or argument)
+    /// containing the token at `idx`: walk backward over code tokens to
+    /// the nearest boundary (`;`, `{`, `}`, or `,`).
+    pub fn stmt_first_line(&self, idx: usize) -> u32 {
+        let mut first = self.tokens[idx].line;
+        let mut i = idx;
+        while let Some(p) = self.prev_code(i) {
+            if matches!(self.tok(p), Tok::Punct(';' | '{' | '}' | ',')) {
+                break;
+            }
+            first = self.tokens[p].line;
+            i = p;
+        }
+        first
+    }
+
+    /// Find a marker anywhere in the statement containing token `idx`:
+    /// like [`SourceFile::marker_on`], but a multi-line statement (a
+    /// formatted method chain, say) accepts the marker on any of its
+    /// lines, and a contiguous `//` comment block directly above the
+    /// statement belongs to it (so a marker may open a multi-line
+    /// justification). The rationale is the comment text after `name`,
+    /// trimmed.
+    pub fn marker_in_stmt(&self, idx: usize, name: &str) -> Option<String> {
+        let mut lo = self.stmt_first_line(idx);
+        let hi = self.tokens[idx].line;
+        // A comment-only line (no code tokens on it) directly above the
+        // statement belongs to it; a comment trailing the *previous*
+        // statement's code does not.
+        let comment_only = |line: u32| {
+            let mut any = false;
+            for t in &self.tokens {
+                if t.line == line {
+                    if t.tok.is_comment() {
+                        any = true;
+                    } else {
+                        return false;
+                    }
+                }
+            }
+            any
+        };
+        while lo > 1 && comment_only(lo - 1) {
+            lo -= 1;
+        }
+        self.tokens
+            .iter()
+            .filter(|t| t.line >= lo && t.line <= hi)
+            .find_map(|t| match &t.tok {
+                Tok::LineComment(text) => text
+                    .find(name)
+                    .map(|at| text[at + name.len()..].trim().to_string()),
+                _ => None,
+            })
+    }
+}
+
+/// Locate `#[cfg(test)] mod name { … }` bodies in a token stream.
+///
+/// This is the "AST-aware" part the old grep gates could never express:
+/// the attribute grammar is matched token-wise (`#` `[` `cfg` `(` … `test`
+/// … `)` `]`, comments skipped), then further attributes and doc comments
+/// are allowed before `mod`, and the module body is delimited by brace
+/// matching — so a `}` inside a string or comment cannot end the region.
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].tok.is_comment())
+        .collect();
+    let at = |ci: usize| -> Option<&Tok> { code.get(ci).map(|&i| &tokens[i].tok) };
+    let mut ci = 0;
+    while ci < code.len() {
+        // `#` `[` `cfg` `(` … test … `)` `]`
+        if at(ci) == Some(&Tok::Punct('#'))
+            && at(ci + 1) == Some(&Tok::Punct('['))
+            && matches!(at(ci + 2), Some(Tok::Ident(s)) if s == "cfg")
+            && at(ci + 3) == Some(&Tok::Punct('('))
+        {
+            // Scan to the matching `)`, remembering whether `test`
+            // appears (covers `cfg(test)` and `cfg(all(test, …))`).
+            let mut depth = 1usize;
+            let mut has_test = false;
+            let mut cj = ci + 4;
+            while cj < code.len() && depth > 0 {
+                match at(cj) {
+                    Some(Tok::Punct('(')) => depth += 1,
+                    Some(Tok::Punct(')')) => depth -= 1,
+                    Some(Tok::Ident(s)) if s == "test" => has_test = true,
+                    _ => {}
+                }
+                cj += 1;
+            }
+            // Expect `]`, then optional further `#[…]` attributes, then
+            // `mod` ident `{`.
+            if has_test && at(cj) == Some(&Tok::Punct(']')) {
+                let mut ck = cj + 1;
+                while at(ck) == Some(&Tok::Punct('#')) && at(ck + 1) == Some(&Tok::Punct('[')) {
+                    let mut depth = 1usize;
+                    ck += 2;
+                    while ck < code.len() && depth > 0 {
+                        match at(ck) {
+                            Some(Tok::Punct('[')) => depth += 1,
+                            Some(Tok::Punct(']')) => depth -= 1,
+                            _ => {}
+                        }
+                        ck += 1;
+                    }
+                }
+                if matches!(at(ck), Some(Tok::Ident(s)) if s == "mod") {
+                    // Skip the module name, find `{`, brace-match.
+                    let mut cb = ck + 1;
+                    while cb < code.len() && at(cb) != Some(&Tok::Punct('{')) {
+                        if at(cb) == Some(&Tok::Punct(';')) {
+                            break; // `mod tests;` — body is another file
+                        }
+                        cb += 1;
+                    }
+                    if at(cb) == Some(&Tok::Punct('{')) {
+                        let start = code[cb];
+                        let mut depth = 0usize;
+                        let mut ce = cb;
+                        while ce < code.len() {
+                            match at(ce) {
+                                Some(Tok::Punct('{')) => depth += 1,
+                                Some(Tok::Punct('}')) => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            ce += 1;
+                        }
+                        let end = code.get(ce).copied().unwrap_or(tokens.len());
+                        regions.push((start, end + 1));
+                        ci = ce;
+                        continue;
+                    }
+                }
+            }
+        }
+        ci += 1;
+    }
+    regions
+}
+
+/// The whole checked corpus plus the ratchet baseline text.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub baseline_text: String,
+}
+
+impl Workspace {
+    /// Build a synthetic workspace from `(path, text)` pairs — the
+    /// fixture tests use this. Crate name and tests-dir flag are derived
+    /// from the path exactly as in [`Workspace::load`].
+    pub fn from_sources(sources: &[(&str, &str)], baseline_text: &str) -> Self {
+        let files = sources
+            .iter()
+            .map(|(path, text)| {
+                let parts: Vec<&str> = path.split('/').collect();
+                let krate = parts.get(1).unwrap_or(&"").to_string();
+                let in_tests_dir = parts.get(2) == Some(&"tests");
+                SourceFile::parse(path.to_string(), krate, in_tests_dir, text)
+            })
+            .collect();
+        Workspace {
+            files,
+            baseline_text: baseline_text.to_string(),
+        }
+    }
+
+    /// Load every `.rs` file of the five library crates (both `src/` and
+    /// `tests/`) from the workspace rooted at `root`, in deterministic
+    /// path order.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let mut files = Vec::new();
+        for krate in LIBRARY_CRATES {
+            for sub in ["src", "tests"] {
+                let dir = root.join("crates").join(krate).join(sub);
+                if !dir.is_dir() {
+                    continue;
+                }
+                let mut paths = Vec::new();
+                collect_rs(&dir, &mut paths)?;
+                paths.sort();
+                for p in paths {
+                    let text = fs::read_to_string(&p)?;
+                    let rel = p
+                        .strip_prefix(root)
+                        .unwrap_or(&p)
+                        .components()
+                        .map(|c| c.as_os_str().to_string_lossy())
+                        .collect::<Vec<_>>()
+                        .join("/");
+                    files.push(SourceFile::parse(
+                        rel,
+                        krate.to_string(),
+                        sub == "tests",
+                        &text,
+                    ));
+                }
+            }
+        }
+        let baseline_text =
+            fs::read_to_string(root.join("crates/checker/baseline.toml")).unwrap_or_default();
+        Ok(Workspace {
+            files,
+            baseline_text,
+        })
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_bounds_are_token_accurate() {
+        let src = r#"
+fn live() { x.wait(); }
+#[cfg(test)]
+mod tests {
+    // a "}" in a string must not close the region: "}"
+    fn t() { let s = "}"; y.wait(); }
+}
+fn also_live() {}
+"#;
+        let f = SourceFile::parse("crates/c/src/a.rs".into(), "c".into(), false, src);
+        let wait_idxs: Vec<usize> = (0..f.tokens.len())
+            .filter(|&i| matches!(f.tok(i), Tok::Ident(s) if s == "wait"))
+            .collect();
+        assert_eq!(wait_idxs.len(), 2);
+        assert!(!f.is_test_token(wait_idxs[0]), "live wait is not test code");
+        assert!(f.is_test_token(wait_idxs[1]), "test wait is test code");
+        let live_idx = (0..f.tokens.len())
+            .find(|&i| matches!(f.tok(i), Tok::Ident(s) if s == "also_live"))
+            .expect("token exists");
+        assert!(!f.is_test_token(live_idx), "code after the module is live");
+    }
+
+    #[test]
+    fn cfg_all_test_and_stacked_attributes() {
+        let src = r#"
+#[cfg(all(test, feature = "x"))]
+#[allow(dead_code)]
+mod tests { fn t() { z.recv(); } }
+"#;
+        let f = SourceFile::parse("crates/c/src/a.rs".into(), "c".into(), false, src);
+        let idx = (0..f.tokens.len())
+            .find(|&i| matches!(f.tok(i), Tok::Ident(s) if s == "recv"))
+            .expect("token exists");
+        assert!(f.is_test_token(idx));
+    }
+
+    #[test]
+    fn markers_same_line_and_line_above() {
+        let src = "a.wait(); // blocking-api: reason one\n// blocking-api: reason two\nb.wait();\nc.wait();\n";
+        let f = SourceFile::parse("crates/c/src/a.rs".into(), "c".into(), false, src);
+        assert_eq!(
+            f.marker_on(1, "blocking-api:").as_deref(),
+            Some("reason one")
+        );
+        assert_eq!(
+            f.marker_on(3, "blocking-api:").as_deref(),
+            Some("reason two")
+        );
+        assert_eq!(f.marker_on(4, "blocking-api:"), None);
+    }
+
+    #[test]
+    fn allow_marker_requires_a_justification() {
+        let src = "use X; // checker-allow(determinism): keyed access only\nuse Y; // checker-allow(determinism):\n";
+        let f = SourceFile::parse("crates/c/src/a.rs".into(), "c".into(), false, src);
+        let idx_of = |name: &str| {
+            (0..f.tokens.len())
+                .find(|&i| matches!(f.tok(i), Tok::Ident(s) if s == name))
+                .expect("token exists")
+        };
+        assert!(f.allowed_at(idx_of("X"), "determinism"));
+        assert!(
+            !f.allowed_at(idx_of("Y"), "determinism"),
+            "empty rationale rejected"
+        );
+    }
+
+    #[test]
+    fn allow_marker_covers_a_multiline_statement() {
+        let src = "fn f() {\n    self.shared\n        // checker-allow(demo): host-side wait\n        .wait_labeled(a);\n}\n";
+        let f = SourceFile::parse("crates/c/src/a.rs".into(), "c".into(), false, src);
+        let idx = (0..f.tokens.len())
+            .find(|&i| matches!(f.tok(i), Tok::Ident(s) if s == "wait_labeled"))
+            .expect("token exists");
+        assert!(f.allowed_at(idx, "demo"), "marker inside the chain counts");
+        assert_eq!(f.stmt_first_line(idx), 2, "statement starts at `self`");
+    }
+}

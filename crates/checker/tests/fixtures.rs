@@ -1,0 +1,320 @@
+//! Fixture-driven pass tests: for each of the five passes, one fixture
+//! that MUST trip it (positive) and one near-identical fixture that must
+//! NOT (negative). The negatives are chosen to be exactly the situations
+//! the old CI grep gates got wrong — forbidden tokens inside comments,
+//! strings, raw strings, and test modules.
+
+use checker::passes::{
+    pass_blocking_markers, pass_determinism, pass_nonblocking_engine, pass_panic_ratchet,
+    pass_status_literals,
+};
+use checker::{Diag, Workspace};
+
+fn diags(
+    pass: fn(&Workspace, &mut Vec<Diag>),
+    sources: &[(&str, &str)],
+    baseline: &str,
+) -> Vec<Diag> {
+    let ws = Workspace::from_sources(sources, baseline);
+    let mut out = Vec::new();
+    pass(&ws, &mut out);
+    out
+}
+
+// ------------------------------------------------------------------
+// P1 — non-blocking engine
+// ------------------------------------------------------------------
+
+#[test]
+fn p1_flags_blocking_and_clock_advance_in_engine() {
+    let src = r#"
+fn step(e: &Event, a: &Actor) {
+    e.wait(a);
+    a.advance_ns(10);
+}
+"#;
+    let out = diags(
+        pass_nonblocking_engine,
+        &[("crates/clmpi/src/engine.rs", src)],
+        "",
+    );
+    assert_eq!(out.len(), 2, "one wait + one advance: {out:?}");
+    assert_eq!(out[0].line, 3);
+    assert!(out[0].msg.contains(".wait("));
+    assert_eq!(out[1].line, 4);
+    assert!(out[1].msg.contains("advance_ns"));
+}
+
+#[test]
+fn p1_ignores_comments_strings_tests_and_other_files() {
+    let engine = r##"
+//! Docs may say `.wait(` and `advance_until(` freely.
+fn step() {
+    let msg = "call .recv( later";
+    let raw = r#"advance_ns( in a raw string"#;
+    park(msg, raw);
+}
+#[cfg(test)]
+mod tests {
+    fn t(e: &Event, a: &Actor) { e.wait(a); }
+}
+"##;
+    // The same blocking call in runtime.rs is P2's business, not P1's.
+    let runtime = "fn f(e: &Event, a: &Actor) { e.wait(a); } // blocking-api: semantics";
+    let out = diags(
+        pass_nonblocking_engine,
+        &[
+            ("crates/clmpi/src/engine.rs", engine),
+            ("crates/clmpi/src/runtime.rs", runtime),
+        ],
+        "",
+    );
+    assert!(out.is_empty(), "false positives: {out:?}");
+}
+
+#[test]
+fn p1_allow_marker_with_rationale_suppresses() {
+    let src = "fn idle(s: &S, a: &Actor) {\n    s.shared\n        // checker-allow(non-blocking-engine): host-side control-plane wait\n        .wait_labeled(a);\n}\n";
+    let out = diags(
+        pass_nonblocking_engine,
+        &[("crates/clmpi/src/engine.rs", src)],
+        "",
+    );
+    assert!(out.is_empty(), "justified allow-marker suppresses: {out:?}");
+}
+
+// ------------------------------------------------------------------
+// P2 — blocking-api markers
+// ------------------------------------------------------------------
+
+#[test]
+fn p2_flags_unmarked_and_empty_rationale_blocking_calls() {
+    let src = r#"
+fn f(e: &Event, a: &Actor) {
+    e.wait(a);
+    e.recv(a); // blocking-api:
+}
+"#;
+    let out = diags(
+        pass_blocking_markers,
+        &[("crates/clmpi/src/runtime.rs", src)],
+        "",
+    );
+    assert_eq!(out.len(), 2, "{out:?}");
+    assert!(out[0].msg.contains("without a"), "{}", out[0].msg);
+    assert!(out[1].msg.contains("empty rationale"), "{}", out[1].msg);
+}
+
+#[test]
+fn p2_accepts_markers_anywhere_in_the_statement() {
+    let src = r#"
+fn f(s: &Slot, e: &Event, a: &Actor) {
+    e.wait(a); // blocking-api: MPI_Send semantics
+    // blocking-api: the whole point of waiting a send request.
+    let out = s
+        .slot
+        .wait_labeled(a);
+    drop(out);
+}
+#[cfg(test)]
+mod tests {
+    fn t(e: &Event, a: &Actor) { e.wait(a); }
+}
+"#;
+    let out = diags(
+        pass_blocking_markers,
+        &[("crates/clmpi/src/runtime.rs", src)],
+        "",
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn p2_marker_inside_a_string_does_not_count() {
+    let src = r#"fn f(e: &Event, a: &Actor) { log("blocking-api: fake"); e.wait(a); }"#;
+    let out = diags(
+        pass_blocking_markers,
+        &[("crates/clmpi/src/runtime.rs", src)],
+        "",
+    );
+    assert_eq!(out.len(), 1, "string content is not a marker: {out:?}");
+}
+
+// ------------------------------------------------------------------
+// P3 — panic-path ratchet
+// ------------------------------------------------------------------
+
+const RATCHET_SRC: &str = r#"
+fn f(x: Option<u32>) -> u32 {
+    // unwrap( in a comment is not counted
+    let label = "panic! in a string is not counted";
+    drop(label);
+    x.unwrap()
+}
+fn g(x: Option<u32>) -> u32 { x.expect("ctx") }
+fn h() { panic!("boom"); }
+"#;
+
+#[test]
+fn p3_counts_match_and_ratchet_up_fails() {
+    let files = [("crates/simtime/src/a.rs", RATCHET_SRC)];
+    // Exact baseline: clean.
+    let exact = "[simtime]\nunwrap = 1\nexpect = 1\npanic = 1\n";
+    assert!(diags(pass_panic_ratchet, &files, exact).is_empty());
+    // One fewer allowed unwrap: the new unwrap is a ratchet-up error.
+    let tighter = "[simtime]\nunwrap = 0\nexpect = 1\npanic = 1\n";
+    let out = diags(pass_panic_ratchet, &files, tighter);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(out[0].msg.contains("ratcheted UP"), "{}", out[0].msg);
+}
+
+#[test]
+fn p3_improvement_must_be_locked_in() {
+    let files = [("crates/simtime/src/a.rs", RATCHET_SRC)];
+    let looser = "[simtime]\nunwrap = 3\nexpect = 1\npanic = 1\n";
+    let out = diags(pass_panic_ratchet, &files, looser);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(out[0].msg.contains("--write-baseline"), "{}", out[0].msg);
+}
+
+#[test]
+fn p3_malformed_baseline_is_a_diagnostic() {
+    let files = [("crates/simtime/src/a.rs", RATCHET_SRC)];
+    let out = diags(pass_panic_ratchet, &files, "[simtime]\nunwrap = lots\n");
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].file, "crates/checker/baseline.toml");
+}
+
+#[test]
+fn p3_unwrap_or_and_should_panic_are_not_panic_paths() {
+    let src = r#"
+fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_else(|| 1)) }
+#[should_panic(expected = "boom")]
+fn t() {}
+"#;
+    let files = [("crates/simtime/src/a.rs", src)];
+    let zero = "[simtime]\nunwrap = 0\nexpect = 0\npanic = 0\n";
+    assert!(diags(pass_panic_ratchet, &files, zero).is_empty());
+}
+
+// ------------------------------------------------------------------
+// P4 — determinism
+// ------------------------------------------------------------------
+
+#[test]
+fn p4_flags_wallclock_sleep_and_unordered_collections() {
+    let src = r#"
+use std::collections::HashMap;
+fn f() {
+    let t = std::time::Instant::now();
+    std::thread::sleep(d);
+    drop(t);
+}
+"#;
+    let out = diags(pass_determinism, &[("crates/simnet/src/a.rs", src)], "");
+    let msgs: Vec<&str> = out.iter().map(|d| d.msg.as_str()).collect();
+    assert_eq!(out.len(), 3, "{out:?}");
+    assert!(msgs.iter().any(|m| m.contains("HashMap")));
+    assert!(msgs.iter().any(|m| m.contains("Instant")));
+    assert!(msgs.iter().any(|m| m.contains("thread::sleep")));
+}
+
+#[test]
+fn p4_allows_btreemap_justified_hashmap_and_test_code() {
+    let src = r#"
+use std::collections::BTreeMap;
+// checker-allow(determinism): keyed access only, never iterated.
+use std::collections::HashMap;
+struct S {
+    // checker-allow(determinism): looked up by id; order never observed,
+    // as this multi-line justification explains at length.
+    index: HashMap<u64, u32>,
+    ordered: BTreeMap<u64, u32>,
+}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    fn t() { let _s: HashSet<u32> = HashSet::new(); }
+}
+"#;
+    let out = diags(pass_determinism, &[("crates/simtime/src/a.rs", src)], "");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn p4_unjustified_allow_marker_does_not_suppress() {
+    let src = "use std::collections::HashMap; // checker-allow(determinism):\n";
+    let out = diags(pass_determinism, &[("crates/simtime/src/a.rs", src)], "");
+    assert_eq!(out.len(), 1, "empty rationale must not suppress: {out:?}");
+}
+
+#[test]
+fn p4_non_thread_sleep_ident_is_fine() {
+    // simnet docs talk about actors "sleeping"; only `thread::sleep` is
+    // the real-time kind.
+    let src = "fn sleep_until(t: SimNs) { clock.sleep_until(t); } // fn named sleep_until";
+    let out = diags(pass_determinism, &[("crates/simtime/src/a.rs", src)], "");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ------------------------------------------------------------------
+// P5 — status literals
+// ------------------------------------------------------------------
+
+#[test]
+fn p5_flags_raw_status_literals_in_all_code_paths() {
+    let src = r#"
+fn f(e: &Event) {
+    e.fail(5, -1100);
+    e.fail(9, -14i32);
+}
+"#;
+    let out = diags(
+        pass_status_literals,
+        &[("crates/minicl/src/event.rs", src)],
+        "",
+    );
+    assert_eq!(out.len(), 2, "{out:?}");
+    assert!(
+        out[0].msg.contains("CL_MPI_TRANSFER_ERROR"),
+        "{}",
+        out[0].msg
+    );
+    assert!(
+        out[1]
+            .msg
+            .contains("EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST"),
+        "{}",
+        out[1].msg
+    );
+}
+
+#[test]
+fn p5_ignores_strings_comments_other_values_and_status_rs() {
+    let src = r#"
+// -1100 in a comment
+fn f(e: &Event, c1: Option<i32>) {
+    assert_eq!(c1, Some(X), "root failure is -1100");
+    e.fail(43, -42);
+    let window = 14; // positive 14 is not a status code
+    drop(window);
+}
+"#;
+    let defs = "pub const CL_MPI_TRANSFER_ERROR: i32 = -1100;\npub const E: i32 = -14;\n";
+    let out = diags(
+        pass_status_literals,
+        &[
+            ("crates/clmpi/tests/engine.rs", src),
+            ("crates/minicl/src/status.rs", defs),
+        ],
+        "",
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn p5_separator_and_suffix_forms_still_match() {
+    let src = "fn f(e: &Event) { e.fail(1, -1_100); }";
+    let out = diags(pass_status_literals, &[("crates/clmpi/src/a.rs", src)], "");
+    assert_eq!(out.len(), 1, "`-1_100` is still -1100: {out:?}");
+}

@@ -9,7 +9,7 @@
 //! systems no preset exists for, without any code change (the paper's
 //! performance-portability argument, §IV advantage 1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use simtime::plock::Mutex;
@@ -42,7 +42,7 @@ struct ClassState {
 /// locked in for that class.
 pub struct AdaptiveSelector {
     candidates: Vec<TransferStrategy>,
-    classes: Arc<Mutex<HashMap<u32, ClassState>>>,
+    classes: Arc<Mutex<BTreeMap<u32, ClassState>>>,
 }
 
 impl AdaptiveSelector {
@@ -65,7 +65,7 @@ impl AdaptiveSelector {
         );
         AdaptiveSelector {
             candidates,
-            classes: Arc::new(Mutex::new(HashMap::new())),
+            classes: Arc::new(Mutex::new(BTreeMap::new())),
         }
     }
 

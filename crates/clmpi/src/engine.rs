@@ -144,6 +144,9 @@ impl Engine {
     /// finished.
     pub fn wait_idle(&self, actor: &Actor) {
         self.shared
+            // checker-allow(non-blocking-engine): host-side control-plane
+            // API (shutdown quiescence); it blocks the *calling* actor,
+            // never the engine worker thread.
             .wait_labeled(actor, "clmpi shutdown", |s| (s.active == 0).then_some(()));
     }
 

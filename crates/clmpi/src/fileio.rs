@@ -8,7 +8,7 @@
 //! that move device buffers to/from it, returning ordinary events — so
 //! checkpointing overlaps computation exactly like communication does.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use minicl::{Buffer, ClResult, CommandQueue, Device, Event, UserEvent};
@@ -23,7 +23,7 @@ use crate::engine::{deps_settled, EngineOp, Step};
 /// a shared SSD namespace).
 #[derive(Clone)]
 pub struct SimStorage {
-    files: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
     link: Arc<Link>,
 }
 
@@ -44,7 +44,7 @@ impl SimStorage {
     /// Storage with an explicit cost model.
     pub fn with_spec(clock: SimClock, spec: LinkSpec) -> Self {
         SimStorage {
-            files: Arc::new(Mutex::new(HashMap::new())),
+            files: Arc::new(Mutex::new(BTreeMap::new())),
             link: Arc::new(Link::new(clock, spec)),
         }
     }
@@ -307,15 +307,18 @@ mod tests {
             let storage = SimStorage::node_local_disk(p.clock().clone());
             let a = rt.context().create_buffer(1 << 20);
             let b = rt.context().create_buffer(1 << 20);
-            a.store(0, &vec![42u8; 1 << 20]).unwrap();
+            a.store(0, &vec![42u8; 1 << 20]).expect("store in range");
             let ew = rt
                 .enqueue_write_file(&q, &a, 0, 1 << 20, &storage, "ckpt.bin", &[], &p.actor)
-                .unwrap();
+                .expect("enqueue accepted");
             let er = rt
                 .enqueue_read_file(&q, &b, 0, 1 << 20, &storage, "ckpt.bin", &[ew], &p.actor)
-                .unwrap();
+                .expect("enqueue accepted");
             er.wait(&p.actor);
-            assert_eq!(b.load(0, 1 << 20).unwrap(), vec![42u8; 1 << 20]);
+            assert_eq!(
+                b.load(0, 1 << 20).expect("load in range"),
+                vec![42u8; 1 << 20]
+            );
             assert_eq!(storage.file_len("ckpt.bin"), Some(1 << 20));
             rt.shutdown(&p.actor);
         });
@@ -331,7 +334,7 @@ mod tests {
             // 8 MiB at ~200 MB/s ≈ 40 ms of storage time…
             let ew = rt
                 .enqueue_write_file(&q, &buf, 0, 8 << 20, &storage, "c", &[], &p.actor)
-                .unwrap();
+                .expect("enqueue accepted");
             // …hidden under 50 ms of computation on the same device.
             let ek = q.enqueue_kernel("compute", 50_000_000, &[], || {});
             ek.wait(&p.actor);
@@ -364,7 +367,7 @@ mod tests {
             let buf = rt.context().create_buffer(64);
             let e = rt
                 .enqueue_read_file(&q, &buf, 0, 64, &storage, "nope", &[], &p.actor)
-                .unwrap();
+                .expect("enqueue accepted");
             e.wait(&p.actor);
             rt.shutdown(&p.actor);
         });

@@ -493,6 +493,7 @@ impl ClMpi {
         // injection burst onto the wire, keeping the fabric reservation
         // order identical to an inline send (costs no virtual time — the
         // engine runs at this same frozen instant).
+        // blocking-api: submission handshake at one frozen virtual instant.
         issued.wait_labeled(actor, "clmpi isend_cl", |i| i.then_some(()));
         ClSendRequest { slot }
     }

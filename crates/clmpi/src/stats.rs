@@ -140,7 +140,7 @@ mod tests {
         s.record("send", "pinned", 1000, 10_000);
         s.record("send", "pinned", 3000, 30_000);
         s.record("recv", "mapped", 500, 5_000);
-        let e = s.get("send", "pinned").unwrap();
+        let e = s.get("send", "pinned").expect("send/pinned entry recorded");
         assert_eq!(e.count, 2);
         assert_eq!(e.bytes, 4000);
         assert_eq!(e.total_ns, 40_000);

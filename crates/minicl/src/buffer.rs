@@ -248,9 +248,9 @@ mod tests {
     #[test]
     fn buffer_store_load_roundtrip() {
         let b = Buffer::alloc(64);
-        b.store(8, &[1, 2, 3, 4]).unwrap();
-        assert_eq!(b.load(8, 4).unwrap(), vec![1, 2, 3, 4]);
-        assert_eq!(b.load(0, 4).unwrap(), vec![0; 4]);
+        b.store(8, &[1, 2, 3, 4]).expect("store in range");
+        assert_eq!(b.load(8, 4).expect("load in range"), vec![1, 2, 3, 4]);
+        assert_eq!(b.load(0, 4).expect("load in range"), vec![0; 4]);
     }
 
     #[test]
@@ -265,8 +265,8 @@ mod tests {
     fn buffer_clone_shares_contents() {
         let a = Buffer::alloc(8);
         let b = a.clone();
-        a.store(0, &[9; 8]).unwrap();
-        assert_eq!(b.load(0, 8).unwrap(), vec![9; 8]);
+        a.store(0, &[9; 8]).expect("store in range");
+        assert_eq!(b.load(0, 8).expect("load in range"), vec![9; 8]);
         assert_eq!(a.id(), b.id());
     }
 

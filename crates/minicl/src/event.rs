@@ -389,7 +389,7 @@ mod tests {
         });
         e.wait(&waiter);
         assert_eq!(waiter.now_ns(), 500);
-        t.join().unwrap();
+        t.join().expect("worker thread panicked");
     }
 
     #[test]
@@ -400,7 +400,8 @@ mod tests {
         let handle = ue.event();
         assert!(!handle.is_complete());
         a.advance_ns(100);
-        ue.set_complete(a.now_ns()).unwrap();
+        ue.set_complete(a.now_ns())
+            .expect("user event completes once");
         assert!(handle.is_complete());
         assert_eq!(handle.completion_time(), Some(100));
         assert!(ue.set_complete(101).is_err(), "double completion rejected");
@@ -428,7 +429,8 @@ mod tests {
         let ue = UserEvent::new(clock.clone(), "doomed");
         let handle = ue.event();
         a.advance_ns(50);
-        ue.set_failed(a.now_ns(), -42).unwrap();
+        ue.set_failed(a.now_ns(), -42)
+            .expect("user event fails once");
         assert!(handle.is_failed());
         assert_eq!(handle.error_code(), Some(-42));
         match handle.wait_result(&a) {
@@ -487,7 +489,7 @@ mod tests {
         let list = [e1.clone(), e2.clone()];
         assert_eq!(Event::poll_wait_list(&list), WaitListStatus::Pending);
         // The later list entry fails first in time — list order still wins.
-        e2.fail(5, -1100);
+        e2.fail(5, crate::status::CL_MPI_TRANSFER_ERROR);
         assert_eq!(Event::poll_wait_list(&list), WaitListStatus::Pending);
         e1.fail(9, -7);
         assert_eq!(
@@ -508,8 +510,9 @@ mod tests {
         let bad = Event::new_queued(clock.clone(), "bad");
         assert_eq!(ok.poll(0), CompletionState::Pending);
         ok.complete(42);
-        bad.fail(43, -14);
+        use crate::status::EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST as WAIT_LIST_ERR;
+        bad.fail(43, WAIT_LIST_ERR);
         assert_eq!(ok.poll(100), CompletionState::Complete(42));
-        assert_eq!(bad.poll(100), CompletionState::Failed(-14, 43));
+        assert_eq!(bad.poll(100), CompletionState::Failed(WAIT_LIST_ERR, 43));
     }
 }

@@ -12,6 +12,7 @@
 //!   instant. (Real MPI matches on arrival of the envelope; the observable
 //!   completion times are the same.)
 
+// checker-allow(determinism): keyed by receive id only, never iterated.
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -122,6 +123,8 @@ struct PendingRecv {
 pub(crate) struct RankState {
     inbox: Vec<InMsg>,
     pending: Vec<PendingRecv>,
+    // checker-allow(determinism): get/remove by the posted receive's id
+    // only; match order is decided by the ordered `inbox`/`pending` vecs.
     matched: HashMap<u64, InMsg>,
     next_seq: u64,
     next_recv_id: u64,

@@ -18,6 +18,7 @@
 //! retransmission without an explicit ack protocol. Dropped messages still
 //! consume sender-side injection time, like real lost packets.
 
+// checker-allow(determinism): keyed flow counters only, never iterated.
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -159,6 +160,9 @@ pub struct FaultInjector {
     salt: u64,
     /// Per-(src, dst, tag) message counters: the flow position `k` feeds
     /// the pure decision function.
+    // checker-allow(determinism): entry() by (src, dst, tag) key only; the
+    // drop decision is a pure function of (plan, salt, key, k), so map
+    // order can never reach an outcome.
     flows: Mutex<HashMap<(NodeId, NodeId, i32), u64>>,
     delivered: AtomicU64,
     dropped_random: AtomicU64,
@@ -173,7 +177,7 @@ impl FaultInjector {
         FaultInjector {
             plan,
             salt,
-            flows: Mutex::new(HashMap::new()),
+            flows: Mutex::new(HashMap::new()), // checker-allow(determinism): see field note.
             delivered: AtomicU64::new(0),
             dropped_random: AtomicU64::new(0),
             dropped_down: AtomicU64::new(0),

@@ -239,6 +239,6 @@ mod tests {
         let env = mb.recv_matching(&r, |_| true);
         assert_eq!(env.payload, 42);
         assert_eq!(r.now_ns(), 5_000);
-        sender.join().unwrap();
+        sender.join().expect("worker thread panicked");
     }
 }

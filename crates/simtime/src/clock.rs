@@ -21,6 +21,7 @@
 
 use crate::plock::{Condvar, Mutex};
 use std::cmp::Reverse;
+// checker-allow(determinism): keyed lookups by actor id only, never iterated.
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
@@ -64,6 +65,8 @@ struct ClockState {
     alarms: BinaryHeap<Reverse<SimNs>>,
     next_seq: u64,
     next_actor: u64,
+    // checker-allow(determinism): accessed by actor id only (get_mut/remove);
+    // wake order comes from the `sleepers` heap, never from map iteration.
     actors: HashMap<u64, ActorInfo>,
     /// Set when a registered actor panics or a deadlock is detected, so
     /// every other actor unblocks and fails fast instead of hanging.
@@ -447,7 +450,10 @@ mod tests {
                 })
             })
             .collect();
-        let ends: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let ends: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
         assert_eq!(ends, vec![300, 700, 500]);
         assert_eq!(c.now_ns(), 700);
     }
@@ -477,7 +483,7 @@ mod tests {
         let f3 = flag.clone();
         a.wait_until(move || if *f3.lock() { Some(()) } else { None });
         assert_eq!(a.now_ns(), 1000);
-        setter.join().unwrap();
+        setter.join().expect("worker thread panicked");
     }
 
     #[test]
@@ -520,7 +526,7 @@ mod tests {
             })
             .collect();
         for t in h {
-            assert_eq!(t.join().unwrap(), 50);
+            assert_eq!(t.join().expect("worker thread panicked"), 50);
         }
         assert_eq!(c.now_ns(), 50);
     }
@@ -548,7 +554,7 @@ mod tests {
                                     // time, and a join while holding a runnable actor would stall the
                                     // clock (os-level wait the clock cannot see).
         drop(b);
-        sender.join().unwrap();
+        sender.join().expect("worker thread panicked");
         assert_eq!(c.now_ns(), 100);
     }
 
@@ -568,7 +574,7 @@ mod tests {
         let t = thread::spawn(move || {
             drop(b); // b leaves; a must be able to advance alone
         });
-        t.join().unwrap();
+        t.join().expect("worker thread panicked");
         a.advance_ns(7);
         assert_eq!(c.now_ns(), 7);
         assert_eq!(c.actor_count(), 1);
@@ -612,8 +618,8 @@ mod tests {
             }
             got
         });
-        prod.join().unwrap();
-        let got = cons.join().unwrap();
+        prod.join().expect("worker thread panicked");
+        let got = cons.join().expect("worker thread panicked");
         assert_eq!(got, (0..100).collect::<Vec<_>>());
         assert_eq!(c.now_ns(), 100);
     }

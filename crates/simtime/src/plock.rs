@@ -133,7 +133,7 @@ mod tests {
             })
             .collect();
         for h in handles {
-            h.join().unwrap();
+            h.join().expect("worker thread panicked");
         }
         assert_eq!(*m.lock(), 8000);
     }
@@ -154,7 +154,7 @@ mod tests {
             *m.lock() = true;
             cv.notify_all();
         }
-        t.join().unwrap();
+        t.join().expect("worker thread panicked");
     }
 
     #[test]

@@ -132,8 +132,8 @@ mod tests {
     fn state_accessors() {
         assert!(!CompletionState::Pending.is_settled());
         assert_eq!(CompletionState::Complete(3).settled_at(), Some(3));
-        assert_eq!(CompletionState::Failed(-14, 9).settled_at(), Some(9));
-        assert_eq!(CompletionState::Failed(-14, 9).error_code(), Some(-14));
+        assert_eq!(CompletionState::Failed(-42, 9).settled_at(), Some(9));
+        assert_eq!(CompletionState::Failed(-42, 9).error_code(), Some(-42));
         assert_eq!(CompletionState::Complete(3).error_code(), None);
     }
 }

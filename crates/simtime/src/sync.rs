@@ -247,7 +247,7 @@ mod tests {
         });
         assert_eq!(ch.recv(&r), Some(99));
         assert_eq!(r.now_ns(), 250);
-        sender.join().unwrap();
+        sender.join().expect("worker thread panicked");
     }
 
     #[test]
@@ -269,7 +269,10 @@ mod tests {
                 })
             })
             .collect();
-        let times: Vec<u64> = h.into_iter().map(|t| t.join().unwrap()).collect();
+        let times: Vec<u64> = h
+            .into_iter()
+            .map(|t| t.join().expect("worker thread panicked"))
+            .collect();
         // Leader arrives at 30; everyone observes >= their own arrival and
         // the clock never exceeded 30 (no spurious advancement).
         assert!(times.iter().all(|&t| t <= 30));
@@ -291,7 +294,7 @@ mod tests {
         for _ in 0..10 {
             bar.wait(&a);
         }
-        t.join().unwrap();
+        t.join().expect("worker thread panicked");
     }
 
     #[test]
@@ -306,7 +309,10 @@ mod tests {
                 thread::spawn(move || bar.wait(&actor) as usize)
             })
             .collect();
-        let leaders: usize = h.into_iter().map(|t| t.join().unwrap()).sum();
+        let leaders: usize = h
+            .into_iter()
+            .map(|t| t.join().expect("worker thread panicked"))
+            .sum();
         assert_eq!(leaders, 1);
     }
 

@@ -78,8 +78,10 @@ impl Trace {
         if spans.is_empty() {
             return String::from("(empty trace)\n");
         }
-        let t0 = spans.iter().map(|s| s.start).min().unwrap();
-        let t1 = spans.iter().map(|s| s.end).max().unwrap().max(t0 + 1);
+        // `spans` is non-empty (checked above); 0 is unreachable, not a
+        // default — this keeps the render path panic-free.
+        let t0 = spans.iter().map(|s| s.start).min().unwrap_or(0);
+        let t1 = spans.iter().map(|s| s.end).max().unwrap_or(0).max(t0 + 1);
         let scale = |t: SimNs| -> usize {
             (((t - t0) as f64 / (t1 - t0) as f64) * (width.max(2) - 1) as f64).round() as usize
         };
