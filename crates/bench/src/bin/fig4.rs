@@ -12,7 +12,7 @@
 //!
 //! Usage: `fig4 [--width N]`
 
-use clmpi::SystemConfig;
+use clmpi::{OverlapReport, SystemConfig};
 use himeno::{run_himeno, GridSize, HimenoConfig, Variant};
 
 fn main() {
@@ -37,6 +37,7 @@ fn main() {
     );
     println!("Fig. 4(a) — hand-optimized, computation ≥ communication (RICC, 2 nodes, S):");
     println!("{}", a.trace.render_ascii(width));
+    println!("{}", OverlapReport::from_trace(&a.trace).render());
 
     // (b): Cichlid, 4 nodes — communication exposed; host blocking delays
     // the second stage.
@@ -50,16 +51,33 @@ fn main() {
     let b = run_himeno(Variant::HandOptimized, cfg_b.clone());
     println!("Fig. 4(b) — hand-optimized, communication exposed (Cichlid, 4 nodes, S):");
     println!("{}", b.trace.render_ascii(width));
+    println!("{}", OverlapReport::from_trace(&b.trace).render());
 
     // (c): same configuration, clMPI event chains.
     let c = run_himeno(Variant::ClMpi, cfg_b);
     println!("Fig. 4(c) — clMPI, communication released by events (same config):");
     println!("{}", c.trace.render_ascii(width));
+    let rc = OverlapReport::from_trace(&c.trace);
+    println!("{}", rc.render());
 
     println!(
         "iteration walltime: (a) {:.2} ms   (b) {:.2} ms   (c) {:.2} ms",
         a.elapsed_ns as f64 / 3.0 / 1e6,
         b.elapsed_ns as f64 / 3.0 / 1e6,
         c.elapsed_ns as f64 / 3.0 / 1e6,
+    );
+    // The quantitative version of the figure's claim: communication time
+    // NOT hidden behind computation (mean per rank). On this compute-poor
+    // configuration neither variant can hide much, but clMPI both
+    // shortens the comm lane (no host staging) and releases transfers as
+    // soon as their events fire — the exposed time drops with it.
+    let exposed = |r: &OverlapReport| {
+        let total: u64 = r.ranks.iter().map(|x| x.comm_ns - x.overlap_ns).sum();
+        total as f64 / r.ranks.len().max(1) as f64 / 1e6
+    };
+    println!(
+        "exposed communication per rank: (b) {:.2} ms   (c) {:.2} ms",
+        exposed(&OverlapReport::from_trace(&b.trace)),
+        exposed(&rc),
     );
 }

@@ -2,14 +2,30 @@
 //! remote devices vs message size, for the pinned / mapped / pipelined(N)
 //! transfer implementations.
 //!
-//! Usage: `fig8 [cichlid|ricc] [--quick]`
+//! Besides the console table, every measured point is persisted to
+//! `BENCH_p2p.json` (repo root by default) — all fields are virtual-time
+//! derived, so the file is byte-identical across runs and CI archives it
+//! as the p2p perf-trajectory data point.
+//!
+//! Usage: `fig8 [cichlid|ricc] [--quick] [--bench-out path]`
 
+use clmpi::obs::validate_json;
 use clmpi::{analytic, SystemConfig};
 use clmpi_bench::{fig8_sizes, fig8_strategies, fmt_size, measure_p2p, CsvOut};
+
+/// One measured point, as persisted to `BENCH_p2p.json`.
+struct Point {
+    system: String,
+    size: usize,
+    strategy: String,
+    per_transfer_ns: u64,
+    mbps_bits: u64,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut bench_out = "BENCH_p2p.json".to_string();
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -17,6 +33,9 @@ fn main() {
             "--quick" => quick = true,
             "--csv" => {
                 it.next(); // value consumed by CsvOut::from_args
+            }
+            "--bench-out" => {
+                bench_out = it.next().expect("--bench-out needs a value").clone();
             }
             other => names.push(other),
         }
@@ -28,15 +47,17 @@ fn main() {
     };
     let mut csv = CsvOut::from_args(&args);
     csv.row(["system", "size_bytes", "strategy", "mbps"]);
+    let mut points = Vec::new();
     for name in names {
         let sys = SystemConfig::by_name(name)
             .unwrap_or_else(|| panic!("unknown system '{name}' (cichlid|ricc)"));
-        run_system(&sys, quick, &mut csv);
+        run_system(&sys, quick, &mut csv, &mut points);
     }
     csv.finish();
+    write_bench_json(&bench_out, quick, &points);
 }
 
-fn run_system(sys: &SystemConfig, quick: bool, csv: &mut CsvOut) {
+fn run_system(sys: &SystemConfig, quick: bool, csv: &mut CsvOut, points: &mut Vec<Point>) {
     let strategies = fig8_strategies();
     let sizes = if quick {
         vec![64 << 10, 1 << 20, 16 << 20]
@@ -72,6 +93,13 @@ fn run_system(sys: &SystemConfig, quick: bool, csv: &mut CsvOut) {
                 st.name(),
                 format!("{:.2}", bp.mbps),
             ]);
+            points.push(Point {
+                system: sys.cluster.name.to_string(),
+                size: bp.size,
+                strategy: st.name(),
+                per_transfer_ns: bp.per_transfer_ns,
+                mbps_bits: bp.mbps.to_bits(),
+            });
             print!("  {:>15.1}", bp.mbps);
         }
         // Cross-check: analytic model of the best fixed strategy.
@@ -87,4 +115,29 @@ fn run_system(sys: &SystemConfig, quick: bool, csv: &mut CsvOut) {
         sys.small_message_strategy.name(),
         sys.pipeline_threshold >> 20
     );
+}
+
+/// Persist every measured point as deterministic JSON. `mbps` is stored
+/// as an IEEE-754 bit pattern (exact equality across runs); the
+/// human-readable rate is recoverable as `f64::from_bits`.
+fn write_bench_json(path: &str, quick: bool, points: &[Point]) {
+    let mut body = String::new();
+    for (i, p) in points.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{ \"system\": \"{}\", \"size\": {}, \"strategy\": \"{}\", \
+             \"per_transfer_ns\": {}, \"mbps_bits\": {} }}{}\n",
+            p.system,
+            p.size,
+            p.strategy,
+            p.per_transfer_ns,
+            p.mbps_bits,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"p2p_bandwidth\",\n  \"quick\": {quick},\n  \"points\": [\n{body}  ]\n}}\n"
+    );
+    validate_json(&json).expect("BENCH json must be well-formed");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("(deterministic bench json written to {path})");
 }

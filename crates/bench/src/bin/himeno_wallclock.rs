@@ -1,35 +1,36 @@
 //! Wall-clock benchmark of the Himeno M overlap run (clMPI variant),
-//! persisted as BENCH json under `results/` so refactors of the runtime
-//! can show before/after numbers.
+//! plus the repo's machine-readable perf artifacts.
 //!
-//! Besides the wall-clock samples (the simulator's own speed), the json
-//! records the **virtual-time** outcome of the run — elapsed ns, GFLOPS,
-//! gosa, checksum — plus a small nanopowder run. Those fields are the
-//! bit-identity witnesses: a behavior-preserving refactor must reproduce
-//! them exactly.
+//! Three outputs:
+//!
+//! 1. `BENCH_himeno_m.json` (repo root) — the **virtual-time** outcome of
+//!    the run: elapsed ns, GFLOPS, gosa/checksum bit patterns, the
+//!    per-rank obs summary (ops, bytes, overlap %), and its FNV-1a
+//!    fingerprint. Every field is a pure function of the simulation, so
+//!    the file is byte-identical across runs — the perf-trajectory data
+//!    point CI archives.
+//! 2. `BENCH_himeno_m.trace.json` — the same run exported as Chrome
+//!    `trace_events` JSON (open in `chrome://tracing` or Perfetto).
+//! 3. `results/bench_himeno_m.json` — wall-clock samples of the
+//!    *simulator's own* speed (min/median/max), for before/after
+//!    comparisons of engine refactors. Not deterministic by nature.
 //!
 //! Usage: `himeno_wallclock [--label before|after] [--out path]
+//!                          [--bench-out path] [--trace-out path]
 //!                          [--samples N] [--iters N] [--nodes N]`
 
+use clmpi::obs::{chrome_trace, fnv1a, validate_json, ObsSummary};
 use clmpi::SystemConfig;
 use clmpi_bench::wallclock_samples;
 use himeno::{run_himeno, GridSize, HimenoConfig, Variant};
 use nanopowder::{run_nanopowder, NanoConfig, NanoVariant};
 
-/// FNV-1a over a byte stream; stable fingerprint for f32 vectors.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut label = "run".to_string();
     let mut out = "results/bench_himeno_m.json".to_string();
+    let mut bench_out = "BENCH_himeno_m.json".to_string();
+    let mut trace_out = "BENCH_himeno_m.trace.json".to_string();
     let mut samples = 3usize;
     let mut iters = 12usize;
     let mut nodes = 4usize;
@@ -38,6 +39,8 @@ fn main() {
         match a.as_str() {
             "--label" => label = it.next().expect("--label needs a value").clone(),
             "--out" => out = it.next().expect("--out needs a value").clone(),
+            "--bench-out" => bench_out = it.next().expect("--bench-out needs a value").clone(),
+            "--trace-out" => trace_out = it.next().expect("--trace-out needs a value").clone(),
             "--samples" => samples = it.next().expect("value").parse().expect("samples"),
             "--iters" => iters = it.next().expect("value").parse().expect("iters"),
             "--nodes" => nodes = it.next().expect("value").parse().expect("nodes"),
@@ -77,8 +80,44 @@ fn main() {
             .collect::<Vec<u8>>(),
     );
 
+    // -- Deterministic artifacts (BENCH_* + Chrome trace) ---------------
+    let summary = ObsSummary::from_trace(&him.trace);
     // Hand-rolled json (workspace has zero external deps). f64 witnesses
-    // are stored as IEEE-754 bit patterns so equality is exact.
+    // are stored as IEEE-754 bit patterns so equality is exact; every
+    // field is virtual-time-derived so reruns are byte-identical.
+    let bench_json = format!(
+        "{{\n\"bench\": \"himeno_m_overlap\",\n\
+         \"grid\": \"M\", \"variant\": \"clMPI\", \"system\": \"cichlid\",\n\
+         \"nodes\": {nodes}, \"iters\": {iters},\n\
+         \"virtual_elapsed_ns\": {}, \"gflops_bits\": {},\n\
+         \"gosa_bits\": {}, \"checksum_bits\": {},\n\
+         \"nanopowder\": {{ \"sections\": 120, \"steps\": 2, \"system\": \"ricc\", \"nodes\": 4,\n\
+         \"virtual_total_ns\": {}, \"virtual_step_ns\": {}, \"final_n_fnv1a\": {} }},\n\
+         \"obs\": {},\n\
+         \"obs_fnv1a\": {}\n}}\n",
+        him.elapsed_ns,
+        him.gflops.to_bits(),
+        him.gosa.to_bits(),
+        him.checksum.to_bits(),
+        nano.total_ns,
+        nano.step_ns,
+        nano_fnv,
+        summary.to_json().trim_end(),
+        summary.hash(),
+    );
+    validate_json(&bench_json).expect("BENCH json must be well-formed");
+    std::fs::write(&bench_out, &bench_json).unwrap_or_else(|e| panic!("write {bench_out}: {e}"));
+    eprintln!("(deterministic bench json written to {bench_out})");
+
+    let trace_json = chrome_trace(&him.trace);
+    validate_json(&trace_json).expect("chrome trace must be well-formed");
+    std::fs::write(&trace_out, &trace_json).unwrap_or_else(|e| panic!("write {trace_out}: {e}"));
+    eprintln!("(chrome trace written to {trace_out} — open in chrome://tracing)");
+
+    println!("overlap accounting (quantitative Fig. 4, himeno M / clMPI):");
+    println!("{}", summary.overlap.render());
+
+    // -- Wall-clock samples (simulator speed; not deterministic) --------
     let json = format!(
         "{{\n  \"bench\": \"himeno_m_overlap\",\n  \"label\": \"{label}\",\n  \
          \"himeno\": {{\n    \"grid\": \"M\", \"variant\": \"clMPI\", \"system\": \"cichlid\",\n    \

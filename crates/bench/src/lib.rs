@@ -23,18 +23,25 @@ pub struct BandwidthPoint {
 /// between two ranks under `strategy` (the Fig. 8 measurement loop: each
 /// transfer completes — data in remote device memory — before the next
 /// starts).
+///
+/// A zero `size` is clamped to 1 byte **once, at entry**: what is
+/// measured, reported as `BandwidthPoint::size`, and used for the MB/s
+/// arithmetic is always the same value. (An earlier revision clamped
+/// only the buffer allocation and computed MB/s from the raw size, so
+/// `size == 0` reported 0 MB/s while actually transferring 1 byte.)
 pub fn measure_p2p(
     sys: &SystemConfig,
     strategy: TransferStrategy,
     size: usize,
     reps: usize,
 ) -> BandwidthPoint {
+    let size = size.max(1);
     let sys2 = sys.clone();
     let res = run_world_sized(sys.cluster.clone(), 2, move |p: Process| {
         let rt = ClMpi::new(&p, sys2.clone());
         rt.set_forced_strategy(Some(strategy));
         let q = rt.context().create_queue(0, format!("r{}", p.rank()));
-        let buf = rt.context().create_buffer(size.max(1));
+        let buf = rt.context().create_buffer(size);
         p.comm.barrier(&p.actor);
         let t0 = p.actor.now_ns();
         for i in 0..reps {
@@ -199,6 +206,18 @@ mod tests {
         // above a tenth of it for a 1 MiB message.
         assert!(bp.mbps < 118.0, "below GbE: {}", bp.mbps);
         assert!(bp.mbps > 20.0, "not absurdly slow: {}", bp.mbps);
+    }
+
+    #[test]
+    fn zero_size_p2p_reports_the_clamped_transfer_honestly() {
+        let sys = SystemConfig::cichlid();
+        let bp = measure_p2p(&sys, TransferStrategy::Pinned, 0, 1);
+        // The clamp is applied once at entry: the reported size is the
+        // byte actually transferred, and the bandwidth is computed from
+        // it (the old code reported size 0 at 0 MB/s while moving 1 byte).
+        assert_eq!(bp.size, 1);
+        assert!(bp.mbps > 0.0, "1 transferred byte yields nonzero MB/s");
+        assert!(bp.per_transfer_ns >= 1);
     }
 
     #[test]

@@ -30,6 +30,8 @@ struct ClassState {
     pending: Vec<TransferStrategy>,
     /// (strategy, observed ns) of finished probes.
     observed: Vec<(TransferStrategy, SimNs)>,
+    /// Strategies whose probe failed permanently (retired from rotation).
+    failed: Vec<TransferStrategy>,
     /// Chosen winner once probing is done.
     winner: Option<TransferStrategy>,
 }
@@ -110,6 +112,47 @@ impl AdaptiveSelector {
         }
     }
 
+    /// Feed back a permanent probe failure (retry budget exhausted,
+    /// receiver timeout). The strategy is retired from the class's probe
+    /// rotation — without this, a failed probe never reaches
+    /// [`AdaptiveSelector::observe`], so it stays `pending` forever and
+    /// `choose` re-hands the failing candidate indefinitely (probe
+    /// starvation). If *every* candidate fails, the class falls back to
+    /// `candidates[0]` as its winner so callers still get a deterministic
+    /// strategy instead of an endless probe loop.
+    pub fn observe_failure(&self, size: usize, strategy: TransferStrategy) {
+        let class = size_class(size);
+        let mut st = self.classes.lock();
+        let Some(cs) = st.get_mut(&class) else { return };
+        if cs.winner.is_some() {
+            return;
+        }
+        if let Some(pos) = cs.pending.iter().position(|&s| s == strategy) {
+            cs.pending.remove(pos);
+            cs.failed.push(strategy);
+        }
+        if cs.pending.is_empty() {
+            cs.winner = cs
+                .observed
+                .iter()
+                .min_by_key(|(_, ns)| *ns)
+                .map(|(s, _)| *s)
+                // All candidates failed: pick the primary candidate rather
+                // than probing a known-bad set forever.
+                .or(Some(self.candidates[0]));
+        }
+    }
+
+    /// Strategies retired by [`AdaptiveSelector::observe_failure`] for
+    /// `size`'s class (diagnostics and tests).
+    pub fn failures_for(&self, size: usize) -> Vec<TransferStrategy> {
+        self.classes
+            .lock()
+            .get(&size_class(size))
+            .map(|c| c.failed.clone())
+            .unwrap_or_default()
+    }
+
     /// The locked-in winner for `size`'s class, if probing finished.
     pub fn winner_for(&self, size: usize) -> Option<TransferStrategy> {
         self.classes
@@ -180,5 +223,47 @@ mod tests {
     #[should_panic(expected = "concrete")]
     fn auto_candidate_rejected() {
         AdaptiveSelector::with_candidates(vec![TransferStrategy::Auto]);
+    }
+
+    #[test]
+    fn failed_probe_is_retired_instead_of_starving() {
+        let sel = AdaptiveSelector::with_candidates(vec![
+            TransferStrategy::Pinned,
+            TransferStrategy::Mapped,
+        ]);
+        let s1 = sel.choose(1 << 20);
+        assert_eq!(s1, TransferStrategy::Pinned);
+        // The probe fails permanently. Before the fix this never reached
+        // the selector, so `choose` handed out Pinned forever.
+        sel.observe_failure(1 << 20, s1);
+        assert_eq!(sel.failures_for(1 << 20), vec![TransferStrategy::Pinned]);
+        let s2 = sel.choose(1 << 20);
+        assert_eq!(s2, TransferStrategy::Mapped, "rotation moved on");
+        sel.observe(1 << 20, s2, 300);
+        // The surviving candidate wins; the failed one is never chosen.
+        assert_eq!(sel.winner_for(1 << 20), Some(TransferStrategy::Mapped));
+        assert_eq!(sel.choose(1 << 20), TransferStrategy::Mapped);
+    }
+
+    #[test]
+    fn all_probes_failing_falls_back_to_primary_candidate() {
+        let sel = AdaptiveSelector::with_candidates(vec![
+            TransferStrategy::Pinned,
+            TransferStrategy::Mapped,
+        ]);
+        sel.observe_failure(1 << 20, sel.choose(1 << 20));
+        sel.observe_failure(1 << 20, sel.choose(1 << 20));
+        // Every candidate failed: lock the primary rather than looping.
+        assert_eq!(sel.winner_for(1 << 20), Some(TransferStrategy::Pinned));
+        assert_eq!(sel.choose(1 << 20), TransferStrategy::Pinned);
+    }
+
+    #[test]
+    fn failure_after_winner_locked_is_ignored() {
+        let sel = AdaptiveSelector::with_candidates(vec![TransferStrategy::Pinned]);
+        sel.observe(1 << 10, sel.choose(1 << 10), 100);
+        assert_eq!(sel.winner_for(1 << 10), Some(TransferStrategy::Pinned));
+        sel.observe_failure(1 << 10, TransferStrategy::Pinned);
+        assert_eq!(sel.winner_for(1 << 10), Some(TransferStrategy::Pinned));
     }
 }

@@ -48,8 +48,9 @@ use minicl::{
 };
 use minimpi::{Datatype, MpiError, Rank, RecvResult, Request, Tag};
 use simtime::plock::Mutex;
-use simtime::{Actor, Completion, CompletionState, Monitor, SimClock, SimNs};
+use simtime::{Actor, Completion, CompletionState, Monitor, OpSpan, SimClock, SimNs};
 
+use crate::obs::ChildIds;
 use crate::retry::RetryPolicy;
 use crate::runtime::Inner;
 use crate::strategy::{ResolvedStrategy, TransferStrategy};
@@ -255,6 +256,71 @@ pub(crate) fn deps_settled(wait: &[Event]) -> bool {
     !matches!(Event::poll_wait_list(wait), WaitListStatus::Pending)
 }
 
+/// Record a top-level operation envelope on the rank's `host` track:
+/// submit instant → settlement instant, with the op's stable id,
+/// category, payload size, outcome, and transfer endpoints. This is the
+/// span exporters pair into causal send→recv links.
+#[allow(clippy::too_many_arguments)]
+fn record_envelope(
+    inner: &Inner,
+    ids: &ChildIds,
+    cat: &str,
+    name: String,
+    start: SimNs,
+    end: SimNs,
+    bytes: u64,
+    ok: bool,
+    peer: Option<Rank>,
+    tag: Option<Tag>,
+) {
+    let rank = inner.comm.rank();
+    inner.trace.record_op(OpSpan {
+        id: ids.op(),
+        parent: None,
+        rank: rank as u32,
+        track: format!("r{rank}.host"),
+        name,
+        cat: cat.into(),
+        start,
+        end: end.max(start),
+        bytes,
+        ok,
+        peer: peer.map(|p| p as u32),
+        tag,
+    });
+}
+
+/// Record a child span (a chunk, retry, drop, or staging hop) under its
+/// operation's id block, on the rank's `net` or `dev` track.
+#[allow(clippy::too_many_arguments)]
+fn record_child(
+    inner: &Inner,
+    ids: &mut ChildIds,
+    track_kind: &str,
+    name: String,
+    cat: &str,
+    start: SimNs,
+    end: SimNs,
+    bytes: u64,
+    ok: bool,
+) {
+    let rank = inner.comm.rank();
+    inner.trace.record_op(OpSpan {
+        id: ids.child(),
+        parent: Some(ids.op()),
+        rank: rank as u32,
+        track: format!("r{rank}.{track_kind}"),
+        name,
+        cat: cat.into(),
+        start,
+        end: end.max(start),
+        bytes,
+        ok,
+        peer: None,
+        tag: None,
+    });
+}
+
 /// One wire chunk injected reliably: on sender-observed loss (the
 /// fabric's link-layer NACK model) the machine enters a virtual-time
 /// backoff and retransmits when the engine wakes it, up to the policy's
@@ -325,7 +391,13 @@ impl ReliableChunkSend {
         ))
     }
 
-    pub(crate) fn step(&mut self, inner: &Inner, now: SimNs, actor: &Actor) -> ChunkStep {
+    pub(crate) fn step(
+        &mut self,
+        inner: &Inner,
+        ids: &mut ChildIds,
+        now: SimNs,
+        actor: &Actor,
+    ) -> ChunkStep {
         match self.state {
             ChunkState::Ready { earliest } => {
                 self.attempt += 1;
@@ -348,6 +420,17 @@ impl ReliableChunkSend {
                 if let Some(stats) = inner.stats.lock().as_ref() {
                     stats.note_drop();
                 }
+                record_child(
+                    inner,
+                    ids,
+                    "net",
+                    format!("drop#{}→r{}", self.attempt, self.dst),
+                    "drop",
+                    earliest,
+                    done,
+                    self.bytes.len() as u64,
+                    false,
+                );
                 let newly_degraded = {
                     let mut fs = inner.fault_state.lock();
                     fs.consecutive_drops += 1;
@@ -366,6 +449,17 @@ impl ReliableChunkSend {
                     inner
                         .trace
                         .record(fault_lane.as_str(), "degrade pipelined→pinned", done, done);
+                    record_child(
+                        inner,
+                        ids,
+                        "net",
+                        "degrade pipelined→pinned".into(),
+                        "degrade",
+                        done,
+                        done,
+                        0,
+                        false,
+                    );
                 }
                 if self.attempt == self.policy.max_attempts {
                     if let Some(stats) = inner.stats.lock().as_ref() {
@@ -384,6 +478,17 @@ impl ReliableChunkSend {
                 if let Some(stats) = inner.stats.lock().as_ref() {
                     stats.note_retry();
                 }
+                record_child(
+                    inner,
+                    ids,
+                    "net",
+                    format!("retry#{}→r{}", self.attempt, self.dst),
+                    "retry",
+                    done,
+                    done.saturating_add(backoff),
+                    self.bytes.len() as u64,
+                    true,
+                );
                 self.state = ChunkState::Backoff {
                     resume_at: done.saturating_add(backoff),
                 };
@@ -433,12 +538,15 @@ pub(crate) struct SendOp {
     offset: usize,
     size: usize,
     dst: Rank,
+    user_tag: Tag,
     wire_tag: Tag,
     strategy: TransferStrategy,
     wait: Vec<Event>,
     ue: UserEvent,
     result: Option<ResultSlot>,
     label: String,
+    ids: ChildIds,
+    submit_ns: SimNs,
     state: SendState,
 }
 
@@ -481,6 +589,8 @@ impl SendOp {
         wait: Vec<Event>,
         ue: UserEvent,
         result: Option<ResultSlot>,
+        ids: ChildIds,
+        submit_ns: SimNs,
     ) -> Self {
         let label = format!("clmpi-send-r{}-t{user_tag}", inner.comm.rank());
         SendOp {
@@ -490,12 +600,15 @@ impl SendOp {
             offset,
             size,
             dst,
+            user_tag,
             wire_tag,
             strategy,
             wait,
             ue,
             result,
             label,
+            ids,
+            submit_ns,
             state: SendState::WaitDeps,
         }
     }
@@ -504,6 +617,30 @@ impl SendOp {
         if let Some(slot) = &self.result {
             slot.with(|s| *s = Some(outcome.clone()));
         }
+        let ok = outcome.is_ok();
+        // A transfer-level failure is a completed (failed) probe: report
+        // it so the adaptive tuner retires the strategy instead of
+        // starving on it. A poisoned wait list says nothing about the
+        // strategy, so it is not reported.
+        if !ok && !matches!(outcome, Err(ClError::EventFailed { .. })) {
+            if let Some(sel) = self.inner.adaptive.lock().as_ref() {
+                sel.observe_failure(self.size, self.strategy);
+            }
+        }
+        record_envelope(
+            &self.inner,
+            &self.ids,
+            "op.send",
+            format!("send→{}#{}", self.dst, self.user_tag),
+            self.submit_ns,
+            at,
+            self.size as u64,
+            ok,
+            Some(self.dst),
+            Some(self.wire_tag),
+        );
+        self.inner
+            .note_settled(ok, if ok { self.size as u64 } else { 0 }, 0);
         match outcome {
             Ok(()) => self.ue.set_complete(at).expect("send event completed once"),
             Err(ClError::EventFailed { .. }) => self
@@ -644,7 +781,7 @@ impl EngineOp for SendOp {
                         tr.current = Some((chunk, spans));
                     }
                     let (chunk, _) = tr.current.as_mut().expect("chunk armed above");
-                    match chunk.step(&self.inner, now, actor) {
+                    match chunk.step(&self.inner, &mut self.ids, now, actor) {
                         ChunkStep::Progressed => continue,
                         ChunkStep::Park(t) => return Step::Park(Some(t)),
                         ChunkStep::Failed(at) => {
@@ -653,14 +790,28 @@ impl EngineOp for SendOp {
                         }
                         ChunkStep::Sent(done) => {
                             let lane = format!("r{}.comm", self.inner.comm.rank());
-                            let (_, spans) = tr.current.take().expect("chunk present");
+                            let (chunk, spans) = tr.current.take().expect("chunk present");
+                            let clen = chunk.bytes.len() as u64;
                             match spans {
-                                ChunkTrace::Mapped { t0 } => self.inner.trace.record(
-                                    lane.as_str(),
-                                    format!("map+send→{}", self.dst),
-                                    t0,
-                                    done,
-                                ),
+                                ChunkTrace::Mapped { t0 } => {
+                                    self.inner.trace.record(
+                                        lane.as_str(),
+                                        format!("map+send→{}", self.dst),
+                                        t0,
+                                        done,
+                                    );
+                                    record_child(
+                                        &self.inner,
+                                        &mut self.ids,
+                                        "net",
+                                        format!("map+send→{}", self.dst),
+                                        "chunk",
+                                        t0,
+                                        done,
+                                        clen,
+                                        true,
+                                    );
+                                }
                                 ChunkTrace::Staged { d2h } => {
                                     self.inner.trace.record(lane.as_str(), "d2h", d2h.0, d2h.1);
                                     self.inner.trace.record(
@@ -668,6 +819,28 @@ impl EngineOp for SendOp {
                                         format!("net→{}", self.dst),
                                         d2h.1,
                                         done,
+                                    );
+                                    record_child(
+                                        &self.inner,
+                                        &mut self.ids,
+                                        "dev",
+                                        "d2h".into(),
+                                        "stage.d2h",
+                                        d2h.0,
+                                        d2h.1,
+                                        clen,
+                                        true,
+                                    );
+                                    record_child(
+                                        &self.inner,
+                                        &mut self.ids,
+                                        "net",
+                                        format!("net→{}", self.dst),
+                                        "chunk",
+                                        d2h.1,
+                                        done,
+                                        clen,
+                                        true,
                                     );
                                 }
                             }
@@ -715,12 +888,15 @@ pub(crate) struct RecvOp {
     offset: usize,
     size: usize,
     src: Rank,
+    user_tag: Tag,
     wire_tag: Tag,
     strategy: TransferStrategy,
     wait: Vec<Event>,
     ue: UserEvent,
     result: Option<ResultSlot>,
     label: String,
+    ids: ChildIds,
+    submit_ns: SimNs,
     received: usize,
     recv_t0: SimNs,
     state: RecvState,
@@ -768,6 +944,8 @@ impl RecvOp {
         wait: Vec<Event>,
         ue: UserEvent,
         result: Option<ResultSlot>,
+        ids: ChildIds,
+        submit_ns: SimNs,
     ) -> Self {
         let label = format!("clmpi-recv-r{}-t{user_tag}", inner.comm.rank());
         RecvOp {
@@ -777,12 +955,15 @@ impl RecvOp {
             offset,
             size,
             src,
+            user_tag,
             wire_tag,
             strategy,
             wait,
             ue,
             result,
             label,
+            ids,
+            submit_ns,
             received: 0,
             recv_t0: 0,
             state: RecvState::WaitDeps,
@@ -793,6 +974,29 @@ impl RecvOp {
         if let Some(slot) = &self.result {
             slot.with(|s| *s = Some(outcome.clone()));
         }
+        let ok = outcome.is_ok();
+        // As on the send side: a transfer failure (receiver timeout,
+        // overflow) retires the probed strategy; a poisoned wait list
+        // does not.
+        if !ok && !matches!(outcome, Err(ClError::EventFailed { .. })) {
+            if let Some(sel) = self.inner.adaptive.lock().as_ref() {
+                sel.observe_failure(self.size, self.strategy);
+            }
+        }
+        record_envelope(
+            &self.inner,
+            &self.ids,
+            "op.recv",
+            format!("recv←{}#{}", self.src, self.user_tag),
+            self.submit_ns,
+            at,
+            self.size as u64,
+            ok,
+            Some(self.src),
+            Some(self.wire_tag),
+        );
+        self.inner
+            .note_settled(ok, 0, if ok { self.size as u64 } else { 0 });
         match outcome {
             Ok(()) => self.ue.set_complete(at).expect("recv event completed once"),
             Err(ClError::EventFailed { .. }) => self
@@ -986,6 +1190,17 @@ impl EngineOp for RecvOp {
                         .expect("range checked at enqueue");
                     let lane = format!("r{}.comm", self.inner.comm.rank());
                     self.inner.trace.record(lane.as_str(), "h2d", start, end);
+                    record_child(
+                        &self.inner,
+                        &mut self.ids,
+                        "dev",
+                        "h2d".into(),
+                        "stage.h2d",
+                        start,
+                        end,
+                        data.len() as u64,
+                        true,
+                    );
                     if let Some(step) = self.chunk_done(data.len(), now, actor) {
                         return step;
                     }
@@ -1035,9 +1250,13 @@ pub(crate) struct HostSendOp {
     issued_done: bool,
     slot: SendSlot,
     label: String,
+    ids: ChildIds,
+    submit_ns: SimNs,
+    total_bytes: u64,
 }
 
 impl HostSendOp {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         inner: Arc<Inner>,
         dst: Rank,
@@ -1045,8 +1264,11 @@ impl HostSendOp {
         chunks: Vec<(Vec<u8>, Option<SimNs>)>,
         issued: Arc<Monitor<bool>>,
         slot: SendSlot,
+        ids: ChildIds,
+        submit_ns: SimNs,
     ) -> Self {
         let label = format!("clmpi-isend-r{}", inner.comm.rank());
+        let total_bytes = chunks.iter().map(|(b, _)| b.len() as u64).sum();
         HostSendOp {
             inner,
             dst,
@@ -1060,7 +1282,28 @@ impl HostSendOp {
             issued_done: false,
             slot,
             label,
+            ids,
+            submit_ns,
+            total_bytes,
         }
+    }
+
+    /// Record the operation envelope and counters at settlement.
+    fn finish(&mut self, ok: bool, at: SimNs) {
+        record_envelope(
+            &self.inner,
+            &self.ids,
+            "op.isend",
+            format!("isend→{}", self.dst),
+            self.submit_ns,
+            at,
+            self.total_bytes,
+            ok,
+            Some(self.dst),
+            Some(self.wire_tag),
+        );
+        self.inner
+            .note_settled(ok, if ok { self.total_bytes } else { 0 }, 0);
     }
 
     fn drive(&mut self, now: SimNs, actor: &Actor) -> Step {
@@ -1068,6 +1311,7 @@ impl HostSendOp {
         loop {
             if self.current.is_none() {
                 if self.next_chunk == self.chunks.len() {
+                    self.finish(true, self.done_at.max(self.submit_ns));
                     self.slot.with(|s| *s = Some(Ok(self.done_at)));
                     return Step::Done;
                 }
@@ -1086,15 +1330,28 @@ impl HostSendOp {
                 ));
             }
             let chunk = self.current.as_mut().expect("chunk armed above");
-            match chunk.step(&self.inner, now, actor) {
+            match chunk.step(&self.inner, &mut self.ids, now, actor) {
                 ChunkStep::Progressed => continue,
                 ChunkStep::Park(at) => return Step::Park(Some(at)),
                 ChunkStep::Sent(done) => {
+                    let clen = chunk.bytes.len() as u64;
+                    record_child(
+                        &self.inner,
+                        &mut self.ids,
+                        "net",
+                        format!("net→{}", self.dst),
+                        "chunk",
+                        t0,
+                        done,
+                        clen,
+                        true,
+                    );
                     self.done_at = self.done_at.max(done);
                     self.current = None;
                 }
-                ChunkStep::Failed(_) => {
+                ChunkStep::Failed(at) => {
                     let chunk = self.current.take().expect("chunk armed above");
+                    self.finish(false, at);
                     self.slot.with(|s| *s = Some(Err(chunk.exhaustion_error())));
                     return Step::Done;
                 }
@@ -1130,6 +1387,8 @@ pub(crate) struct IrecvClOp {
     received: usize,
     ue: UserEvent,
     label: String,
+    ids: ChildIds,
+    submit_ns: SimNs,
     state: IrecvState,
 }
 
@@ -1143,6 +1402,7 @@ enum IrecvState {
 }
 
 impl IrecvClOp {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         inner: Arc<Inner>,
         src: Rank,
@@ -1150,6 +1410,8 @@ impl IrecvClOp {
         size: usize,
         host: HostBuffer,
         ue: UserEvent,
+        ids: ChildIds,
+        submit_ns: SimNs,
     ) -> Self {
         let label = format!("clmpi-irecv-r{}", inner.comm.rank());
         IrecvClOp {
@@ -1161,8 +1423,28 @@ impl IrecvClOp {
             received: 0,
             ue,
             label,
+            ids,
+            submit_ns,
             state: IrecvState::Start,
         }
+    }
+
+    /// Record the operation envelope and counters at settlement.
+    fn finish_obs(&mut self, ok: bool, at: SimNs) {
+        record_envelope(
+            &self.inner,
+            &self.ids,
+            "op.irecv",
+            format!("irecv←{}", self.src),
+            self.submit_ns,
+            at,
+            self.size as u64,
+            ok,
+            Some(self.src),
+            Some(self.wire_tag),
+        );
+        self.inner
+            .note_settled(ok, 0, if ok { self.size as u64 } else { 0 });
     }
 
     fn post_chunk(&mut self, now: SimNs, actor: &Actor) {
@@ -1181,6 +1463,7 @@ impl IrecvClOp {
         if let Some(stats) = self.inner.stats.lock().as_ref() {
             stats.note_failure();
         }
+        self.finish_obs(false, at);
         self.ue
             .set_failed(at, CL_MPI_TRANSFER_ERROR)
             .expect("irecv event settled once");
@@ -1200,6 +1483,7 @@ impl EngineOp for IrecvClOp {
                 IrecvState::Start => {
                     if self.received == self.size {
                         // Zero-byte receive: complete immediately.
+                        self.finish_obs(true, now);
                         self.ue
                             .set_complete(now)
                             .expect("irecv event completed once");
@@ -1214,6 +1498,7 @@ impl EngineOp for IrecvClOp {
                         let r = result.expect("matched receive yields a payload");
                         let len = r.data.len();
                         if self.received + len > self.size {
+                            self.finish_obs(false, now);
                             self.ue
                                 .set_failed(now, CL_MPI_TRANSFER_ERROR)
                                 .expect("irecv event settled once");
@@ -1225,6 +1510,7 @@ impl EngineOp for IrecvClOp {
                             .write(|h| h.as_mut_slice()[at..at + len].copy_from_slice(&r.data));
                         self.received += len;
                         if self.received == self.size {
+                            self.finish_obs(true, now);
                             self.ue
                                 .set_complete(now)
                                 .expect("irecv event completed once");
@@ -1258,24 +1544,33 @@ impl EngineOp for IrecvClOp {
 /// settles, publishes the payload (if any) and completes the event at
 /// the settlement instant.
 pub(crate) struct EventFromRequestOp {
+    inner: Arc<Inner>,
     req: Option<Request>,
     ue: UserEvent,
     slot: Arc<Monitor<Option<RecvResult>>>,
     label: String,
+    ids: ChildIds,
+    submit_ns: SimNs,
 }
 
 impl EventFromRequestOp {
     pub(crate) fn new(
+        inner: Arc<Inner>,
         req: Request,
         ue: UserEvent,
         slot: Arc<Monitor<Option<RecvResult>>>,
-        rank: Rank,
+        ids: ChildIds,
+        submit_ns: SimNs,
     ) -> Self {
+        let label = format!("clmpi-event-from-request-r{}", inner.comm.rank());
         EventFromRequestOp {
+            inner,
             req: Some(req),
             ue,
             slot,
-            label: format!("clmpi-event-from-request-r{rank}"),
+            label,
+            ids,
+            submit_ns,
         }
     }
 }
@@ -1292,6 +1587,20 @@ impl EngineOp for EventFromRequestOp {
             CompletionState::Complete(_) | CompletionState::Failed(..) => {
                 let mut req = self.req.take().expect("present above");
                 let result = req.test(actor).expect("completion signalled above");
+                let bytes = result.as_ref().map(|r| r.data.len() as u64).unwrap_or(0);
+                record_envelope(
+                    &self.inner,
+                    &self.ids,
+                    "op.request",
+                    "mpi-request".into(),
+                    self.submit_ns,
+                    now,
+                    bytes,
+                    true,
+                    None,
+                    None,
+                );
+                self.inner.note_settled(true, 0, bytes);
                 self.slot.with(|s| *s = result);
                 self.ue
                     .set_complete(now)

@@ -54,6 +54,7 @@ pub mod adaptive;
 mod collective;
 mod engine;
 mod fileio;
+pub mod obs;
 mod retry;
 mod runtime;
 pub mod stats;
@@ -63,6 +64,7 @@ mod system;
 pub use adaptive::AdaptiveSelector;
 pub use engine::{Engine, EngineOp, Step};
 pub use fileio::SimStorage;
+pub use obs::{chrome_trace, validate_json, ObsCounters, ObsSummary, OverlapReport, RankOverlap};
 pub use retry::RetryPolicy;
 pub use runtime::{ClMpi, ClRecvRequest, ClSendRequest, RequestOutcome};
 pub use stats::{FaultStats, TransferStats};

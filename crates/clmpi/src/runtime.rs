@@ -31,6 +31,7 @@ use crate::data_tag;
 use crate::engine::{
     Engine, EventFromRequestOp, HostSendOp, IrecvClOp, RecvOp, ResultSlot, SendOp, SendSlot,
 };
+use crate::obs::{ChildIds, ObsCounters};
 use crate::retry::RetryPolicy;
 use crate::strategy::{ResolvedStrategy, TransferStrategy};
 use crate::system::SystemConfig;
@@ -58,6 +59,29 @@ pub(crate) struct Inner {
     pub(crate) adaptive: Mutex<Option<Arc<crate::adaptive::AdaptiveSelector>>>,
     pub(crate) retry: Mutex<RetryPolicy>,
     pub(crate) fault_state: Mutex<FaultState>,
+    /// Next per-rank operation sequence number (stable op ids).
+    pub(crate) op_seq: Mutex<u64>,
+    /// Live per-rank operation counters (see [`crate::obs::ObsCounters`]).
+    pub(crate) obs: Mutex<ObsCounters>,
+}
+
+impl Inner {
+    /// Allocate the stable id block of the next operation and count the
+    /// submission. Called on the submitting thread only, so each rank's
+    /// numbering follows its own program order — never the real-time
+    /// interleaving of engine threads.
+    pub(crate) fn new_op(&self) -> ChildIds {
+        let mut seq = self.op_seq.lock();
+        let ids = ChildIds::new(crate::obs::op_id(self.comm.rank(), *seq));
+        *seq += 1;
+        self.obs.lock().note_submitted();
+        ids
+    }
+
+    /// Count an operation settlement (engine-side).
+    pub(crate) fn note_settled(&self, ok: bool, sent: u64, received: u64) {
+        self.obs.lock().note_settled(ok, sent, received);
+    }
 }
 
 /// The per-rank clMPI runtime: binds one MPI endpoint to one OpenCL
@@ -92,6 +116,8 @@ impl ClMpi {
                 adaptive: Mutex::new(None),
                 retry: Mutex::new(RetryPolicy::default()),
                 fault_state: Mutex::new(FaultState::default()),
+                op_seq: Mutex::new(0),
+                obs: Mutex::new(ObsCounters::default()),
             }),
         }
     }
@@ -174,6 +200,16 @@ impl ClMpi {
         stats
     }
 
+    /// Snapshot this rank's live observability counters: operations
+    /// submitted/completed/failed, peak queue depth, payload bytes. The
+    /// values are deterministic at quiescent points (after
+    /// [`ClMpi::shutdown`]); mid-run reads are best-effort introspection
+    /// — the exported [`crate::obs::ObsSummary`] recomputes everything
+    /// from spans instead.
+    pub fn obs_counters(&self) -> ObsCounters {
+        *self.inner.obs.lock()
+    }
+
     pub(crate) fn resolve(&self, size: usize) -> TransferStrategy {
         // A forced strategy is an explicit benchmark request: honored
         // verbatim, even under degradation.
@@ -235,6 +271,7 @@ impl ClMpi {
             .create_user_event(format!("send→{dst}#{tag}"));
         let event = ue.event();
         let strategy = self.resolve(size);
+        let ids = self.inner.new_op();
         self.inner.engine.submit(Box::new(SendOp::new(
             self.inner.clone(),
             queue.device().clone(),
@@ -248,6 +285,8 @@ impl ClMpi {
             wait_list.to_vec(),
             ue,
             None,
+            ids,
+            self.inner.clock.now_ns(),
         )));
         if blocking {
             event.wait(actor); // blocking-api: explicit blocking enqueue flag
@@ -282,6 +321,7 @@ impl ClMpi {
             .create_user_event(format!("recv←{src}#{tag}"));
         let event = ue.event();
         let strategy = self.resolve(size);
+        let ids = self.inner.new_op();
         self.inner.engine.submit(Box::new(RecvOp::new(
             self.inner.clone(),
             queue.device().clone(),
@@ -295,6 +335,8 @@ impl ClMpi {
             wait_list.to_vec(),
             ue,
             None,
+            ids,
+            self.inner.clock.now_ns(),
         )));
         if blocking {
             event.wait(actor); // blocking-api: explicit blocking enqueue flag
@@ -376,6 +418,7 @@ impl ClMpi {
             .ctx
             .create_user_event(format!("gpu-send→{dst}#{tag}"));
         let slot: ResultSlot = Arc::new(Monitor::new(self.inner.clock.clone(), None));
+        let ids = self.inner.new_op();
         self.inner.engine.submit(Box::new(SendOp::new(
             self.inner.clone(),
             queue.device().clone(),
@@ -389,6 +432,8 @@ impl ClMpi {
             Vec::new(),
             ue,
             Some(slot.clone()),
+            ids,
+            self.inner.clock.now_ns(),
         )));
         // blocking-api: GPU-aware MPI is synchronous by definition.
         slot.wait_labeled(actor, "gpu-aware send", |s| s.take())
@@ -414,6 +459,7 @@ impl ClMpi {
             .ctx
             .create_user_event(format!("gpu-recv←{src}#{tag}"));
         let slot: ResultSlot = Arc::new(Monitor::new(self.inner.clock.clone(), None));
+        let ids = self.inner.new_op();
         self.inner.engine.submit(Box::new(RecvOp::new(
             self.inner.clone(),
             queue.device().clone(),
@@ -427,6 +473,8 @@ impl ClMpi {
             Vec::new(),
             ue,
             Some(slot.clone()),
+            ids,
+            self.inner.clock.now_ns(),
         )));
         // blocking-api: GPU-aware MPI is synchronous by definition.
         slot.wait_labeled(actor, "gpu-aware recv", |s| s.take())
@@ -445,11 +493,14 @@ impl ClMpi {
         let outcome = RequestOutcome {
             slot: Arc::new(Monitor::new(self.inner.clock.clone(), None)),
         };
+        let ids = self.inner.new_op();
         self.inner.engine.submit(Box::new(EventFromRequestOp::new(
+            self.inner.clone(),
             req,
             ue,
             outcome.slot.clone(),
-            self.rank(),
+            ids,
+            self.inner.clock.now_ns(),
         )));
         (event, outcome)
     }
@@ -481,6 +532,7 @@ impl ClMpi {
             .collect();
         let issued = Arc::new(Monitor::new(self.inner.clock.clone(), false));
         let slot: SendSlot = Arc::new(Monitor::new(self.inner.clock.clone(), None));
+        let ids = self.inner.new_op();
         self.inner.engine.submit(Box::new(HostSendOp::new(
             self.inner.clone(),
             dst,
@@ -488,6 +540,8 @@ impl ClMpi {
             chunks,
             issued.clone(),
             slot.clone(),
+            ids,
+            self.inner.clock.now_ns(),
         )));
         // Hand-off handshake: resume once the engine has pushed the first
         // injection burst onto the wire, keeping the fabric reservation
@@ -514,6 +568,7 @@ impl ClMpi {
         let ue = self.inner.ctx.create_user_event(format!("irecv_cl←{src}"));
         let event = ue.event();
         let host = HostBuffer::pinned(size);
+        let ids = self.inner.new_op();
         self.inner.engine.submit(Box::new(IrecvClOp::new(
             self.inner.clone(),
             src,
@@ -521,6 +576,8 @@ impl ClMpi {
             size,
             host.clone(),
             ue,
+            ids,
+            self.inner.clock.now_ns(),
         )));
         ClRecvRequest { event, data: host }
     }

@@ -204,6 +204,7 @@ fn host_exchange(
     stage: &HostBuffer,
 ) {
     let Some(nb) = neighbor else { return };
+    let t0 = p.actor.now_ns();
     q.enqueue_read_buffer(
         &p.actor,
         buf,
@@ -232,6 +233,15 @@ fn host_exchange(
         &[],
     )
     .expect("write ghost plane");
+    // The whole staged exchange blocks the host, so one comm-lane span
+    // covers it; this is what the overlap accounting (and Fig. 4 a/b)
+    // sees as the variant's exposed communication.
+    p.comm.world().trace().record(
+        format!("r{}.comm", p.rank()),
+        format!("d2h+sendrecv⇄{nb}+h2d"),
+        t0,
+        p.actor.now_ns(),
+    );
 }
 
 /// Run `variant` under `cfg`; aggregates per-rank measurements.

@@ -53,7 +53,7 @@ pub use clock::{Actor, ActorStatus, SimClock};
 pub use progress::{Completion, CompletionState};
 pub use rng::XorShift64;
 pub use sync::{Monitor, SimBarrier, SimChannel};
-pub use trace::{Span, Trace};
+pub use trace::{OpSpan, Span, Trace};
 
 /// Virtual nanoseconds since simulation start.
 pub type SimNs = u64;

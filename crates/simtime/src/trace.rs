@@ -1,6 +1,9 @@
 //! Activity tracing: record `(lane, label, start, end)` spans in virtual
-//! time and render them as ASCII Gantt charts. Used to reproduce the
-//! paper's Figure 4 timing diagrams from actual runs.
+//! time and render them as ASCII Gantt charts, plus a **structured**
+//! operation store ([`OpSpan`]) with stable ids and causal parent links
+//! that the clMPI observability layer (`clmpi::obs`) exports as Chrome
+//! `trace_events` JSON and machine-readable summaries. Used to reproduce
+//! the paper's Figure 4 timing diagrams from actual runs.
 
 use crate::plock::Mutex;
 use std::sync::Arc;
@@ -20,10 +23,61 @@ pub struct Span {
     pub end: SimNs,
 }
 
-/// A shareable collector of [`Span`]s. Cloning shares the underlying store.
+/// One structured operation interval: a [`Span`] with identity.
+///
+/// Where [`Span`] is a free-form Gantt bar, an `OpSpan` carries a stable
+/// `id` (unique within a run, allocated per rank so the numbering does
+/// not depend on cross-rank thread interleaving), an optional causal
+/// `parent` (a retry is a child of its chunk's operation; a staging hop
+/// is a child of its transfer), and enough metadata — category, byte
+/// count, peer rank, wire tag, success flag — for an exporter to
+/// reconstruct the paper's Fig. 4 relationships quantitatively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSpan {
+    /// Stable id, unique within the run.
+    pub id: u64,
+    /// Causal parent (`None` for top-level operations).
+    pub parent: Option<u64>,
+    /// Owning rank.
+    pub rank: u32,
+    /// Timeline track, e.g. `r0.host`, `r0.net`, `r0.dev`.
+    pub track: String,
+    /// Human-readable name, e.g. `send→1#7`.
+    pub name: String,
+    /// Machine-readable category, e.g. `op.send`, `chunk`, `retry`,
+    /// `stage.d2h`.
+    pub cat: String,
+    /// Start, virtual ns.
+    pub start: SimNs,
+    /// End, virtual ns (`end >= start` after normalization).
+    pub end: SimNs,
+    /// Payload bytes attributed to the span (0 if not applicable).
+    pub bytes: u64,
+    /// Whether the operation succeeded (always true for non-terminal
+    /// spans like retries and stages).
+    pub ok: bool,
+    /// Peer rank of a transfer span, if any.
+    pub peer: Option<u32>,
+    /// Wire tag of a transfer span, if any.
+    pub tag: Option<i32>,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    spans: Vec<Span>,
+    ops: Vec<OpSpan>,
+    /// How many recorded spans arrived with `end < start` and were
+    /// silently normalized. A non-zero value means some producer computed
+    /// a causally impossible interval — the swap used to mask such bugs;
+    /// now it is counted and exported (`clmpi::obs` summary).
+    reversed: u64,
+}
+
+/// A shareable collector of [`Span`]s and [`OpSpan`]s. Cloning shares the
+/// underlying store.
 #[derive(Clone, Default, Debug)]
 pub struct Trace {
-    spans: Arc<Mutex<Vec<Span>>>,
+    inner: Arc<Mutex<TraceInner>>,
 }
 
 impl Trace {
@@ -32,7 +86,10 @@ impl Trace {
         Self::default()
     }
 
-    /// Record one interval.
+    /// Record one interval. Reversed endpoints (`end < start`) are
+    /// normalized by swapping — and counted in [`Trace::reversed_spans`],
+    /// because a reversed interval is a causality bug in the producer,
+    /// not a rendering nuisance.
     pub fn record(
         &self,
         lane: impl Into<String>,
@@ -40,12 +97,14 @@ impl Trace {
         start: SimNs,
         end: SimNs,
     ) {
+        let mut inner = self.inner.lock();
         let (start, end) = if end >= start {
             (start, end)
         } else {
+            inner.reversed += 1;
             (end, start)
         };
-        self.spans.lock().push(Span {
+        inner.spans.push(Span {
             lane: lane.into(),
             label: label.into(),
             start,
@@ -53,28 +112,62 @@ impl Trace {
         });
     }
 
+    /// Record one structured operation span. Reversed endpoints are
+    /// normalized and counted exactly as in [`Trace::record`].
+    pub fn record_op(&self, mut op: OpSpan) {
+        let mut inner = self.inner.lock();
+        if op.end < op.start {
+            inner.reversed += 1;
+            std::mem::swap(&mut op.start, &mut op.end);
+        }
+        inner.ops.push(op);
+    }
+
+    /// How many recorded spans (plain or structured) arrived with
+    /// `end < start` and were normalized. Deterministic producers must
+    /// keep this at zero; tests assert it.
+    pub fn reversed_spans(&self) -> u64 {
+        self.inner.lock().reversed
+    }
+
     /// Snapshot of all recorded spans, sorted by (lane, start).
     pub fn spans(&self) -> Vec<Span> {
-        let mut v = self.spans.lock().clone();
+        let mut v = self.inner.lock().spans.clone();
         v.sort_by(|a, b| a.lane.cmp(&b.lane).then(a.start.cmp(&b.start)));
         v
     }
 
-    /// Remove all recorded spans.
-    pub fn clear(&self) {
-        self.spans.lock().clear();
+    /// Snapshot of all structured operation spans, sorted by id — a total
+    /// deterministic order (ids are unique), independent of the real-time
+    /// interleaving of the recording threads.
+    pub fn ops(&self) -> Vec<OpSpan> {
+        let mut v = self.inner.lock().ops.clone();
+        v.sort_by_key(|o| o.id);
+        v
     }
 
-    /// Latest `end` across all spans (0 if empty).
+    /// Remove all recorded spans (plain and structured) and reset the
+    /// reversed-span counter.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.spans.clear();
+        inner.ops.clear();
+        inner.reversed = 0;
+    }
+
+    /// Latest `end` across all spans, plain and structured (0 if empty).
     pub fn horizon(&self) -> SimNs {
-        self.spans.lock().iter().map(|s| s.end).max().unwrap_or(0)
+        let inner = self.inner.lock();
+        let plain = inner.spans.iter().map(|s| s.end).max().unwrap_or(0);
+        let ops = inner.ops.iter().map(|o| o.end).max().unwrap_or(0);
+        plain.max(ops)
     }
 
     /// Render an ASCII Gantt chart `width` characters wide. Lanes are
     /// ordered by first appearance; overlapping spans in a lane stack onto
     /// extra rows.
     pub fn render_ascii(&self, width: usize) -> String {
-        let spans = self.spans.lock().clone();
+        let spans = self.inner.lock().spans.clone();
         if spans.is_empty() {
             return String::from("(empty trace)\n");
         }
@@ -144,6 +237,23 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn op(id: u64, track: &str, start: SimNs, end: SimNs) -> OpSpan {
+        OpSpan {
+            id,
+            parent: None,
+            rank: 0,
+            track: track.into(),
+            name: format!("op{id}"),
+            cat: "op.test".into(),
+            start,
+            end,
+            bytes: 0,
+            ok: true,
+            peer: None,
+            tag: None,
+        }
+    }
+
     #[test]
     fn records_and_sorts_spans() {
         let t = Trace::new();
@@ -158,11 +268,39 @@ mod tests {
     }
 
     #[test]
-    fn swapped_endpoints_are_normalized() {
+    fn swapped_endpoints_are_normalized_and_flagged() {
         let t = Trace::new();
+        assert_eq!(t.reversed_spans(), 0);
         t.record("l", "x", 30, 10);
         let s = &t.spans()[0];
         assert!(s.start <= s.end);
+        // The swap no longer masks the producer bug: it is counted.
+        assert_eq!(t.reversed_spans(), 1);
+        // Well-formed spans leave the counter untouched.
+        t.record("l", "y", 10, 30);
+        assert_eq!(t.reversed_spans(), 1);
+    }
+
+    #[test]
+    fn reversed_op_spans_are_flagged_too() {
+        let t = Trace::new();
+        t.record_op(op(1, "r0.host", 500, 100));
+        assert_eq!(t.reversed_spans(), 1);
+        let ops = t.ops();
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].start <= ops[0].end);
+        assert_eq!((ops[0].start, ops[0].end), (100, 500));
+    }
+
+    #[test]
+    fn ops_sort_by_id_not_insertion_order() {
+        let t = Trace::new();
+        t.record_op(op(7, "r0.net", 10, 20));
+        t.record_op(op(3, "r0.host", 0, 30));
+        let ops = t.ops();
+        assert_eq!(ops[0].id, 3);
+        assert_eq!(ops[1].id, 7);
+        assert_eq!(t.horizon(), 30);
     }
 
     #[test]
@@ -195,7 +333,10 @@ mod tests {
     fn clear_empties() {
         let t = Trace::new();
         t.record("l", "x", 0, 1);
+        t.record_op(op(1, "r0.host", 5, 2));
         t.clear();
         assert!(t.spans().is_empty());
+        assert!(t.ops().is_empty());
+        assert_eq!(t.reversed_spans(), 0);
     }
 }
