@@ -15,6 +15,7 @@ use std::sync::Arc;
 use simtime::plock::Mutex;
 use simtime::SimNs;
 
+use crate::collective::{CollAlgo, CollTuning};
 use crate::strategy::TransferStrategy;
 use crate::system::SystemConfig;
 
@@ -158,6 +159,165 @@ impl AdaptiveSelector {
         self.classes
             .lock()
             .get(&size_class(size))
+            .and_then(|c| c.winner)
+    }
+}
+
+#[derive(Default)]
+struct CollClassState {
+    pending: Vec<CollTuning>,
+    observed: Vec<(CollTuning, SimNs)>,
+    failed: Vec<CollTuning>,
+    winner: Option<CollTuning>,
+}
+
+/// The collective analogue of [`AdaptiveSelector`]: an online tuner over
+/// [`CollTuning`] (algorithm × pipeline chunk) candidates, keyed on
+/// **(message-size class, world size)** — a tree that wins at 4 ranks
+/// may lose at 13, so world sizes tune independently. Probe, observe,
+/// failure-retirement and all-fail fallback semantics are identical to
+/// the transfer selector (including the PR 4 starvation fix: a probe
+/// that fails permanently is retired via
+/// [`CollectiveSelector::observe_failure`] instead of being re-offered
+/// forever).
+pub struct CollectiveSelector {
+    candidates: Vec<CollTuning>,
+    classes: Arc<Mutex<BTreeMap<(u32, usize), CollClassState>>>,
+}
+
+impl CollectiveSelector {
+    /// Broadcast tuner over the standard candidate set for `sys`: flat,
+    /// binomial tree, and pipelined ring, all at the system's default
+    /// pipeline block.
+    pub fn bcast_for_system(sys: &SystemConfig) -> Self {
+        let b = sys.default_pipeline_block;
+        Self::with_candidates(vec![
+            CollTuning {
+                algo: CollAlgo::Flat,
+                chunk: b,
+            },
+            CollTuning {
+                algo: CollAlgo::Tree,
+                chunk: b,
+            },
+            CollTuning {
+                algo: CollAlgo::Ring,
+                chunk: b,
+            },
+        ])
+    }
+
+    /// Allreduce tuner for `sys`: the topology is a fixed ring, so the
+    /// candidates only vary the pipeline chunk.
+    pub fn allreduce_for_system(sys: &SystemConfig) -> Self {
+        let b = sys.default_pipeline_block;
+        Self::with_candidates(vec![
+            CollTuning {
+                algo: CollAlgo::Ring,
+                chunk: b,
+            },
+            CollTuning {
+                algo: CollAlgo::Ring,
+                chunk: (b / 4).max(4 << 10),
+            },
+            CollTuning {
+                algo: CollAlgo::Ring,
+                chunk: b * 4,
+            },
+        ])
+    }
+
+    /// Tuner over an explicit candidate set (chunks must be ≥ 1).
+    pub fn with_candidates(candidates: Vec<CollTuning>) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        assert!(
+            candidates.iter().all(|c| c.chunk > 0),
+            "candidate chunks must be ≥ 1"
+        );
+        CollectiveSelector {
+            candidates,
+            classes: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// The tuning to use for a `size`-byte collective over `world` ranks.
+    pub fn choose(&self, size: usize, world: usize) -> CollTuning {
+        let key = (size_class(size), world);
+        let mut st = self.classes.lock();
+        let cs = st.entry(key).or_insert_with(|| CollClassState {
+            pending: self.candidates.clone(),
+            ..Default::default()
+        });
+        if let Some(w) = cs.winner {
+            return w;
+        }
+        cs.pending
+            .first()
+            .copied()
+            .unwrap_or_else(|| self.candidates[0])
+    }
+
+    /// Feed back a measured collective duration.
+    pub fn observe(&self, size: usize, world: usize, tuning: CollTuning, dur_ns: SimNs) {
+        let key = (size_class(size), world);
+        let mut st = self.classes.lock();
+        let Some(cs) = st.get_mut(&key) else { return };
+        if cs.winner.is_some() {
+            return;
+        }
+        if let Some(pos) = cs.pending.iter().position(|&c| c == tuning) {
+            cs.pending.remove(pos);
+            cs.observed.push((tuning, dur_ns));
+        }
+        if cs.pending.is_empty() {
+            cs.winner = cs
+                .observed
+                .iter()
+                .min_by_key(|(_, ns)| *ns)
+                .map(|(c, _)| *c);
+        }
+    }
+
+    /// Feed back a permanent probe failure: the tuning is retired from
+    /// the class's rotation; if every candidate fails the class locks
+    /// `candidates[0]` so callers still get a deterministic answer.
+    pub fn observe_failure(&self, size: usize, world: usize, tuning: CollTuning) {
+        let key = (size_class(size), world);
+        let mut st = self.classes.lock();
+        let Some(cs) = st.get_mut(&key) else { return };
+        if cs.winner.is_some() {
+            return;
+        }
+        if let Some(pos) = cs.pending.iter().position(|&c| c == tuning) {
+            cs.pending.remove(pos);
+            cs.failed.push(tuning);
+        }
+        if cs.pending.is_empty() {
+            cs.winner = cs
+                .observed
+                .iter()
+                .min_by_key(|(_, ns)| *ns)
+                .map(|(c, _)| *c)
+                .or(Some(self.candidates[0]));
+        }
+    }
+
+    /// Tunings retired by [`CollectiveSelector::observe_failure`] for
+    /// the (size, world) class.
+    pub fn failures_for(&self, size: usize, world: usize) -> Vec<CollTuning> {
+        self.classes
+            .lock()
+            .get(&(size_class(size), world))
+            .map(|c| c.failed.clone())
+            .unwrap_or_default()
+    }
+
+    /// The locked-in winner for the (size, world) class, if probing
+    /// finished.
+    pub fn winner_for(&self, size: usize, world: usize) -> Option<CollTuning> {
+        self.classes
+            .lock()
+            .get(&(size_class(size), world))
             .and_then(|c| c.winner)
     }
 }

@@ -261,7 +261,7 @@ pub(crate) fn deps_settled(wait: &[Event]) -> bool {
 /// category, payload size, outcome, and transfer endpoints. This is the
 /// span exporters pair into causal send→recv links.
 #[allow(clippy::too_many_arguments)]
-fn record_envelope(
+pub(crate) fn record_envelope(
     inner: &Inner,
     ids: &ChildIds,
     cat: &str,
@@ -293,7 +293,7 @@ fn record_envelope(
 /// Record a child span (a chunk, retry, drop, or staging hop) under its
 /// operation's id block, on the rank's `net` or `dev` track.
 #[allow(clippy::too_many_arguments)]
-fn record_child(
+pub(crate) fn record_child(
     inner: &Inner,
     ids: &mut ChildIds,
     track_kind: &str,
@@ -381,6 +381,11 @@ impl ReliableChunkSend {
             attempt: 0,
             state: ChunkState::Ready { earliest },
         }
+    }
+
+    /// Payload size of this chunk in bytes.
+    pub(crate) fn len(&self) -> usize {
+        self.bytes.len()
     }
 
     /// The error the old path returned on budget exhaustion.

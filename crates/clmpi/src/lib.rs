@@ -61,7 +61,8 @@ pub mod stats;
 mod strategy;
 mod system;
 
-pub use adaptive::AdaptiveSelector;
+pub use adaptive::{AdaptiveSelector, CollectiveSelector};
+pub use collective::{CollAlgo, CollTuning};
 pub use engine::{Engine, EngineOp, Step};
 pub use fileio::SimStorage;
 pub use obs::{chrome_trace, validate_json, ObsCounters, ObsSummary, OverlapReport, RankOverlap};
@@ -77,6 +78,10 @@ pub use system::SystemConfig;
 // re-exported here so `clmpi::CL_MPI_TRANSFER_ERROR` keeps working.
 pub use minicl::status::CL_MPI_TRANSFER_ERROR;
 
+// Collectives reduce over f64 with minimpi's operator set; re-exported so
+// applications don't need a direct minimpi dependency for the enum.
+pub use minimpi::ReduceOp;
+
 /// Tag space base for clMPI-internal messages; user tags passed to
 /// `enqueue_*_buffer` and the `*_cl` wrappers are mapped above
 /// [`minimpi::MAX_USER_TAG`] so they never collide with plain MPI traffic
@@ -89,6 +94,34 @@ pub const CLMPI_TAG_BASE: minimpi::Tag = 1 << 22;
 /// plan for clMPI fault-injection experiments.
 pub fn data_plane_faults(plan: minimpi::FaultPlan) -> minimpi::FaultPlan {
     plan.with_tag_floor(CLMPI_TAG_BASE)
+}
+
+/// Tag space base for clMPI collective traffic: a region above the
+/// point-to-point data plane, subdivided per collective kind (bcast /
+/// allreduce / reduce) so concurrent collectives with equal user tags
+/// never cross-match. Everything here is ≥ [`CLMPI_TAG_BASE`], so
+/// [`data_plane_faults`] plans exercise collective chunks too.
+pub const CLMPI_COLL_TAG_BASE: minimpi::Tag = CLMPI_TAG_BASE + (1 << 21);
+
+pub(crate) const COLL_SPACE_BCAST: minimpi::Tag = 0;
+pub(crate) const COLL_SPACE_ALLREDUCE: minimpi::Tag = 1;
+pub(crate) const COLL_SPACE_REDUCE: minimpi::Tag = 2;
+
+/// Map a user collective tag into `space`'s sub-region of the collective
+/// tag plane, validating the user range up front (like
+/// [`checked_data_tag`]).
+pub(crate) fn checked_coll_tag(
+    space: minimpi::Tag,
+    user: minimpi::Tag,
+) -> Result<minimpi::Tag, minicl::ClError> {
+    if (0..=minimpi::MAX_USER_TAG).contains(&user) {
+        Ok(CLMPI_COLL_TAG_BASE + space * (minimpi::MAX_USER_TAG + 1) + user)
+    } else {
+        Err(minicl::ClError::InvalidValue(format!(
+            "clMPI collective tag {user} out of user range (0..={})",
+            minimpi::MAX_USER_TAG
+        )))
+    }
 }
 
 pub(crate) fn data_tag(user: minimpi::Tag) -> minimpi::Tag {

@@ -349,6 +349,12 @@ pub struct RankSummary {
     pub bytes_sent: u64,
     /// Payload bytes of successful receive-side operations.
     pub bytes_received: u64,
+    /// Payload bytes of successful collective operations (`op.bcast`,
+    /// `op.allreduce`, `op.reduce` envelopes). Kept separate from the
+    /// point-to-point byte counters: a collective moves each payload byte
+    /// across several wire hops, so its envelope bytes are a *logical*
+    /// volume, not a wire volume.
+    pub coll_bytes: u64,
 }
 
 /// The compact machine-readable summary of one run: per-rank counters,
@@ -391,6 +397,8 @@ impl ObsSummary {
                             r.bytes_sent += o.bytes;
                         } else if cat == "op.recv" || cat == "op.irecv" {
                             r.bytes_received += o.bytes;
+                        } else if cat == "op.bcast" || cat == "op.allreduce" || cat == "op.reduce" {
+                            r.coll_bytes += o.bytes;
                         }
                     } else {
                         r.ops_failed += 1;
@@ -435,7 +443,7 @@ impl ObsSummary {
             out.push_str(&format!(
                 "    \"{rank}\": {{ \"ops\": {}, \"ops_ok\": {}, \"ops_failed\": {}, \
                  \"max_in_flight\": {}, \"chunk_drops\": {}, \"chunk_retries\": {}, \
-                 \"bytes_sent\": {}, \"bytes_received\": {} }}{}\n",
+                 \"bytes_sent\": {}, \"bytes_received\": {}, \"coll_bytes\": {} }}{}\n",
                 r.ops,
                 r.ops_ok,
                 r.ops_failed,
@@ -444,6 +452,7 @@ impl ObsSummary {
                 r.chunk_retries,
                 r.bytes_sent,
                 r.bytes_received,
+                r.coll_bytes,
                 if i + 1 < n { "," } else { "" }
             ));
         }
@@ -921,6 +930,9 @@ mod tests {
         recv.peer = Some(0);
         recv.tag = Some(7);
         t.record_op(recv);
+        let mut bcast = op(op_id(1, 1), "r1.host", "op.bcast", 130, 200);
+        bcast.bytes = 256;
+        t.record_op(bcast);
         let s = ObsSummary::from_trace(&t);
         let r0 = s.ranks[&0];
         assert_eq!((r0.ops, r0.ops_ok, r0.ops_failed), (2, 1, 1));
@@ -929,8 +941,10 @@ mod tests {
         assert_eq!(r0.max_in_flight, 2, "two ops overlap in [10,50)");
         let r1 = s.ranks[&1];
         assert_eq!(r1.bytes_received, 64);
+        assert_eq!(r1.coll_bytes, 256, "collective envelopes count apart");
+        assert_eq!(r1.bytes_sent, 0, "bcast bytes never alias p2p bytes");
         assert_eq!(r1.max_in_flight, 1);
-        assert_eq!(s.total_ops, 5);
+        assert_eq!(s.total_ops, 6);
         // The serialized summary is valid JSON and hashes stably.
         validate_json(&s.to_json()).unwrap();
         assert_eq!(s.hash(), ObsSummary::from_trace(&t).hash());

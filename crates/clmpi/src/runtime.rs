@@ -57,6 +57,10 @@ pub(crate) struct Inner {
     pub(crate) trace: Trace,
     pub(crate) stats: Mutex<Option<crate::stats::TransferStats>>,
     pub(crate) adaptive: Mutex<Option<Arc<crate::adaptive::AdaptiveSelector>>>,
+    /// Per-collective tuners (algorithm + chunk keyed on size × world);
+    /// `None` falls back to the static heuristic.
+    pub(crate) coll_bcast: Mutex<Option<Arc<crate::adaptive::CollectiveSelector>>>,
+    pub(crate) coll_allreduce: Mutex<Option<Arc<crate::adaptive::CollectiveSelector>>>,
     pub(crate) retry: Mutex<RetryPolicy>,
     pub(crate) fault_state: Mutex<FaultState>,
     /// Next per-rank operation sequence number (stable op ids).
@@ -114,6 +118,8 @@ impl ClMpi {
                 trace,
                 stats: Mutex::new(None),
                 adaptive: Mutex::new(None),
+                coll_bcast: Mutex::new(None),
+                coll_allreduce: Mutex::new(None),
                 retry: Mutex::new(RetryPolicy::default()),
                 fault_state: Mutex::new(FaultState::default()),
                 op_seq: Mutex::new(0),
@@ -164,6 +170,25 @@ impl ClMpi {
     /// ([`ClMpi::set_forced_strategy`]) still takes precedence.
     pub fn set_adaptive(&self, selector: Option<Arc<crate::adaptive::AdaptiveSelector>>) {
         *self.inner.adaptive.lock() = selector;
+    }
+
+    /// Attach a broadcast tuner (see
+    /// [`crate::adaptive::CollectiveSelector`]): the root probes each
+    /// (algorithm, chunk) candidate per (size, world) class and locks the
+    /// fastest; failed probes are retired like transfer strategies.
+    /// `None` restores the static heuristic.
+    pub fn set_bcast_adaptive(&self, selector: Option<Arc<crate::adaptive::CollectiveSelector>>) {
+        *self.inner.coll_bcast.lock() = selector;
+    }
+
+    /// Attach an allreduce chunk-size tuner (ring topology is fixed;
+    /// only the pipeline chunk is probed). `None` restores the system
+    /// default block.
+    pub fn set_allreduce_adaptive(
+        &self,
+        selector: Option<Arc<crate::adaptive::CollectiveSelector>>,
+    ) {
+        *self.inner.coll_allreduce.lock() = selector;
     }
 
     /// Set how transfers react to observed chunk loss (attempt budget,

@@ -147,6 +147,67 @@ pub mod analytic {
     pub fn sustained_bps(sys: &SystemConfig, strategy: TransferStrategy, size: usize) -> f64 {
         size as f64 * 1e9 / transfer_ns(sys, strategy, size) as f64
     }
+
+    /// Coarse idle-resource model of the chunked broadcast machines in
+    /// the collective module: stage-in, sender-side chunk serialization,
+    /// store-and-forward drain, stage-out. Used by the bench binaries to
+    /// cross-check simulated collective timings — never by the engine.
+    ///
+    /// Flat re-injects every chunk once per destination on the root NIC
+    /// (the serialization the pipelined algorithms exist to avoid); tree
+    /// pays the root's `⌈log₂ n⌉`-way fan-out then drains through
+    /// `⌈log₂ n⌉` hops; ring injects each chunk once and drains through
+    /// `n − 1` hops, one max-size chunk per hop.
+    pub fn bcast_ns(
+        sys: &SystemConfig,
+        algo: crate::collective::CollAlgo,
+        size: usize,
+        world: usize,
+        block: usize,
+    ) -> SimNs {
+        use crate::collective::CollAlgo;
+        if world <= 1 {
+            return 0;
+        }
+        let net = &sys.cluster.link;
+        let pcie = &sys.device.pcie;
+        // Wire chunks carry the 1-byte algorithm header.
+        let inj: Vec<SimNs> = chunk_layout(size, block)
+            .iter()
+            .map(|&(_, len)| net.injection_ns(len + 1))
+            .collect();
+        let total_inj: SimNs = inj.iter().sum();
+        let max_inj = inj.iter().copied().max().unwrap_or(0);
+        let depth = sys_log2_ceil(world);
+        let (fanout, hops) = match algo {
+            CollAlgo::Flat => (world - 1, 1),
+            CollAlgo::Tree => (depth, depth),
+            CollAlgo::Ring => (1, world - 1),
+        };
+        pcie.pin_setup_ns
+            + pcie.staged_ns(size, true)
+            + fanout as SimNs * total_inj
+            + hops as SimNs * net.latency_ns
+            + hops.saturating_sub(1) as SimNs * max_inj
+            + pcie.pin_setup_ns
+            + pcie.staged_ns(size, true)
+    }
+
+    /// Sustained broadcast bandwidth (payload bytes/s) implied by
+    /// [`bcast_ns`].
+    pub fn bcast_sustained_bps(
+        sys: &SystemConfig,
+        algo: crate::collective::CollAlgo,
+        size: usize,
+        world: usize,
+        block: usize,
+    ) -> f64 {
+        size as f64 * 1e9 / bcast_ns(sys, algo, size, world, block) as f64
+    }
+
+    fn sys_log2_ceil(n: usize) -> usize {
+        n.next_power_of_two().trailing_zeros() as usize
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +241,26 @@ mod tests {
         assert_eq!(TransferStrategy::Pinned.name(), "pinned");
         assert_eq!(TransferStrategy::Pipelined(4 << 20).name(), "pipelined(4M)");
         assert_eq!(TransferStrategy::Auto.name(), "auto");
+    }
+
+    #[test]
+    fn modeled_ring_bcast_beats_flat_by_2x_at_fig8_scale() {
+        // The acceptance-bar shape: 42 MB across 8 ranks on RICC. Flat
+        // re-injects the payload 7 times on the root NIC; ring injects
+        // once and drains 7 hops of one chunk each.
+        use crate::collective::CollAlgo;
+        let sys = SystemConfig::ricc();
+        let (size, world, block) = (41_990_400, 8, 4 << 20);
+        let flat = bcast_ns(&sys, CollAlgo::Flat, size, world, block);
+        let tree = bcast_ns(&sys, CollAlgo::Tree, size, world, block);
+        let ring = bcast_ns(&sys, CollAlgo::Ring, size, world, block);
+        assert!(ring * 2 < flat, "ring {ring} vs flat {flat}");
+        assert!(tree < flat, "tree {tree} vs flat {flat}");
+        assert!(
+            bcast_sustained_bps(&sys, CollAlgo::Ring, size, world, block)
+                > 2.0 * bcast_sustained_bps(&sys, CollAlgo::Flat, size, world, block)
+        );
+        assert_eq!(bcast_ns(&sys, CollAlgo::Ring, size, 1, block), 0);
     }
 
     #[test]

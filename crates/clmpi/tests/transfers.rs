@@ -435,32 +435,58 @@ fn enqueue_bcast_buffer_reaches_every_device() {
 }
 
 #[test]
-fn bcast_scales_with_destinations_on_root_nic() {
-    // Flat broadcast: the root's NIC serializes per-destination sends.
+fn flat_bcast_scales_with_destinations_on_root_nic() {
+    // Forced-flat broadcast: the root's NIC serializes per-destination
+    // sends, so tripling the destinations more than doubles the time.
+    // (The default policy picks pipelined algorithms at this size exactly
+    // to escape this scaling — see `ring_bcast_beats_flat_fanout`.)
     let size = 2 << 20;
-    let time_for = |nodes: usize| {
-        let res = run_world_sized(
-            SystemConfig::ricc().cluster.clone(),
-            nodes,
-            move |p: Process| {
-                let rt = ClMpi::new(&p, SystemConfig::ricc());
-                let q = rt.context().create_queue(0, format!("r{}", p.rank()));
-                let buf = rt.context().create_buffer(size);
-                p.comm.barrier(&p.actor);
-                let t0 = p.actor.now_ns();
-                let e = rt
-                    .enqueue_bcast_buffer(&q, &buf, 0, size, 0, 1, &[], &p.actor)
-                    .unwrap();
-                e.wait(&p.actor);
-                rt.shutdown(&p.actor);
-                p.actor.now_ns() - t0
-            },
-        );
-        res.outputs.into_iter().max().unwrap()
-    };
-    let t2 = time_for(2);
-    let t4 = time_for(4);
-    assert!(t4 > t2 * 2, "3 destinations vs 1 serialize on the root NIC");
+    let t2 = timed_bcast(2, size, clmpi::CollAlgo::Flat, 1 << 20);
+    let t4 = timed_bcast(4, size, clmpi::CollAlgo::Flat, 1 << 20);
+    assert!(
+        t4 > t2 * 2,
+        "3 destinations vs 1 serialize on the root NIC ({t4} vs {t2})"
+    );
+}
+
+#[test]
+fn ring_bcast_beats_flat_fanout() {
+    // The tentpole claim at test scale: a chunked store-and-forward ring
+    // injects each chunk once per link while flat re-injects the whole
+    // payload per destination on the root NIC.
+    let (nodes, size, chunk) = (8, 8 << 20, 512 << 10);
+    let flat = timed_bcast(nodes, size, clmpi::CollAlgo::Flat, chunk);
+    let ring = timed_bcast(nodes, size, clmpi::CollAlgo::Ring, chunk);
+    let tree = timed_bcast(nodes, size, clmpi::CollAlgo::Tree, chunk);
+    assert!(ring * 2 < flat, "ring {ring} vs flat {flat}");
+    assert!(tree < flat, "tree {tree} vs flat {flat}");
+}
+
+/// Longest per-rank wall time of one forced-algorithm broadcast from
+/// rank 0, contents verified on every rank.
+fn timed_bcast(nodes: usize, size: usize, algo: clmpi::CollAlgo, chunk: usize) -> u64 {
+    let res = run_world_sized(
+        SystemConfig::ricc().cluster.clone(),
+        nodes,
+        move |p: Process| {
+            let rt = ClMpi::new(&p, SystemConfig::ricc());
+            let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+            let buf = rt.context().create_buffer(size);
+            if p.rank() == 0 {
+                buf.store(0, &pattern(size, 29)).unwrap();
+            }
+            p.comm.barrier(&p.actor);
+            let t0 = p.actor.now_ns();
+            let e = rt
+                .enqueue_bcast_buffer_as(&q, &buf, 0, size, 0, 1, algo, chunk, &[], &p.actor)
+                .unwrap();
+            e.wait(&p.actor);
+            assert_eq!(buf.load(0, size).unwrap(), pattern(size, 29));
+            rt.shutdown(&p.actor);
+            p.actor.now_ns() - t0
+        },
+    );
+    res.outputs.into_iter().max().unwrap()
 }
 
 #[test]

@@ -32,7 +32,10 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
-    fn fold(self, acc: &mut [f64], other: &[f64]) {
+    /// Fold `other` into `acc` elementwise. Public so layered runtimes
+    /// (clmpi's device-buffer ring reduction) apply the exact same
+    /// operator semantics as the host collectives here.
+    pub fn fold(self, acc: &mut [f64], other: &[f64]) {
         assert_eq!(acc.len(), other.len(), "reduce length mismatch");
         for (a, b) in acc.iter_mut().zip(other) {
             *a = match self {
@@ -45,30 +48,36 @@ impl ReduceOp {
 }
 
 impl Comm {
-    /// Synchronize all ranks (binomial gather to 0, then broadcast).
+    /// Synchronize all ranks (dissemination barrier, ⌈log₂ n⌉ rounds).
     /// Every rank leaves at the same virtual instant or later.
     pub fn barrier(&self, actor: &Actor) {
         self.barrier_tagged(actor, 0);
     }
 
     /// Barrier with a caller-chosen sub-tag so independent subsystems can
-    /// synchronize without cross-talk.
+    /// synchronize without cross-talk. `sub` must be below 8: each barrier
+    /// consumes one 32-tag stripe (one tag per round) of the `COLL_BARRIER`
+    /// region.
     pub fn barrier_tagged(&self, actor: &Actor, sub: Tag) {
-        let tag = COLL_BARRIER + sub;
-        // Flat gather-then-release. Worlds here are ≤ 40 ranks and barrier
-        // payloads are empty, so the flat form is simplest and its timing
-        // (serialized on rank 0's NIC) is an honest model.
+        assert!((0..8).contains(&sub), "barrier sub-tag {sub} out of range");
+        // Dissemination barrier: in round k every rank sends to
+        // (r + 2^k) mod n and receives from (r − 2^k) mod n. After
+        // ⌈log₂ n⌉ rounds each rank has (transitively) heard from every
+        // other, with no single-rank serialization point — unlike the old
+        // flat gather-release this costs O(log n) rounds on every NIC
+        // instead of O(n) messages on rank 0's.
         let n = self.size();
-        if self.rank() == 0 {
-            for _ in 1..n {
-                self.recv(actor, None, Some(tag));
-            }
-            for r in 1..n {
-                self.send(actor, r, tag + 1, &[]);
-            }
-        } else {
-            self.send(actor, 0, tag, &[]);
-            self.recv(actor, Some(0), Some(tag + 1));
+        let r = self.rank();
+        let mut k = 0;
+        while (1usize << k) < n {
+            let tag = COLL_BARRIER + sub * 32 + k as Tag;
+            let dist = 1usize << k;
+            let to = (r + dist) % n;
+            let from = (r + n - dist) % n;
+            let req = self.isend(actor, to, tag, &[]);
+            self.recv(actor, Some(from), Some(tag));
+            req.wait(actor);
+            k += 1;
         }
     }
 

@@ -218,10 +218,36 @@ mod tests {
             p.comm.barrier(&p.actor);
             p.actor.now_ns()
         });
+        // No rank may leave before the slowest (8 ms) rank arrived —
+        // exactly what the 3 dissemination rounds transitively enforce.
         let t0 = res.outputs[0];
         assert!(res.outputs.iter().all(|&t| t >= 8_000_000));
-        // All ranks leave within one small release window.
+        // All ranks leave within a few empty-message round-trips of each
+        // other: ⌈log₂ 8⌉ = 3 rounds, no single-rank release point.
         assert!(res.outputs.iter().all(|&t| t.abs_diff(t0) < 5_000_000));
+    }
+
+    #[test]
+    fn barrier_has_no_rank0_serialization_point() {
+        // With n ranks the old flat gather-release put 2(n − 1) messages
+        // on rank 0's NIC; dissemination spreads ⌈log₂ n⌉ rounds evenly,
+        // so the exit time must grow sublinearly in n. Compare the
+        // barrier cost itself at n = 4 vs n = 32 from a common start.
+        let cost = |n: usize| {
+            let res = run_world_sized(ClusterSpec::ricc(), n, |p| {
+                let t0 = p.actor.now_ns();
+                p.comm.barrier(&p.actor);
+                p.actor.now_ns() - t0
+            });
+            res.outputs.into_iter().max().unwrap()
+        };
+        let c4 = cost(4);
+        let c32 = cost(32);
+        // log₂ 32 / log₂ 4 = 2.5 rounds ratio; flat would be ~31/3 ≈ 10×.
+        assert!(
+            c32 < c4 * 5,
+            "dissemination barrier must scale ~log n: {c32} vs {c4}"
+        );
     }
 
     #[test]

@@ -14,15 +14,20 @@
 //!   per step) plus the section concentrations to all ranks. This is the
 //!   exposed communication Fig. 10 is about.
 //!
-//! Two implementations, as in the paper:
+//! Three implementations:
 //!
 //! * [`NanoVariant::Baseline`] — `MPI_Isend`/`MPI_Recv` into pageable
 //!   host memory, then a blocking `clEnqueueWriteBuffer` ("just uses
 //!   MPI_Isend and MPI_Recv for coefficient data distribution").
-//! * [`NanoVariant::ClMpi`] — `MPI_Isend` with `MPI_CL_MEM`
-//!   ([`clmpi::ClMpi::isend_cl`]) + `clEnqueueRecvBuffer`, which engages
-//!   the pipelined transfer path for these large messages and lets the
-//!   coagulation kernel be event-chained to the arrival.
+//! * [`NanoVariant::ClMpi`] — one `clEnqueueBcastBuffer`
+//!   ([`clmpi::ClMpi::enqueue_bcast_buffer`]) per step: the coefficient
+//!   matrix travels root → ranks as a pipelined store-and-forward
+//!   broadcast of device buffers, and the coagulation kernel is
+//!   event-chained to it.
+//! * [`NanoVariant::ClMpiFanout`] — the paper's original shape:
+//!   `MPI_Isend` with `MPI_CL_MEM` ([`clmpi::ClMpi::isend_cl`]) +
+//!   `clEnqueueRecvBuffer` per rank, pipelined per transfer but
+//!   serialized across destinations on rank 0's NIC.
 //!
 //! The distributed runs are validated bitwise against
 //! [`reference_simulation`].

@@ -39,9 +39,13 @@ pub enum NanoVariant {
     /// Plain `MPI_Isend`/`MPI_Recv` into pageable host memory, then a
     /// blocking `clEnqueueWriteBuffer`.
     Baseline,
-    /// `MPI_Isend(MPI_CL_MEM)` + `clEnqueueRecvBuffer`: pipelined
-    /// network/PCIe overlap, kernel event-chained to the arrival.
+    /// `clEnqueueBcastBuffer`: one pipelined device-buffer broadcast per
+    /// step (ring/tree store-and-forward), kernel event-chained to it.
     ClMpi,
+    /// The pre-collective clMPI shape: per-rank `MPI_Isend(MPI_CL_MEM)` +
+    /// `clEnqueueRecvBuffer` fan-out, serialized on rank 0's NIC. Kept as
+    /// a named variant so benches can show what the broadcast buys.
+    ClMpiFanout,
 }
 
 impl NanoVariant {
@@ -50,6 +54,7 @@ impl NanoVariant {
         match self {
             NanoVariant::Baseline => "baseline",
             NanoVariant::ClMpi => "clMPI",
+            NanoVariant::ClMpiFanout => "clMPI-fanout",
         }
     }
 }
@@ -130,7 +135,13 @@ fn rank_main(variant: NanoVariant, cfg: &NanoConfig, p: Process) -> RankOut {
     let dn_dev = ctx.create_buffer(rows * 4);
     let n_stage = HostBuffer::pinned(k * 4);
     let dn_stage = HostBuffer::pinned(rows * 4);
-    let c_stage = HostBuffer::pageable(full_bytes); // baseline's naive staging
+    // Baseline stages coefficients through pageable memory (the naive
+    // pattern); the collective path pins its staging buffer once, as the
+    // real application would, to seed the device-resident broadcast.
+    let c_stage = match variant {
+        NanoVariant::ClMpi => HostBuffer::pinned(full_bytes),
+        _ => HostBuffer::pageable(full_bytes),
+    };
 
     // Rank 0 owns the model; workers only hold per-step snapshots.
     let mut model = (rank == 0).then(|| NanoModel::new(k));
@@ -149,6 +160,7 @@ fn rank_main(variant: NanoVariant, cfg: &NanoConfig, p: Process) -> RankOut {
     let t0 = p.actor.now_ns();
     for step in 0..cfg.steps {
         // --- Host phase + distribution (rank 0) ---
+        let mut c_write = None;
         if let Some(m) = model.as_mut() {
             m.host_phase(step);
             p.actor.advance_ns(HOST_PHASE_NS);
@@ -158,14 +170,34 @@ fn rank_main(variant: NanoVariant, cfg: &NanoConfig, p: Process) -> RankOut {
             }
             let full = m.scaled_rows(step, 0, k);
             let bytes = f32_as_bytes(&full);
-            for r in 0..nodes {
-                match variant {
-                    NanoVariant::Baseline => {
+            match variant {
+                NanoVariant::Baseline => {
+                    for r in 0..nodes {
                         let _ = p.comm.isend(&p.actor, r, TAG_C, bytes);
                     }
-                    NanoVariant::ClMpi => {
+                }
+                NanoVariant::ClMpiFanout => {
+                    for r in 0..nodes {
                         let _ = rt.isend_cl(&p.actor, r, TAG_C, bytes);
                     }
+                }
+                NanoVariant::ClMpi => {
+                    // Stage into the root's own device buffer once; the
+                    // broadcast below fans it out chunk-pipelined.
+                    c_stage.fill_from(bytes);
+                    c_write = Some(
+                        q.enqueue_write_buffer(
+                            &p.actor,
+                            &c_dev,
+                            false,
+                            0,
+                            full_bytes,
+                            &c_stage,
+                            0,
+                            &[],
+                        )
+                        .expect("stage coefficients"),
+                    );
                 }
             }
         }
@@ -189,9 +221,14 @@ fn rank_main(variant: NanoVariant, cfg: &NanoConfig, p: Process) -> RankOut {
                 q.enqueue_write_buffer(&p.actor, &c_dev, false, 0, full_bytes, &c_stage, 0, &[])
                     .expect("write coefficients")
             }
-            NanoVariant::ClMpi => rt
+            NanoVariant::ClMpiFanout => rt
                 .enqueue_recv_buffer(&q, &c_dev, false, 0, full_bytes, 0, TAG_C, &[], &p.actor)
                 .expect("recv coefficients"),
+            NanoVariant::ClMpi => {
+                let wl: Vec<_> = c_write.take().into_iter().collect();
+                rt.enqueue_bcast_buffer(&q, &c_dev, 0, full_bytes, 0, TAG_C, &wl, &p.actor)
+                    .expect("broadcast coefficients")
+            }
         };
         // Coagulation kernel, gated on its inputs.
         let dn_shared = Arc::new(Mutex::new(vec![0.0f32; rows]));

@@ -1,7 +1,7 @@
-//! Future-work extension demo (paper §IV-C/§VI): a collective
+//! Collective-extension demo (paper §IV-C/§VI): a collective
 //! communication command for device buffers, event-chained like
-//! everything else. A 4-rank broadcast feeds each rank's kernel as soon
-//! as its own copy lands.
+//! everything else. A 4-rank pipelined broadcast feeds each rank's
+//! kernel as soon as its own copy lands.
 //!
 //! Run: `cargo run --release --example bcast_extension`
 
@@ -32,10 +32,11 @@ fn main() {
         rt.shutdown(&p.actor);
         started
     });
-    println!("4 MiB device-buffer broadcast from rank 0 (flat tree, root-NIC serialized):");
+    println!("4 MiB device-buffer broadcast from rank 0 (default tuning: pipelined ring):");
     for (r, t) in res.outputs.iter().enumerate() {
         println!("  rank {r}: consumer kernel started at {}", fmt_ns(*t));
     }
-    println!("Later ranks start later — the event chain starts each one the moment");
-    println!("its copy arrives, with no rank ever blocking its host thread.");
+    println!("The event chain starts each rank's kernel the moment its copy lands,");
+    println!("with no rank ever blocking its host thread. See examples/collectives.rs");
+    println!("for the full collective surface (forced algorithms, allreduce, trace dump).");
 }
