@@ -56,7 +56,8 @@ use minimpi::{MpiError, Rank, ReduceOp, Request, Tag};
 use simtime::{Actor, SimNs};
 
 use crate::engine::{
-    poll_deps, record_child, record_envelope, ChunkStep, EngineOp, ReliableChunkSend, Step,
+    poll_deps, record_child, record_envelope, record_failure, ChunkStep, EngineOp,
+    ReliableChunkSend, Step,
 };
 use crate::obs::ChildIds;
 use crate::runtime::{ClMpi, Inner};
@@ -1095,6 +1096,30 @@ impl EngineOp for BcastRecvOp {
                     } else if let Some(at) = req.known_completion() {
                         // Matched, in flight: arrival is committed.
                         return Step::Park(merge_hint(fwd_hint, Some(at.max(now + 1))));
+                    } else if self
+                        .inner
+                        .peer_failed(self.parent.unwrap_or(self.root), now)
+                    {
+                        // The upstream process (the learned parent, or
+                        // the root before the first chunk reveals one)
+                        // is dead and nothing is in flight: no further
+                        // chunk can arrive. Abort-and-poison now instead
+                        // of waiting out the chunk patience (ULFM lets a
+                        // failed peer fail pending communication).
+                        let upstream = self.parent.unwrap_or(self.root);
+                        self.abandon_recv();
+                        if let Some(stats) = self.inner.stats.lock().as_ref() {
+                            stats.note_proc_failure();
+                        }
+                        record_failure(&self.inner, &mut self.ids, upstream, now);
+                        return self.settle(
+                            Err(ClError::TransferFailed(format!(
+                                "broadcast chunk from rank {upstream} (tag {}): {}",
+                                self.wire_tag,
+                                MpiError::ProcFailed { rank: upstream }
+                            ))),
+                            now,
+                        );
                     } else if let Some((at, patience)) = deadline {
                         if now >= at {
                             self.abandon_recv();
@@ -1484,6 +1509,23 @@ impl RingReduceOp {
             if let Some(at) = sr.req.known_completion() {
                 return SegVerdict::Pending(Some(at.max(now + 1)));
             }
+            if self.inner.peer_failed(self.prev(), now) {
+                // The predecessor is dead and nothing is in flight: the
+                // ring is broken, no segment chunk can ever arrive.
+                let prev = self.prev();
+                if let Some(stats) = self.inner.stats.lock().as_ref() {
+                    stats.note_proc_failure();
+                }
+                record_failure(&self.inner, &mut self.ids, prev, now);
+                return SegVerdict::Fail(
+                    ClError::TransferFailed(format!(
+                        "ring segment from rank {prev} (tag {}): {}",
+                        self.wire_tag,
+                        MpiError::ProcFailed { rank: prev }
+                    )),
+                    now,
+                );
+            }
             if let Some((at, patience)) = sr.deadline {
                 if now >= at {
                     if let Some(stats) = self.inner.stats.lock().as_ref() {
@@ -1788,6 +1830,34 @@ impl EngineOp for RingReduceOp {
                         gs.deadline = chunk_deadline_for(&self.inner, now);
                     } else if let Some(at) = gs.req.known_completion() {
                         return Step::Park(Some(at.max(now + 1)));
+                    } else if let Some(dead) = {
+                        // A contributor whose segment is still incomplete
+                        // and whose process is dead can never finish the
+                        // gather; nothing is in flight, so fail fast.
+                        let n = self.inner.comm.size();
+                        let me = self.inner.comm.rank();
+                        let segs = seg_bounds(self.count, n);
+                        (0..n).find(|&r| {
+                            r != me
+                                && segs[(r + 1) % n].1 > 0
+                                && gs.per_src.get(&r).copied().unwrap_or(0)
+                                    < segs[(r + 1) % n].1 * 8
+                                && self.inner.peer_failed(r, now)
+                        })
+                    } {
+                        self.abandon_recv();
+                        if let Some(stats) = self.inner.stats.lock().as_ref() {
+                            stats.note_proc_failure();
+                        }
+                        record_failure(&self.inner, &mut self.ids, dead, now);
+                        return self.settle(
+                            Err(ClError::TransferFailed(format!(
+                                "reduce gather (tag {}): {}",
+                                self.wire_tag,
+                                MpiError::ProcFailed { rank: dead }
+                            ))),
+                            now,
+                        );
                     } else if let Some((at, patience)) = gs.deadline {
                         if now >= at {
                             self.abandon_recv();

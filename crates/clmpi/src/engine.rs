@@ -46,7 +46,7 @@ use minicl::{
     Buffer, ClError, ClResult, Device, Event, HostBuffer, UserEvent, WaitListStatus,
     CL_MPI_TRANSFER_ERROR, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST,
 };
-use minimpi::{Datatype, MpiError, Rank, RecvResult, Request, Tag};
+use minimpi::{Datatype, DropReason, MpiError, Rank, RecvResult, Request, Tag};
 use simtime::plock::Mutex;
 use simtime::{Actor, Completion, CompletionState, Monitor, OpSpan, SimClock, SimNs};
 
@@ -290,6 +290,24 @@ pub(crate) fn record_envelope(
     });
 }
 
+/// Record an `op.failure` span: the instant an operation observed a dead
+/// peer process (ULFM `MPI_ERR_PROC_FAILED` class), attributed to the
+/// op's id block. Summarized into the recovery counters of
+/// [`crate::obs::ObsSummary`], separately from the ordinary op counters.
+pub(crate) fn record_failure(inner: &Inner, ids: &mut ChildIds, peer: Rank, at: SimNs) {
+    record_child(
+        inner,
+        ids,
+        "host",
+        format!("proc-failure r{peer}"),
+        "op.failure",
+        at,
+        at,
+        0,
+        false,
+    );
+}
+
 /// Record a child span (a chunk, retry, drop, or staging hop) under its
 /// operation's id block, on the rank's `net` or `dev` track.
 #[allow(clippy::too_many_arguments)]
@@ -334,12 +352,18 @@ pub(crate) struct ReliableChunkSend {
     duration: Option<SimNs>,
     policy: RetryPolicy,
     attempt: u32,
+    /// Set when the drop was caused by a dead endpoint: retransmission
+    /// can never succeed, so the machine fails without burning retries.
+    peer_dead: bool,
     state: ChunkState,
 }
 
 enum ChunkState {
     /// Ready to inject, no earlier than `earliest`.
     Ready { earliest: SimNs },
+    /// Posted to the fabric's deferred-send arbiter; polling the request
+    /// until the grant decides the injection's fate.
+    Injecting { req: Request, earliest: SimNs },
     /// Last injection was dropped; retransmit at `resume_at`.
     Backoff { resume_at: SimNs },
     /// Injection succeeded; the wire is busy until `done_at`.
@@ -379,6 +403,7 @@ impl ReliableChunkSend {
             duration,
             policy: *inner.retry.lock(),
             attempt: 0,
+            peer_dead: false,
             state: ChunkState::Ready { earliest },
         }
     }
@@ -388,8 +413,17 @@ impl ReliableChunkSend {
         self.bytes.len()
     }
 
-    /// The error the old path returned on budget exhaustion.
+    /// The error the old path returned on budget exhaustion; a dead-peer
+    /// failure is classified as an `MPI_ERR_PROC_FAILED`-class error
+    /// instead.
     pub(crate) fn exhaustion_error(&self) -> ClError {
+        if self.peer_dead {
+            return ClError::TransferFailed(format!(
+                "{}: chunk on tag {} undeliverable",
+                MpiError::ProcFailed { rank: self.dst },
+                self.wire_tag
+            ));
+        }
         ClError::TransferFailed(format!(
             "chunk to rank {} lost {} time(s) on tag {}; retry budget exhausted",
             self.dst, self.policy.max_attempts, self.wire_tag
@@ -403,7 +437,22 @@ impl ReliableChunkSend {
         now: SimNs,
         actor: &Actor,
     ) -> ChunkStep {
+        if let ChunkState::Injecting { ref req, earliest } = self.state {
+            // `known_completion` pumps the arbiter; `None` means the
+            // grant instant has not passed yet. The arbiter clamps a
+            // stale `earliest` up to the posting instant, so the park
+            // hint must be strictly future relative to `now` — one tick
+            // later the pump's strict `earliest < now` test admits the
+            // grant.
+            let Some(done) = req.known_completion() else {
+                return ChunkStep::Park(now.max(earliest) + 1);
+            };
+            let delivered = req.delivered();
+            let reason = req.drop_reason();
+            return self.settle_injection(inner, ids, earliest, done, delivered, reason);
+        }
         match self.state {
+            ChunkState::Injecting { .. } => unreachable!("handled above"),
             ChunkState::Ready { earliest } => {
                 self.attempt += 1;
                 let req = inner.comm.isend_raw(
@@ -415,88 +464,7 @@ impl ReliableChunkSend {
                     earliest,
                     self.duration,
                 );
-                let done = req.known_completion().expect("send completion known");
-                if req.delivered() {
-                    inner.fault_state.lock().consecutive_drops = 0;
-                    self.state = ChunkState::Sent { done_at: done };
-                    return ChunkStep::Progressed;
-                }
-                // The chunk burned link time but never reached the peer.
-                if let Some(stats) = inner.stats.lock().as_ref() {
-                    stats.note_drop();
-                }
-                record_child(
-                    inner,
-                    ids,
-                    "net",
-                    format!("drop#{}→r{}", self.attempt, self.dst),
-                    "drop",
-                    earliest,
-                    done,
-                    self.bytes.len() as u64,
-                    false,
-                );
-                let newly_degraded = {
-                    let mut fs = inner.fault_state.lock();
-                    fs.consecutive_drops += 1;
-                    if !fs.degraded && fs.consecutive_drops >= self.policy.degrade_after {
-                        fs.degraded = true;
-                        true
-                    } else {
-                        false
-                    }
-                };
-                let fault_lane = format!("r{}.fault", inner.comm.rank());
-                if newly_degraded {
-                    if let Some(stats) = inner.stats.lock().as_ref() {
-                        stats.note_degraded();
-                    }
-                    inner
-                        .trace
-                        .record(fault_lane.as_str(), "degrade pipelined→pinned", done, done);
-                    record_child(
-                        inner,
-                        ids,
-                        "net",
-                        "degrade pipelined→pinned".into(),
-                        "degrade",
-                        done,
-                        done,
-                        0,
-                        false,
-                    );
-                }
-                if self.attempt == self.policy.max_attempts {
-                    if let Some(stats) = inner.stats.lock().as_ref() {
-                        stats.note_failure();
-                    }
-                    self.state = ChunkState::Failed { at: done };
-                    return ChunkStep::Progressed;
-                }
-                let backoff = self.policy.backoff_ns(self.attempt);
-                inner.trace.record(
-                    fault_lane.as_str(),
-                    format!("retry#{}→r{}", self.attempt, self.dst),
-                    done,
-                    done.saturating_add(backoff),
-                );
-                if let Some(stats) = inner.stats.lock().as_ref() {
-                    stats.note_retry();
-                }
-                record_child(
-                    inner,
-                    ids,
-                    "net",
-                    format!("retry#{}→r{}", self.attempt, self.dst),
-                    "retry",
-                    done,
-                    done.saturating_add(backoff),
-                    self.bytes.len() as u64,
-                    true,
-                );
-                self.state = ChunkState::Backoff {
-                    resume_at: done.saturating_add(backoff),
-                };
+                self.state = ChunkState::Injecting { req, earliest };
                 ChunkStep::Progressed
             }
             ChunkState::Backoff { resume_at } => {
@@ -521,6 +489,116 @@ impl ReliableChunkSend {
                 }
             }
         }
+    }
+
+    /// The injection's grant arrived: run the fate logic the eager path
+    /// used to run inline — delivery, dead-peer fast-fail, degradation
+    /// latch, retry budget.
+    fn settle_injection(
+        &mut self,
+        inner: &Inner,
+        ids: &mut ChildIds,
+        earliest: SimNs,
+        done: SimNs,
+        delivered: bool,
+        reason: Option<DropReason>,
+    ) -> ChunkStep {
+        if delivered {
+            inner.fault_state.lock().consecutive_drops = 0;
+            self.state = ChunkState::Sent { done_at: done };
+            return ChunkStep::Progressed;
+        }
+        // The chunk burned link time but never reached the peer.
+        let reason = reason.unwrap_or(DropReason::Random);
+        if let Some(stats) = inner.stats.lock().as_ref() {
+            stats.note_drop(reason);
+        }
+        record_child(
+            inner,
+            ids,
+            "net",
+            format!("drop#{}→r{}", self.attempt, self.dst),
+            "drop",
+            earliest,
+            done,
+            self.bytes.len() as u64,
+            false,
+        );
+        if reason == DropReason::NodeDown {
+            // Dead endpoint: no retransmission can ever succeed.
+            // Fail the transfer now — this is what keeps
+            // machines from hanging out a full retry budget per
+            // chunk after a rank failure.
+            if let Some(stats) = inner.stats.lock().as_ref() {
+                stats.note_proc_failure();
+            }
+            record_failure(inner, ids, self.dst, done);
+            self.peer_dead = true;
+            self.state = ChunkState::Failed { at: done };
+            return ChunkStep::Progressed;
+        }
+        let newly_degraded = {
+            let mut fs = inner.fault_state.lock();
+            fs.consecutive_drops += 1;
+            if !fs.degraded && fs.consecutive_drops >= self.policy.degrade_after {
+                fs.degraded = true;
+                true
+            } else {
+                false
+            }
+        };
+        let fault_lane = format!("r{}.fault", inner.comm.rank());
+        if newly_degraded {
+            if let Some(stats) = inner.stats.lock().as_ref() {
+                stats.note_degraded();
+            }
+            inner
+                .trace
+                .record(fault_lane.as_str(), "degrade pipelined→pinned", done, done);
+            record_child(
+                inner,
+                ids,
+                "net",
+                "degrade pipelined→pinned".into(),
+                "degrade",
+                done,
+                done,
+                0,
+                false,
+            );
+        }
+        if self.attempt == self.policy.max_attempts {
+            if let Some(stats) = inner.stats.lock().as_ref() {
+                stats.note_failure();
+            }
+            self.state = ChunkState::Failed { at: done };
+            return ChunkStep::Progressed;
+        }
+        let backoff = self.policy.backoff_ns(self.attempt);
+        inner.trace.record(
+            fault_lane.as_str(),
+            format!("retry#{}→r{}", self.attempt, self.dst),
+            done,
+            done.saturating_add(backoff),
+        );
+        if let Some(stats) = inner.stats.lock().as_ref() {
+            stats.note_retry();
+        }
+        record_child(
+            inner,
+            ids,
+            "net",
+            format!("retry#{}→r{}", self.attempt, self.dst),
+            "retry",
+            done,
+            done.saturating_add(backoff),
+            self.bytes.len() as u64,
+            true,
+        );
+        self.state = ChunkState::Backoff {
+            resume_at: done.saturating_add(backoff),
+        };
+        ChunkStep::Progressed
     }
 }
 
@@ -557,7 +635,8 @@ pub(crate) struct SendOp {
 
 enum SendState {
     WaitDeps,
-    Transfer(SendTransfer),
+    // Boxed: the in-flight chunk machine dwarfs the other variants.
+    Transfer(Box<SendTransfer>),
     Finish { done_at: SimNs },
     Done,
 }
@@ -679,14 +758,14 @@ impl EngineOp for SendOp {
                     }
                     WaitListStatus::Ready => {
                         let plan = ResolvedStrategy::plan(self.strategy, self.size);
-                        self.state = SendState::Transfer(SendTransfer {
+                        self.state = SendState::Transfer(Box::new(SendTransfer {
                             t0: now,
                             chunks: plan.chunks,
                             next_chunk: 0,
                             first: true,
                             current: None,
                             done_at: now,
-                        });
+                        }));
                     }
                 },
                 SendState::Transfer(tr) => {
@@ -1156,6 +1235,27 @@ impl EngineOp for RecvOp {
                         // message the fabric already delivered would
                         // duplicate it).
                         return Step::Park(Some(at.max(now + 1)));
+                    } else if self.inner.peer_failed(self.src, now) {
+                        // The source process is dead and nothing is in
+                        // flight: no chunk can ever match. Abort now
+                        // instead of waiting out the chunk patience.
+                        let state = std::mem::replace(&mut self.state, RecvState::Done);
+                        if let RecvState::AwaitChunk { req, .. } = state {
+                            req.cancel();
+                        }
+                        if let Some(stats) = self.inner.stats.lock().as_ref() {
+                            stats.note_proc_failure();
+                        }
+                        record_failure(&self.inner, &mut self.ids, self.src, now);
+                        return self.settle(
+                            Err(ClError::TransferFailed(format!(
+                                "receive from rank {} (tag {}): {}",
+                                self.src,
+                                self.wire_tag,
+                                MpiError::ProcFailed { rank: self.src }
+                            ))),
+                            now,
+                        );
                     } else if let Some((at, patience)) = deadline {
                         if now >= at {
                             let state = std::mem::replace(&mut self.state, RecvState::Done);
@@ -1464,9 +1564,16 @@ impl IrecvClOp {
         self.state = IrecvState::AwaitChunk { req, deadline };
     }
 
-    fn fail(&mut self, at: SimNs) -> Step {
+    fn fail(&mut self, at: SimNs, dead_peer: bool) -> Step {
         if let Some(stats) = self.inner.stats.lock().as_ref() {
-            stats.note_failure();
+            if dead_peer {
+                stats.note_proc_failure();
+            } else {
+                stats.note_failure();
+            }
+        }
+        if dead_peer {
+            record_failure(&self.inner, &mut self.ids, self.src, at);
         }
         self.finish_obs(false, at);
         self.ue
@@ -1525,13 +1632,21 @@ impl EngineOp for IrecvClOp {
                         self.post_chunk(now, actor);
                     } else if let Some(at) = req.known_completion() {
                         return Step::Park(Some(at.max(now + 1)));
+                    } else if self.inner.peer_failed(self.src, now) {
+                        // Dead source, nothing in flight: abort-and-poison
+                        // without waiting out the patience.
+                        let state = std::mem::replace(&mut self.state, IrecvState::Done);
+                        if let IrecvState::AwaitChunk { req, .. } = state {
+                            req.cancel();
+                        }
+                        return self.fail(now, true);
                     } else if let Some((at, _patience)) = deadline {
                         if now >= at {
                             let state = std::mem::replace(&mut self.state, IrecvState::Done);
                             if let IrecvState::AwaitChunk { req, .. } = state {
                                 req.cancel();
                             }
-                            return self.fail(now);
+                            return self.fail(now, false);
                         }
                         return Step::Park(Some(at));
                     } else {

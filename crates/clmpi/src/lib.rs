@@ -64,7 +64,7 @@ mod system;
 pub use adaptive::{AdaptiveSelector, CollectiveSelector};
 pub use collective::{CollAlgo, CollTuning};
 pub use engine::{Engine, EngineOp, Step};
-pub use fileio::SimStorage;
+pub use fileio::{decode_checkpoint, encode_checkpoint, SimStorage, CKPT_HEADER_LEN, CKPT_MAGIC};
 pub use obs::{chrome_trace, validate_json, ObsCounters, ObsSummary, OverlapReport, RankOverlap};
 pub use retry::RetryPolicy;
 pub use runtime::{ClMpi, ClRecvRequest, ClSendRequest, RequestOutcome};

@@ -355,6 +355,22 @@ pub struct RankSummary {
     /// across several wire hops, so its envelope bytes are a *logical*
     /// volume, not a wire volume.
     pub coll_bytes: u64,
+    /// Peer-failure notifications observed (`op.failure` annotations —
+    /// dead-peer detections by in-flight machines plus explicit
+    /// [`crate::ClMpi::notify_proc_failure`] calls). Recovery
+    /// annotations are control-plane records, not operations: they never
+    /// count into `ops` / `ops_ok` / `ops_failed` or the queue-depth
+    /// sweep.
+    pub proc_failures: u64,
+    /// Communicator revocations recorded (`op.revoke`).
+    pub revokes: u64,
+    /// Communicator shrinks recorded (`op.shrink`), successful or not.
+    pub shrinks: u64,
+    /// Checkpoint restores recorded (`op.restore`), successful or not.
+    /// (Checkpoint *writes* are ordinary operations — `op.ckpt` counts
+    /// into `ops` — but restores are the recovery path, so they are
+    /// tallied here as well as in the op counters.)
+    pub restores: u64,
 }
 
 /// The compact machine-readable summary of one run: per-rank counters,
@@ -389,7 +405,19 @@ impl ObsSummary {
             match o.cat.as_str() {
                 "drop" => r.chunk_drops += 1,
                 "retry" => r.chunk_retries += 1,
+                // Recovery annotations: control-plane records emitted by
+                // the runtime without an op submission — tallied apart
+                // so `ops` stays reconcilable with the live counters.
+                "op.failure" => r.proc_failures += 1,
+                "op.revoke" => r.revokes += 1,
+                "op.shrink" => r.shrinks += 1,
                 cat if cat.starts_with("op.") => {
+                    // Restores are real (submitted) operations that are
+                    // *also* the recovery path, so they count twice:
+                    // once into the op totals below, once here.
+                    if cat == "op.restore" {
+                        r.restores += 1;
+                    }
                     r.ops += 1;
                     if o.ok {
                         r.ops_ok += 1;
@@ -443,7 +471,9 @@ impl ObsSummary {
             out.push_str(&format!(
                 "    \"{rank}\": {{ \"ops\": {}, \"ops_ok\": {}, \"ops_failed\": {}, \
                  \"max_in_flight\": {}, \"chunk_drops\": {}, \"chunk_retries\": {}, \
-                 \"bytes_sent\": {}, \"bytes_received\": {}, \"coll_bytes\": {} }}{}\n",
+                 \"bytes_sent\": {}, \"bytes_received\": {}, \"coll_bytes\": {}, \
+                 \"proc_failures\": {}, \"revokes\": {}, \"shrinks\": {}, \
+                 \"restores\": {} }}{}\n",
                 r.ops,
                 r.ops_ok,
                 r.ops_failed,
@@ -453,6 +483,10 @@ impl ObsSummary {
                 r.bytes_sent,
                 r.bytes_received,
                 r.coll_bytes,
+                r.proc_failures,
+                r.revokes,
+                r.shrinks,
+                r.restores,
                 if i + 1 < n { "," } else { "" }
             ));
         }
@@ -948,6 +982,30 @@ mod tests {
         // The serialized summary is valid JSON and hashes stably.
         validate_json(&s.to_json()).unwrap();
         assert_eq!(s.hash(), ObsSummary::from_trace(&t).hash());
+    }
+
+    #[test]
+    fn summary_tallies_recovery_annotations_apart_from_ops() {
+        let t = Trace::new();
+        // One ordinary op, then a failure/revoke/shrink trio (control
+        // plane: outside the op totals) and a restore (a real op that is
+        // also tallied as recovery).
+        t.record_op(op(op_id(0, 0), "r0.host", "op.send", 0, 100));
+        let mut fail = op(op_id(0, 1), "r0.host", "op.failure", 40, 40);
+        fail.ok = false;
+        t.record_op(fail);
+        t.record_op(op(op_id(0, 2), "r0.host", "op.revoke", 50, 50));
+        t.record_op(op(op_id(0, 3), "r0.host", "op.shrink", 50, 90));
+        t.record_op(op(op_id(0, 4), "r0.host", "op.restore", 100, 140));
+        let s = ObsSummary::from_trace(&t);
+        let r0 = s.ranks[&0];
+        assert_eq!((r0.proc_failures, r0.revokes, r0.shrinks), (1, 1, 1));
+        assert_eq!(r0.restores, 1);
+        assert_eq!((r0.ops, r0.ops_ok), (2, 2), "send + restore only");
+        let json = s.to_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"proc_failures\": 1"));
+        assert!(json.contains("\"restores\": 1"));
     }
 
     #[test]

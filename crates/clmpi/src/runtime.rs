@@ -24,12 +24,13 @@ use simtime::plock::Mutex;
 use std::sync::Arc;
 
 use minicl::{Buffer, ClError, ClResult, CommandQueue, Context, Device, Event, HostBuffer};
-use minimpi::{Comm, Process, Rank, RecvResult, Request, Tag};
+use minimpi::{Comm, MpiError, Process, Rank, RecvResult, Request, Tag};
 use simtime::{Actor, Monitor, SimClock, SimNs, Trace};
 
 use crate::data_tag;
 use crate::engine::{
-    Engine, EventFromRequestOp, HostSendOp, IrecvClOp, RecvOp, ResultSlot, SendOp, SendSlot,
+    record_envelope, Engine, EventFromRequestOp, HostSendOp, IrecvClOp, RecvOp, ResultSlot, SendOp,
+    SendSlot,
 };
 use crate::obs::{ChildIds, ObsCounters};
 use crate::retry::RetryPolicy;
@@ -67,6 +68,10 @@ pub(crate) struct Inner {
     pub(crate) op_seq: Mutex<u64>,
     /// Live per-rank operation counters (see [`crate::obs::ObsCounters`]).
     pub(crate) obs: Mutex<ObsCounters>,
+    /// Communicator-local ranks explicitly reported failed
+    /// ([`ClMpi::notify_proc_failure`]); machines consult this set in
+    /// addition to the fault plan's schedule.
+    pub(crate) failed: Mutex<std::collections::BTreeSet<Rank>>,
 }
 
 impl Inner {
@@ -86,6 +91,28 @@ impl Inner {
     pub(crate) fn note_settled(&self, ok: bool, sent: u64, received: u64) {
         self.obs.lock().note_settled(ok, sent, received);
     }
+
+    /// Allocate an id block for a control-plane recovery span (failure
+    /// notification, revoke, shrink) without counting an operation
+    /// submission — recovery spans are summarized into the recovery
+    /// counters of [`crate::obs::ObsSummary`], not the op counters.
+    pub(crate) fn new_span_ids(&self) -> ChildIds {
+        let mut seq = self.op_seq.lock();
+        let ids = ChildIds::new(crate::obs::op_id(self.comm.rank(), *seq));
+        *seq += 1;
+        ids
+    }
+
+    /// True if communicator-local rank `local` is known failed at `t`:
+    /// either explicitly reported ([`ClMpi::notify_proc_failure`]) or
+    /// dead per the fabric's fault-plan schedule (the deterministic
+    /// ground truth the ULFM-style layer classifies against).
+    pub(crate) fn peer_failed(&self, local: Rank, t: SimNs) -> bool {
+        if self.failed.lock().contains(&local) {
+            return true;
+        }
+        self.comm.is_proc_failed(local, t)
+    }
 }
 
 /// The per-rank clMPI runtime: binds one MPI endpoint to one OpenCL
@@ -101,14 +128,23 @@ impl ClMpi {
     /// progress engine (the calling thread must be a running clock actor,
     /// which `run_world` rank closures always are).
     pub fn new(p: &Process, cfg: SystemConfig) -> Self {
-        let clock = p.clock().clone();
+        Self::with_comm(p.comm.clone(), cfg)
+    }
+
+    /// Create a runtime directly on `comm` (everything else — clock,
+    /// trace — derives from its world). This is the rebuild path after a
+    /// rank failure: `shrink` the old runtime's communicator, shut the
+    /// old runtime down, and start a fresh one on the survivor
+    /// communicator. The calling thread must be a running clock actor.
+    pub fn with_comm(comm: Comm, cfg: SystemConfig) -> Self {
+        let clock = comm.world().clock().clone();
         let ctx = Context::new(clock.clone(), &[cfg.device]);
         let device = ctx.device(0).clone();
-        let trace = p.comm.world().trace().clone();
-        let engine = Engine::start(&clock, format!("clmpi-engine-r{}", p.rank()));
+        let trace = comm.world().trace().clone();
+        let engine = Engine::start(&clock, format!("clmpi-engine-r{}", comm.rank()));
         ClMpi {
             inner: Arc::new(Inner {
-                comm: p.comm.clone(),
+                comm,
                 ctx,
                 device,
                 cfg,
@@ -124,6 +160,7 @@ impl ClMpi {
                 fault_state: Mutex::new(FaultState::default()),
                 op_seq: Mutex::new(0),
                 obs: Mutex::new(ObsCounters::default()),
+                failed: Mutex::new(std::collections::BTreeSet::new()),
             }),
         }
     }
@@ -258,6 +295,93 @@ impl ClMpi {
     /// has finished. Call before the rank returns.
     pub fn shutdown(&self, actor: &Actor) {
         self.inner.engine.wait_idle(actor);
+    }
+
+    // ------------------------------------------------------------------
+    // Rank-failure recovery (ULFM-style, over `minimpi`'s surface)
+    // ------------------------------------------------------------------
+
+    /// Report communicator-local rank `rank` as failed. In-flight and
+    /// future machines touching it abort-and-poison instead of waiting
+    /// out their patience; recorded as an `op.failure` span. Idempotent.
+    pub fn notify_proc_failure(&self, rank: Rank) {
+        if !self.inner.failed.lock().insert(rank) {
+            return;
+        }
+        let now = self.inner.clock.now_ns();
+        let ids = self.inner.new_span_ids();
+        record_envelope(
+            &self.inner,
+            &ids,
+            "op.failure",
+            format!("proc-failure r{rank}"),
+            now,
+            now,
+            0,
+            false,
+            Some(rank),
+            None,
+        );
+    }
+
+    /// Communicator-local ranks known failed at instant `t`: explicit
+    /// notifications plus the fault plan's node-kill schedule.
+    pub fn failed_ranks(&self, t: SimNs) -> Vec<Rank> {
+        let mut out: std::collections::BTreeSet<Rank> =
+            self.inner.failed.lock().iter().copied().collect();
+        out.extend(self.inner.comm.failed_ranks(t));
+        out.into_iter().collect()
+    }
+
+    /// `MPI_Comm_revoke` on the runtime's communicator: every fallible
+    /// point-to-point call on it errors with `MpiError::Revoked` on all
+    /// members from now on. Recorded as an `op.revoke` span.
+    pub fn revoke(&self) {
+        self.inner.comm.revoke();
+        let now = self.inner.clock.now_ns();
+        let ids = self.inner.new_span_ids();
+        record_envelope(
+            &self.inner,
+            &ids,
+            "op.revoke",
+            "revoke".into(),
+            now,
+            now,
+            0,
+            true,
+            None,
+            None,
+        );
+    }
+
+    /// `MPI_Comm_shrink`: run the fault-tolerant agreement over the
+    /// runtime's communicator and return the survivor communicator with
+    /// densely renumbered ranks (see [`Comm::shrink`]). The span
+    /// `op.shrink` covers the agreement rounds. The runtime itself keeps
+    /// its original communicator — quiesce it with [`ClMpi::shutdown`]
+    /// and rebuild with [`ClMpi::with_comm`] on the result.
+    pub fn shrink_comm(&self, actor: &Actor, patience_ns: SimNs) -> Result<Comm, MpiError> {
+        let t0 = actor.now_ns();
+        let res = self.inner.comm.shrink(actor, patience_ns);
+        let now = actor.now_ns();
+        let ids = self.inner.new_span_ids();
+        let name = match &res {
+            Ok(c) => format!("shrink {}→{}", self.inner.comm.size(), c.size()),
+            Err(e) => format!("shrink failed: {e}"),
+        };
+        record_envelope(
+            &self.inner,
+            &ids,
+            "op.shrink",
+            name,
+            t0,
+            now,
+            0,
+            res.is_ok(),
+            None,
+            None,
+        );
+        res
     }
 
     // ------------------------------------------------------------------

@@ -24,7 +24,15 @@ pub struct StrategyStats {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Wire chunks the sender observed as lost (each may be retried).
+    /// Total across every drop reason.
     pub chunk_drops: u64,
+    /// Chunks lost to random (Bernoulli) corruption — retryable.
+    pub drops_random: u64,
+    /// Chunks lost inside a scheduled link-down window — retryable.
+    pub drops_link_down: u64,
+    /// Chunks lost because an endpoint's node is dead — never retried;
+    /// each such drop fails its transfer immediately.
+    pub drops_node_down: u64,
     /// Retransmissions issued.
     pub retries: u64,
     /// Pipelined→pinned degradation switches taken.
@@ -32,6 +40,25 @@ pub struct FaultStats {
     /// Transfers that failed permanently (retry budget exhausted or the
     /// receiver timed out).
     pub failures: u64,
+    /// Failures classified as a dead peer process (ULFM
+    /// `MPI_ERR_PROC_FAILED` class) — a subset of `failures`.
+    pub proc_failures: u64,
+}
+
+impl FaultStats {
+    /// Field-wise sum (aggregating per-rank collectors).
+    pub fn merge(self, other: FaultStats) -> FaultStats {
+        FaultStats {
+            chunk_drops: self.chunk_drops + other.chunk_drops,
+            drops_random: self.drops_random + other.drops_random,
+            drops_link_down: self.drops_link_down + other.drops_link_down,
+            drops_node_down: self.drops_node_down + other.drops_node_down,
+            retries: self.retries + other.retries,
+            degraded: self.degraded + other.degraded,
+            failures: self.failures + other.failures,
+            proc_failures: self.proc_failures + other.proc_failures,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -63,8 +90,14 @@ impl TransferStats {
         e.total_ns += dur_ns;
     }
 
-    pub(crate) fn note_drop(&self) {
-        self.inner.lock().faults.chunk_drops += 1;
+    pub(crate) fn note_drop(&self, reason: minimpi::DropReason) {
+        let mut st = self.inner.lock();
+        st.faults.chunk_drops += 1;
+        match reason {
+            minimpi::DropReason::Random => st.faults.drops_random += 1,
+            minimpi::DropReason::LinkDown => st.faults.drops_link_down += 1,
+            minimpi::DropReason::NodeDown => st.faults.drops_node_down += 1,
+        }
     }
 
     pub(crate) fn note_retry(&self) {
@@ -77,6 +110,12 @@ impl TransferStats {
 
     pub(crate) fn note_failure(&self) {
         self.inner.lock().faults.failures += 1;
+    }
+
+    pub(crate) fn note_proc_failure(&self) {
+        let mut st = self.inner.lock();
+        st.faults.failures += 1;
+        st.faults.proc_failures += 1;
     }
 
     /// Fault/retry counters (all zero on a perfect fabric).
@@ -122,8 +161,16 @@ impl TransferStats {
         let f = st.faults;
         if f != FaultStats::default() {
             out.push_str(&format!(
-                "faults: chunk_drops={} retries={} degraded={} failures={}\n",
-                f.chunk_drops, f.retries, f.degraded, f.failures
+                "faults: chunk_drops={} (random={} link_down={} node_down={}) \
+                 retries={} degraded={} failures={} proc_failures={}\n",
+                f.chunk_drops,
+                f.drops_random,
+                f.drops_link_down,
+                f.drops_node_down,
+                f.retries,
+                f.degraded,
+                f.failures,
+                f.proc_failures
             ));
         }
         out
@@ -171,16 +218,33 @@ mod tests {
         let s = TransferStats::new();
         assert_eq!(s.faults(), FaultStats::default());
         assert!(!s.report().contains("faults:"));
-        s.note_drop();
-        s.note_drop();
+        s.note_drop(minimpi::DropReason::Random);
+        s.note_drop(minimpi::DropReason::NodeDown);
         s.note_retry();
         s.note_degraded();
         s.note_failure();
         let f = s.faults();
         assert_eq!(f.chunk_drops, 2);
+        assert_eq!(f.drops_random, 1);
+        assert_eq!(f.drops_link_down, 0);
+        assert_eq!(f.drops_node_down, 1);
         assert_eq!(f.retries, 1);
         assert_eq!(f.degraded, 1);
         assert_eq!(f.failures, 1);
+        assert_eq!(f.proc_failures, 0);
         assert!(s.report().contains("chunk_drops=2"));
+        assert!(s.report().contains("node_down=1"));
+    }
+
+    #[test]
+    fn proc_failure_counts_into_both_totals() {
+        let s = TransferStats::new();
+        s.note_proc_failure();
+        let f = s.faults();
+        assert_eq!(f.failures, 1);
+        assert_eq!(f.proc_failures, 1);
+        let merged = f.merge(f);
+        assert_eq!(merged.failures, 2);
+        assert_eq!(merged.proc_failures, 2);
     }
 }

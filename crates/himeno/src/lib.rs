@@ -26,9 +26,11 @@
 //! for the `gosa` reduction), which the tests verify.
 
 mod grid;
+mod recover;
 mod reference;
 mod run;
 
 pub use grid::{GridSize, HimenoGrid, FLOPS_PER_POINT, OMEGA};
+pub use recover::{run_himeno_recover, RecoverConfig, RecoverResult};
 pub use reference::{checksum, reference_jacobi};
 pub use run::{run_himeno, run_himeno_with_faults, HimenoConfig, HimenoResult, Variant};

@@ -28,8 +28,8 @@ use simtime::SimNs;
 
 use crate::grid::{jacobi_sweep, GridSize, HimenoGrid, BYTES_PER_POINT, FLOPS_PER_POINT};
 
-const TAG_DOWN: Tag = 100; // payload travels towards rank 0
-const TAG_UP: Tag = 101; // payload travels towards rank P-1
+pub(crate) const TAG_DOWN: Tag = 100; // payload travels towards rank 0
+pub(crate) const TAG_UP: Tag = 101; // payload travels towards rank P-1
 
 /// Which implementation to run (paper §V-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,21 +105,21 @@ pub struct HimenoResult {
     pub transfer_faults: clmpi::FaultStats,
 }
 
-struct Slab {
+pub(crate) struct Slab {
     /// Interior planes owned by this rank.
-    n: usize,
+    pub(crate) n: usize,
     /// First local plane of the upper half A (`B = [1, ha)`,
     /// `A = [ha, n+1)`).
-    ha: usize,
-    mj: usize,
-    mk: usize,
-    plane_bytes: usize,
-    down: Option<usize>,
-    up: Option<usize>,
+    pub(crate) ha: usize,
+    pub(crate) mj: usize,
+    pub(crate) mk: usize,
+    pub(crate) plane_bytes: usize,
+    pub(crate) down: Option<usize>,
+    pub(crate) up: Option<usize>,
 }
 
 impl Slab {
-    fn new(cfg: &HimenoConfig, rank: usize) -> Self {
+    pub(crate) fn new(cfg: &HimenoConfig, rank: usize) -> Self {
         let (mi, mj, mk) = cfg.size.dims();
         let interior = mi - 2;
         let p = cfg.nodes;
@@ -141,7 +141,7 @@ impl Slab {
         }
     }
 
-    fn global_start(cfg: &HimenoConfig, rank: usize) -> usize {
+    pub(crate) fn global_start(cfg: &HimenoConfig, rank: usize) -> usize {
         let (mi, _, _) = cfg.size.dims();
         let interior = mi - 2;
         let p = cfg.nodes;
@@ -150,11 +150,11 @@ impl Slab {
         1 + rank * base + rank.min(rem)
     }
 
-    fn slab_bytes(&self) -> usize {
+    pub(crate) fn slab_bytes(&self) -> usize {
         (self.n + 2) * self.plane_bytes
     }
 
-    fn plane_off(&self, local_plane: usize) -> usize {
+    pub(crate) fn plane_off(&self, local_plane: usize) -> usize {
         local_plane * self.plane_bytes
     }
 }
@@ -162,7 +162,7 @@ impl Slab {
 /// Enqueue one half-sweep kernel; the body performs the real stencil and
 /// records the partial residual into `gosa_acc[iter]`.
 #[allow(clippy::too_many_arguments)]
-fn enqueue_half_kernel(
+pub(crate) fn enqueue_half_kernel(
     q: &CommandQueue,
     name: &'static str,
     old: &Buffer,
@@ -275,12 +275,7 @@ pub fn run_himeno_with_faults(
     let transfer_faults = res
         .outputs
         .iter()
-        .fold(clmpi::FaultStats::default(), |acc, o| clmpi::FaultStats {
-            chunk_drops: acc.chunk_drops + o.5.chunk_drops,
-            retries: acc.retries + o.5.retries,
-            degraded: acc.degraded + o.5.degraded,
-            failures: acc.failures + o.5.failures,
-        });
+        .fold(clmpi::FaultStats::default(), |acc, o| acc.merge(o.5));
     let flops = FLOPS_PER_POINT * interior_global as f64 * iters as f64;
     HimenoResult {
         gflops: flops / elapsed_ns as f64, // flops/ns == Gflop/s
@@ -687,7 +682,7 @@ fn run_clmpi(
 /// and `enqueue_recv_buffer` into the ghost plane, both gated on `gate`.
 /// Returns the exchange's events (empty if no neighbor).
 #[allow(clippy::too_many_arguments)]
-fn exchange_clmpi(
+pub(crate) fn exchange_clmpi(
     rt: &ClMpi,
     q: &CommandQueue,
     p: &Process,

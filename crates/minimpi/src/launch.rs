@@ -82,6 +82,10 @@ where
         .into_iter()
         .map(|h| h.join().unwrap_or_else(|_| panic!("a rank panicked")))
         .collect();
+    // Grant any deferred sends still in the arbiter (fire-and-forget
+    // isends nobody waited on), single-threaded and in canonical order,
+    // so their trace spans and fault counters land deterministically.
+    world.drain_deferred();
     WorldResult {
         elapsed_ns: clock.now_ns(),
         outputs,
@@ -454,7 +458,7 @@ mod tests {
         let res = run_world_faulty(ClusterSpec::cichlid(), 2, plan, |p| {
             if p.rank() == 0 {
                 let req = p.comm.isend(&p.actor, 1, 7, &[1u8; 1024]);
-                let delivered = req.delivered();
+                let delivered = req.wait_delivered(&p.actor);
                 req.wait(&p.actor);
                 u64::from(delivered)
             } else {
@@ -480,7 +484,7 @@ mod tests {
                 let mut delivered = 0u64;
                 for i in 0..50 {
                     let req = p.comm.isend(&p.actor, 1, 5, &[i as u8; 4096]);
-                    delivered += u64::from(req.delivered());
+                    delivered += u64::from(req.wait_delivered(&p.actor));
                     req.wait(&p.actor);
                 }
                 delivered

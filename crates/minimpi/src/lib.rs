@@ -37,6 +37,7 @@
 
 pub mod collectives;
 pub mod datatype;
+mod ft;
 mod launch;
 mod p2p;
 mod world;
@@ -49,7 +50,7 @@ pub use world::{Comm, Process, World, ANY_SOURCE, ANY_TAG, MAX_USER_TAG};
 
 // Fault-plan types come from the fabric layer; re-exported so apps can
 // build failure scenarios without depending on `simnet` directly.
-pub use simnet::{FaultCounts, FaultPlan};
+pub use simnet::{DropReason, FaultCounts, FaultPlan, FaultPlanError, NodeDownWindow};
 
 /// Rank index within a world.
 pub type Rank = usize;

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use simnet::{DropReason, FaultOutcome};
 use simtime::{Actor, Monitor, SimNs};
 
-use crate::world::Comm;
+use crate::world::{Comm, World};
 use crate::{Datatype, Rank, Tag};
 
 /// Errors surfaced through the `Result`-returning request/receive APIs
@@ -47,6 +47,18 @@ pub enum MpiError {
         /// Communicator size.
         size: usize,
     },
+    /// The peer process is dead (`MPI_ERR_PROC_FAILED`): the fabric's
+    /// fault plan schedules its node down at the instant the operation
+    /// needed it. Produced by the ULFM-style detection layer, which
+    /// classifies timeouts against the plan rather than wall-clock.
+    ProcFailed {
+        /// Communicator-local rank of the failed peer.
+        rank: Rank,
+    },
+    /// The communicator was revoked (`MPI_ERR_REVOKED`): some member
+    /// called [`Comm::revoke`], and all subsequent fallible operations
+    /// on it fail until survivors [`Comm::shrink`] to a fresh one.
+    Revoked,
 }
 
 impl std::fmt::Display for MpiError {
@@ -67,6 +79,10 @@ impl std::fmt::Display for MpiError {
                     "rank {rank} out of range for communicator of size {size}"
                 )
             }
+            MpiError::ProcFailed { rank } => {
+                write!(f, "peer rank {rank} is a failed process")
+            }
+            MpiError::Revoked => write!(f, "communicator has been revoked"),
         }
     }
 }
@@ -210,12 +226,25 @@ pub struct Request {
     kind: ReqKind,
 }
 
+/// Injection outcome of a send, filled in by the fabric arbiter's grant
+/// callback. `drop_reason` is `Some` when the fault plan dropped the
+/// message (the sender's NIC learns the fate at injection time — a
+/// link-layer NACK — which is what the clMPI retry layer polls).
+#[derive(Debug, Clone, Copy)]
+struct SendOutcome {
+    done_at: SimNs,
+    drop_reason: Option<DropReason>,
+}
+
 enum ReqKind {
-    /// An `isend`: completes when injection ends (buffer reusable).
-    /// `delivered` is false when the fabric's fault plan dropped the
-    /// message (the sender's NIC learns the fate at injection time — a
-    /// link-layer NACK — which is what the clMPI retry layer polls).
-    Send { done_at: SimNs, delivered: bool },
+    /// An `isend`: completes when injection ends (buffer reusable). The
+    /// reservation is *deferred* — posted to the fabric arbiter and
+    /// granted, in canonical order, once virtual time passes the
+    /// injection instant — so the outcome cell fills in asynchronously.
+    Send {
+        outcome: Arc<Monitor<Option<SendOutcome>>>,
+        world: World,
+    },
     /// An `irecv`: completes when the matched message has arrived.
     Recv {
         id: u64,
@@ -223,6 +252,7 @@ enum ReqKind {
         /// Communicator member table for translating the global source
         /// rank back to a communicator-local one (None = world).
         members: Option<Arc<Vec<Rank>>>,
+        world: World,
     },
 }
 
@@ -237,7 +267,19 @@ fn to_local(members: &Option<Arc<Vec<Rank>>>, global: Rank) -> Rank {
 }
 
 impl Request {
-    /// True for send requests (complete at a known instant).
+    /// Drive the fabric's deferred-send arbiter up to the present. Every
+    /// accessor pumps first: a request's state may depend on sends — its
+    /// own, or a peer's feeding its receive — whose grant instant has
+    /// passed but which no blocked thread has granted yet.
+    fn pump(&self) {
+        let world = match &self.kind {
+            ReqKind::Send { world, .. } => world,
+            ReqKind::Recv { world, .. } => world,
+        };
+        world.inner.fabric.pump(world.inner.clock.now_ns());
+    }
+
+    /// True for send requests.
     pub fn is_send(&self) -> bool {
         matches!(self.kind, ReqKind::Send { .. })
     }
@@ -246,19 +288,51 @@ impl Request {
     /// means the fault plan dropped it (link-layer NACK observed by the
     /// sender NIC at injection time); the payload never reaches the
     /// receiver's inbox and the sender must retransmit. Always `true`
-    /// for receive requests.
+    /// for receive requests and for sends whose injection the arbiter
+    /// has not granted yet — poll [`Request::known_completion`] (or
+    /// block with [`Request::wait_delivered`]) before trusting the fate.
     pub fn delivered(&self) -> bool {
+        self.drop_reason().is_none()
+    }
+
+    /// For dropped send requests: why the fabric dropped the message.
+    /// `None` for delivered or still-in-arbitration sends and for
+    /// receive requests. A [`DropReason::NodeDown`] fate tells the
+    /// sender retransmission is futile — the ULFM layer turns it into
+    /// [`MpiError::ProcFailed`].
+    pub fn drop_reason(&self) -> Option<DropReason> {
         match &self.kind {
-            ReqKind::Send { delivered, .. } => *delivered,
+            ReqKind::Send { outcome, .. } => {
+                self.pump();
+                outcome.peek(|o| o.and_then(|o| o.drop_reason))
+            }
+            ReqKind::Recv { .. } => None,
+        }
+    }
+
+    /// Block until the send's injection has been granted and its fate
+    /// decided, then report delivery (without consuming the request, so
+    /// the caller can still [`Request::wait`] for completion). Receives
+    /// return `true` immediately.
+    pub fn wait_delivered(&self, actor: &Actor) -> bool {
+        match &self.kind {
+            ReqKind::Send { outcome, world } => {
+                let o = actor.wait_until_labeled("mpi send (fate)", || {
+                    world.inner.fabric.pump(world.inner.clock.now_ns());
+                    outcome.peek(|o| *o)
+                });
+                o.drop_reason.is_none()
+            }
             ReqKind::Recv { .. } => true,
         }
     }
 
-    /// Virtual completion instant, if already determined (`Send` always;
-    /// `Recv` once matched).
+    /// Virtual completion instant, if already determined (`Send` once
+    /// the arbiter grants its injection; `Recv` once matched).
     pub fn known_completion(&self) -> Option<SimNs> {
+        self.pump();
         match &self.kind {
-            ReqKind::Send { done_at, .. } => Some(*done_at),
+            ReqKind::Send { outcome, .. } => outcome.peek(|o| o.map(|o| o.done_at)),
             ReqKind::Recv { id, state, .. } => {
                 state.peek(|st| st.matched.get(id).map(|m| m.visible_at))
             }
@@ -269,29 +343,44 @@ impl Request {
     /// payload for receives, `None` for sends.
     pub fn wait(self, actor: &Actor) -> Option<RecvResult> {
         match self.kind {
-            ReqKind::Send { done_at, .. } => {
+            ReqKind::Send { outcome, world } => {
+                let done_at = actor.wait_until_labeled("mpi send", || {
+                    world.inner.fabric.pump(world.inner.clock.now_ns());
+                    outcome.peek(|o| o.map(|o| o.done_at))
+                });
                 actor.advance_until(done_at);
                 None
             }
-            ReqKind::Recv { id, state, members } => {
+            ReqKind::Recv {
+                id,
+                state,
+                members,
+                world,
+            } => {
                 let clock = state.clock().clone();
-                let res = state.wait_labeled(actor, "mpi recv", move |st| {
-                    let visible = st
-                        .matched
-                        .get(&id)
-                        .map(|m| m.visible_at <= clock.now_ns())?;
-                    if !visible {
-                        return None;
-                    }
-                    let msg = st.matched.remove(&id).expect("matched entry vanished");
-                    Some(RecvResult {
-                        status: Status {
-                            source: to_local(&members, msg.src),
-                            tag: msg.tag,
-                            len: msg.payload.len(),
-                            datatype: msg.datatype,
-                        },
-                        data: msg.payload,
+                // Pump *outside* the state lock: a grant callback posts
+                // into this very monitor, so pumping from inside its
+                // predicate would self-deadlock.
+                let res = actor.wait_until_labeled("mpi recv", || {
+                    world.inner.fabric.pump(clock.now_ns());
+                    state.try_now(|st| {
+                        let visible = st
+                            .matched
+                            .get(&id)
+                            .map(|m| m.visible_at <= clock.now_ns())?;
+                        if !visible {
+                            return None;
+                        }
+                        let msg = st.matched.remove(&id).expect("matched entry vanished");
+                        Some(RecvResult {
+                            status: Status {
+                                source: to_local(&members, msg.src),
+                                tag: msg.tag,
+                                len: msg.payload.len(),
+                                datatype: msg.datatype,
+                            },
+                            data: msg.payload,
+                        })
                     })
                 });
                 Some(res)
@@ -312,44 +401,64 @@ impl Request {
     ) -> Result<Option<RecvResult>, MpiError> {
         let deadline = actor.now_ns() + timeout_ns;
         match self.kind {
-            ReqKind::Send { done_at, .. } => {
-                if done_at <= deadline {
-                    actor.advance_until(done_at);
-                    Ok(None)
-                } else {
-                    actor.advance_until(deadline);
-                    Err(MpiError::Timeout {
-                        waited_ns: timeout_ns,
-                    })
+            ReqKind::Send { outcome, world } => {
+                world.inner.clock.schedule_alarm(deadline);
+                let res = actor.wait_until_labeled("mpi send (timeout)", || {
+                    let now = world.inner.clock.now_ns();
+                    world.inner.fabric.pump(now);
+                    if let Some(o) = outcome.peek(|o| *o) {
+                        return Some(Some(o.done_at));
+                    }
+                    (now >= deadline).then_some(None)
+                });
+                match res {
+                    Some(done_at) if done_at <= deadline => {
+                        actor.advance_until(done_at);
+                        Ok(None)
+                    }
+                    _ => {
+                        actor.advance_until(deadline);
+                        Err(MpiError::Timeout {
+                            waited_ns: timeout_ns,
+                        })
+                    }
                 }
             }
-            ReqKind::Recv { id, state, members } => {
+            ReqKind::Recv {
+                id,
+                state,
+                members,
+                world,
+            } => {
                 let clock = state.clock().clone();
                 clock.schedule_alarm(deadline);
-                let res = state.wait_labeled(actor, "mpi recv (timeout)", move |st| {
-                    let now = clock.now_ns();
-                    match st.matched.get(&id) {
-                        Some(m) if m.visible_at <= now => {
-                            let msg = st.matched.remove(&id).expect("matched entry vanished");
-                            Some(Ok(RecvResult {
-                                status: Status {
-                                    source: to_local(&members, msg.src),
-                                    tag: msg.tag,
-                                    len: msg.payload.len(),
-                                    datatype: msg.datatype,
-                                },
-                                data: msg.payload,
-                            }))
+                let res = actor.wait_until_labeled("mpi recv (timeout)", || {
+                    world.inner.fabric.pump(clock.now_ns());
+                    state.try_now(|st| {
+                        let now = clock.now_ns();
+                        match st.matched.get(&id) {
+                            Some(m) if m.visible_at <= now => {
+                                let msg = st.matched.remove(&id).expect("matched entry vanished");
+                                Some(Ok(RecvResult {
+                                    status: Status {
+                                        source: to_local(&members, msg.src),
+                                        tag: msg.tag,
+                                        len: msg.payload.len(),
+                                        datatype: msg.datatype,
+                                    },
+                                    data: msg.payload,
+                                }))
+                            }
+                            Some(_) => None, // matched, in flight: arrival committed
+                            None if now >= deadline => {
+                                st.pending.retain(|p| p.id != id);
+                                Some(Err(MpiError::Timeout {
+                                    waited_ns: timeout_ns,
+                                }))
+                            }
+                            None => None,
                         }
-                        Some(_) => None, // matched, in flight: arrival committed
-                        None if now >= deadline => {
-                            st.pending.retain(|p| p.id != id);
-                            Some(Err(MpiError::Timeout {
-                                waited_ns: timeout_ns,
-                            }))
-                        }
-                        None => None,
-                    }
+                    })
                 });
                 res.map(Some)
             }
@@ -366,6 +475,8 @@ impl Request {
         match self.kind {
             ReqKind::Send { .. } => false,
             ReqKind::Recv { id, state, .. } => state.with(|st| {
+                // No pump: a withdrawn receive does not need in-flight
+                // grants, and callers may hold engine-side locks.
                 let before = st.pending.len();
                 st.pending.retain(|p| p.id != id);
                 if st.pending.len() < before {
@@ -386,9 +497,15 @@ impl Request {
     /// `Some(payload-for-receives)`; `None` means still in flight.
     #[allow(clippy::option_option)]
     pub fn test(&mut self, actor: &Actor) -> Option<Option<RecvResult>> {
+        self.pump();
         match &mut self.kind {
-            ReqKind::Send { done_at, .. } => (actor.now_ns() >= *done_at).then_some(None),
-            ReqKind::Recv { id, state, members } => {
+            ReqKind::Send { outcome, .. } => match outcome.peek(|o| *o) {
+                Some(o) if actor.now_ns() >= o.done_at => Some(None),
+                _ => None,
+            },
+            ReqKind::Recv {
+                id, state, members, ..
+            } => {
                 let now = actor.now_ns();
                 let id = *id;
                 let members = members.clone();
@@ -423,14 +540,12 @@ impl simtime::Completion for Request {
     /// leaves the payload in place — the engine consumes it with `test`
     /// once the state machine is ready for it.
     fn poll(&self, now: SimNs) -> simtime::CompletionState {
+        self.pump();
         match &self.kind {
-            ReqKind::Send { done_at, .. } => {
-                if now >= *done_at {
-                    simtime::CompletionState::Complete(*done_at)
-                } else {
-                    simtime::CompletionState::Pending
-                }
-            }
+            ReqKind::Send { outcome, .. } => match outcome.peek(|o| o.map(|o| o.done_at)) {
+                Some(at) if at <= now => simtime::CompletionState::Complete(at),
+                _ => simtime::CompletionState::Pending,
+            },
             ReqKind::Recv { id, state, .. } => {
                 match state.peek(|st| st.matched.get(id).map(|m| m.visible_at)) {
                     Some(at) if at <= now => simtime::CompletionState::Complete(at),
@@ -491,6 +606,7 @@ impl Comm {
         tag: Tag,
         data: &[u8],
     ) -> Result<Request, MpiError> {
+        self.ensure_not_revoked()?;
         if dst >= self.size() {
             return Err(MpiError::RankOutOfRange {
                 rank: dst,
@@ -546,48 +662,69 @@ impl Comm {
         assert!(dst < self.size(), "destination rank {dst} out of range");
         let gdst = self.global_rank(dst);
         let inner = &self.world.inner;
-        let res = match duration_override {
-            None => inner.fabric.reserve(self.rank, gdst, data.len(), earliest),
-            Some(d) => inner.fabric.reserve_duration(self.rank, gdst, d, earliest),
-        };
-        // The fate of the message is decided at injection time: a dropped
-        // message still burns the link window it reserved (the bits went
-        // out), but never reaches the receiver's inbox, and the sender
-        // observes the loss on its request (link-layer NACK model).
-        let fate = inner.fabric.fault_decision(self.rank, gdst, tag, res.start);
-        let delivered = match fate {
-            FaultOutcome::Deliver { extra_latency_ns } => {
-                let visible_at = res.arrival + extra_latency_ns;
-                let dst_state = inner.ranks[gdst].clone();
-                dst_state.with(|st| {
-                    st.post(
-                        self.rank,
-                        self.context,
-                        tag,
-                        datatype,
-                        data.to_vec(),
-                        visible_at,
-                    )
-                });
-                // Wake request waiters at arrival.
-                inner.clock.schedule_alarm(visible_at);
-                true
-            }
-            FaultOutcome::Drop(reason) => {
-                let label = match reason {
-                    DropReason::Random => format!("drop r{}→r{gdst} #{tag}", self.rank),
-                    DropReason::LinkDown => format!("down r{}→r{gdst} #{tag}", self.rank),
+        let outcome = Arc::new(Monitor::new(inner.clock.clone(), None));
+        // The reservation goes through the fabric's arbiter: claiming
+        // link time eagerly here would serialize same-instant injections
+        // from different engine threads in OS-scheduling order. The grant
+        // callback below runs once the clock has passed `earliest`, in
+        // canonical order, with a reservation backdated to `earliest`.
+        let complete: Box<dyn FnOnce(simnet::Reservation) + Send> = {
+            let world = self.world.clone();
+            let outcome = outcome.clone();
+            let src = self.rank;
+            let context = self.context;
+            let payload = data.to_vec();
+            Box::new(move |res| {
+                let inner = &world.inner;
+                // The fate of the message is decided at injection time: a
+                // dropped message still burns the link window it reserved
+                // (the bits went out), but never reaches the receiver's
+                // inbox, and the sender observes the loss on its request
+                // (link-layer NACK model).
+                let fate = inner.fabric.fault_decision(src, gdst, tag, res.start);
+                let drop_reason = match fate {
+                    FaultOutcome::Deliver { extra_latency_ns } => {
+                        let visible_at = res.arrival + extra_latency_ns;
+                        inner.ranks[gdst]
+                            .with(|st| st.post(src, context, tag, datatype, payload, visible_at));
+                        // Wake request waiters at arrival.
+                        inner.clock.schedule_alarm(visible_at);
+                        None
+                    }
+                    FaultOutcome::Drop(reason) => {
+                        let label = match reason {
+                            DropReason::Random => format!("drop r{src}→r{gdst} #{tag}"),
+                            DropReason::LinkDown => format!("down r{src}→r{gdst} #{tag}"),
+                            DropReason::NodeDown => format!("dead r{src}→r{gdst} #{tag}"),
+                        };
+                        inner.trace.record("net.fault", label, res.start, res.end);
+                        Some(reason)
+                    }
                 };
-                inner.trace.record("net.fault", label, res.start, res.end);
-                false
-            }
+                // Wake request waiters at send completion.
+                inner.clock.schedule_alarm(res.end);
+                outcome.with(|o| {
+                    *o = Some(SendOutcome {
+                        done_at: res.end,
+                        drop_reason,
+                    })
+                });
+            })
         };
-        // Wake request waiters at send completion.
-        inner.clock.schedule_alarm(res.end);
+        match duration_override {
+            None => {
+                inner
+                    .fabric
+                    .reserve_deferred(self.rank, gdst, tag, data.len(), earliest, complete)
+            }
+            Some(d) => inner
+                .fabric
+                .reserve_duration_deferred(self.rank, gdst, tag, d, earliest, complete),
+        }
         Request {
             kind: ReqKind::Send {
-                done_at: res.end,
-                delivered,
+                outcome,
+                world: self.world.clone(),
             },
         }
     }
@@ -619,6 +756,7 @@ impl Comm {
                 id,
                 state,
                 members: self.members.clone(),
+                world: self.world.clone(),
             },
         }
     }
@@ -640,6 +778,7 @@ impl Comm {
         tag: Option<Tag>,
         timeout_ns: SimNs,
     ) -> Result<RecvResult, MpiError> {
+        self.ensure_not_revoked()?;
         self.irecv(actor, src, tag)
             .wait_timeout(actor, timeout_ns)
             .map(|r| r.expect("recv request yields a payload"))
@@ -667,6 +806,7 @@ impl Comm {
         tag: Option<Tag>,
         buf: &mut [u8],
     ) -> Result<Status, MpiError> {
+        self.ensure_not_revoked()?;
         let res = self.recv(actor, src, tag);
         if res.data.len() > buf.len() {
             return Err(MpiError::Truncated {
@@ -698,6 +838,12 @@ impl Comm {
     /// Non-blocking probe: is a matching message *arrived* (visible)?
     pub fn iprobe(&self, actor: &Actor, src: Option<Rank>, tag: Option<Tag>) -> bool {
         let now = actor.now_ns();
+        // Grant any due deferred sends first: the probed message may be
+        // posted but not yet arbitrated.
+        self.world
+            .inner
+            .fabric
+            .pump(self.world.inner.clock.now_ns());
         let gsrc = src.map(|s| self.global_rank(s));
         let context = self.context;
         self.world.inner.ranks[self.rank].peek(|st| {

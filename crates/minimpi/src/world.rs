@@ -1,9 +1,11 @@
 //! World construction and the per-rank communication endpoint.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use simnet::{ClusterSpec, Fabric, FaultCounts, FaultPlan};
-use simtime::{Actor, Monitor, SimClock, Trace};
+use simtime::plock::Mutex;
+use simtime::{Actor, Monitor, SimClock, SimNs, Trace};
 
 use crate::p2p::RankState;
 use crate::{Rank, Tag};
@@ -21,6 +23,11 @@ pub(crate) struct WorldInner {
     pub fabric: Fabric,
     pub ranks: Vec<Arc<Monitor<RankState>>>,
     pub trace: Trace,
+    /// Contexts of revoked communicators (ULFM `MPI_Comm_revoke`). One
+    /// shared registry stands in for the asynchronous revoke broadcast a
+    /// real stack runs: a revoke by any member is immediately visible on
+    /// every rank, which keeps runs deterministic.
+    pub revoked: Mutex<BTreeSet<u64>>,
 }
 
 /// A communication world: the set of ranks plus the fabric between them.
@@ -49,6 +56,7 @@ impl World {
                 fabric,
                 ranks,
                 trace: Trace::new(),
+                revoked: Mutex::new(BTreeSet::new()),
             }),
         }
     }
@@ -85,6 +93,33 @@ impl World {
         self.inner.fabric.fault_counts()
     }
 
+    /// The fault plan the fabric runs under ([`FaultPlan::none`] on a
+    /// perfect fabric).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.inner.fabric.fault_plan()
+    }
+
+    /// True if (world) rank `rank`'s node is scheduled dead at virtual
+    /// instant `t` — the deterministic ground truth the ULFM-style layer
+    /// classifies timeouts against.
+    pub fn node_down_at(&self, rank: Rank, t: SimNs) -> bool {
+        self.inner.fabric.node_down_at(rank, t)
+    }
+
+    /// True if (world) rank `rank`'s node is scheduled dead at any
+    /// instant of `[from, until)`.
+    pub fn node_down_in(&self, rank: Rank, from: SimNs, until: SimNs) -> bool {
+        self.inner.fabric.node_down_in(rank, from, until)
+    }
+
+    /// Grant every reservation still sitting in the fabric's deferred-send
+    /// arbiter, in canonical order. Called once at teardown (after all
+    /// ranks joined): fire-and-forget isends nobody waited on still get
+    /// their trace spans and fault counters, deterministically.
+    pub fn drain_deferred(&self) {
+        self.inner.fabric.pump(SimNs::MAX);
+    }
+
     /// A communication endpoint for `rank`. Any thread of the rank may use
     /// a clone of it concurrently (thread-multiple semantics).
     pub fn comm(&self, rank: Rank) -> Comm {
@@ -111,8 +146,13 @@ pub struct Comm {
     /// ranks, identity-mapped.
     pub(crate) members: Option<std::sync::Arc<Vec<Rank>>>,
     /// Per-endpoint collective-call counter, used to derive deterministic
-    /// child context ids for `split` (every member calls in lockstep).
-    split_seq: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    /// child context ids for `split`/`shrink` (every member calls in
+    /// lockstep).
+    pub(crate) split_seq: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    /// Per-endpoint agreement-call counter: stripes the agreement tag
+    /// space so a late message from a timed-out round cannot match a
+    /// later agreement's receive.
+    pub(crate) agree_seq: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Comm {
@@ -123,6 +163,21 @@ impl Comm {
             context: 0,
             members: None,
             split_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            agree_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// Construct a child communicator with an explicit context and member
+    /// table (global ranks in local order). Used by `split` and the
+    /// ULFM-style `shrink`; every member must derive the same arguments.
+    pub(crate) fn derive(&self, context: u64, members: Vec<Rank>) -> Comm {
+        Comm {
+            world: self.world.clone(),
+            rank: self.rank,
+            context,
+            members: Some(std::sync::Arc::new(members)),
+            split_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            agree_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 
@@ -206,13 +261,7 @@ impl Comm {
             }
         }
         let context = h | 1; // never collide with the world context 0
-        Some(Comm {
-            world: self.world.clone(),
-            rank: self.rank,
-            context,
-            members: Some(std::sync::Arc::new(members)),
-            split_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
-        })
+        Some(self.derive(context, members))
     }
 }
 

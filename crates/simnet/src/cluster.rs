@@ -3,6 +3,7 @@
 
 use crate::fault::{FaultInjector, FaultOutcome, FaultPlan};
 use crate::link::{reserve_pair, Link, LinkSpec, Reservation};
+use simtime::plock::Mutex;
 use simtime::{SimClock, SimNs};
 
 /// Index of a node within a cluster.
@@ -87,11 +88,50 @@ impl ClusterSpec {
 /// distribution cost grow with node count, Fig. 10).
 pub struct Fabric {
     spec: ClusterSpec,
+    clock: SimClock,
     tx: Vec<Link>,
     rx: Vec<Link>,
+    /// The plan the injectors run under (kept even when trivial, so
+    /// higher layers can query node-down schedules cheaply).
+    plan: FaultPlan,
     /// One fault injector per source node's tx link (None: perfect fabric,
     /// zero overhead on the hot path).
     faults: Option<Vec<FaultInjector>>,
+    /// Deferred-reservation arbiter state (see [`Fabric::reserve_deferred`]).
+    defer: Mutex<DeferQueue>,
+}
+
+/// How much link time a deferred reservation claims.
+enum DeferSize {
+    /// Payload bytes at the raw link rate.
+    Bytes(usize),
+    /// An explicit window (see [`Fabric::reserve_duration`]).
+    Duration(SimNs),
+}
+
+/// A reservation posted to the arbiter: what to claim, the instant it may
+/// start, and the completion to run once granted.
+struct DeferredSend {
+    src: NodeId,
+    dst: NodeId,
+    /// Flow tag, part of the grant sort key: one node's engine and app
+    /// threads may post same-instant jobs to the same peer, and their
+    /// flows (distinct tags) must not be ordered by which OS thread won.
+    tag: i32,
+    size: DeferSize,
+    earliest: SimNs,
+    /// Posting order, the final tie-break. Within one OS thread it is
+    /// program order; across threads it only decides between jobs of the
+    /// same flow at the same instant, where either order yields the same
+    /// timeline.
+    seq: u64,
+    complete: Box<dyn FnOnce(Reservation) + Send>,
+}
+
+#[derive(Default)]
+struct DeferQueue {
+    pending: Vec<DeferredSend>,
+    next_seq: u64,
 }
 
 impl Fabric {
@@ -125,9 +165,12 @@ impl Fabric {
         });
         Fabric {
             spec,
+            clock,
             tx,
             rx,
+            plan,
             faults,
+            defer: Mutex::new(DeferQueue::default()),
         }
     }
 
@@ -144,6 +187,23 @@ impl Fabric {
     /// True if a non-trivial fault plan is attached.
     pub fn has_faults(&self) -> bool {
         self.faults.is_some()
+    }
+
+    /// The fault plan this fabric runs under ([`FaultPlan::none`] on a
+    /// perfect fabric).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True if `node` is scheduled dead at virtual instant `t` (the
+    /// deterministic ground truth higher layers classify timeouts with).
+    pub fn node_down_at(&self, node: NodeId, t: SimNs) -> bool {
+        self.plan.node_down_at(node, t)
+    }
+
+    /// True if `node` is scheduled dead at any instant of `[from, until)`.
+    pub fn node_down_in(&self, node: NodeId, from: SimNs, until: SimNs) -> bool {
+        self.plan.node_down_in(node, from, until)
     }
 
     /// Decide the fate of the next message of flow `(src, dst, tag)` whose
@@ -168,6 +228,7 @@ impl Fabric {
                 total.delivered += c.delivered;
                 total.dropped_random += c.dropped_random;
                 total.dropped_down += c.dropped_down;
+                total.dropped_node += c.dropped_node;
                 total.jitter_ns_total += c.jitter_ns_total;
             }
         }
@@ -230,6 +291,125 @@ impl Fabric {
                 arrival: end + latency,
             }
         })
+    }
+
+    /// Post a transfer to the fabric's deferred-reservation arbiter
+    /// instead of claiming link time immediately.
+    ///
+    /// [`Fabric::reserve`] is first-come-first-served in *call* order, so
+    /// when two engine threads reserve the same NIC timeline at the same
+    /// virtual instant, link occupancy depends on which OS thread got
+    /// there first — a real-time race inside a virtual-time simulation.
+    /// A deferred job instead waits until the clock has *passed* its
+    /// start instant; [`Fabric::pump`] then grants every due job in
+    /// `(earliest, src, dst, tag, seq)` order and runs `complete` with
+    /// its reservation. Reservations are backdated to `earliest`, so the
+    /// simulated timeline is exactly what an eager reservation in the
+    /// canonical order would have produced.
+    ///
+    /// Liveness: posting schedules a clock alarm just past `earliest`, so
+    /// blocked actors re-check (and pump) once the job is grantable.
+    pub fn reserve_deferred(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        tag: i32,
+        bytes: usize,
+        earliest: SimNs,
+        complete: Box<dyn FnOnce(Reservation) + Send>,
+    ) {
+        self.defer_job(src, dst, tag, DeferSize::Bytes(bytes), earliest, complete)
+    }
+
+    /// [`Fabric::reserve_deferred`] with an explicit window duration (the
+    /// deferred counterpart of [`Fabric::reserve_duration`]).
+    pub fn reserve_duration_deferred(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        tag: i32,
+        duration_ns: SimNs,
+        earliest: SimNs,
+        complete: Box<dyn FnOnce(Reservation) + Send>,
+    ) {
+        self.defer_job(
+            src,
+            dst,
+            tag,
+            DeferSize::Duration(duration_ns),
+            earliest,
+            complete,
+        )
+    }
+
+    fn defer_job(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        tag: i32,
+        size: DeferSize,
+        earliest: SimNs,
+        complete: Box<dyn FnOnce(Reservation) + Send>,
+    ) {
+        assert!(
+            src < self.nodes() && dst < self.nodes(),
+            "node out of range"
+        );
+        // Clamp to the present. A poster is runnable, so the clock cannot
+        // advance during this call — every job later posted carries
+        // `earliest >= now >= any instant already pumped`, which is what
+        // freezes each grant batch before it is sorted.
+        let earliest = earliest.max(self.clock.now_ns());
+        {
+            let mut q = self.defer.lock();
+            let seq = q.next_seq;
+            q.next_seq += 1;
+            q.pending.push(DeferredSend {
+                src,
+                dst,
+                tag,
+                size,
+                earliest,
+                seq,
+                complete,
+            });
+        }
+        self.clock.schedule_alarm(earliest + 1);
+    }
+
+    /// Grant every deferred reservation with `earliest < now`, in
+    /// `(earliest, src, dst, tag, seq)` order. Idempotent and callable
+    /// from any thread; the request and engine layers pump from their
+    /// wait predicates. Completions run under the queue lock so that the
+    /// grant order also fixes receiver-side message sequence numbers —
+    /// the other place same-instant order is observable.
+    pub fn pump(&self, now: SimNs) {
+        let mut q = self.defer.lock();
+        if !q.pending.iter().any(|j| j.earliest < now) {
+            return;
+        }
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < q.pending.len() {
+            if q.pending[i].earliest < now {
+                due.push(q.pending.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|j| (j.earliest, j.src, j.dst, j.tag, j.seq));
+        for j in due {
+            let r = match j.size {
+                DeferSize::Bytes(b) => self.reserve(j.src, j.dst, b, j.earliest),
+                DeferSize::Duration(d) => self.reserve_duration(j.src, j.dst, d, j.earliest),
+            };
+            (j.complete)(r);
+        }
+    }
+
+    /// Number of posted-but-ungranted deferred reservations (diagnostics).
+    pub fn deferred_pending(&self) -> usize {
+        self.defer.lock().pending.len()
     }
 }
 
@@ -294,5 +474,36 @@ mod tests {
     fn oversubscribing_preset_panics() {
         let clock = SimClock::new();
         let _ = Fabric::new(clock, ClusterSpec::cichlid(), 16);
+    }
+
+    #[test]
+    fn deferred_grants_resolve_same_instant_ties_canonically() {
+        use std::sync::{Arc, Mutex as StdMutex};
+        let clock = SimClock::new();
+        let f = Fabric::new(clock.clone(), ClusterSpec::cichlid(), 4);
+        let order: Arc<StdMutex<Vec<(NodeId, SimNs)>>> = Arc::new(StdMutex::new(Vec::new()));
+        // Post in the "wrong" real-time order: node 2 first, node 0 second.
+        for src in [2usize, 0] {
+            let order = order.clone();
+            f.reserve_deferred(
+                src,
+                1,
+                7,
+                1 << 20,
+                0,
+                Box::new(move |r| order.lock().unwrap().push((src, r.start))),
+            );
+        }
+        assert_eq!(f.deferred_pending(), 2);
+        f.pump(0); // not yet grantable: the clock has not passed instant 0
+        assert_eq!(f.deferred_pending(), 2);
+        f.pump(1);
+        assert_eq!(f.deferred_pending(), 0);
+        let got = order.lock().unwrap().clone();
+        // Canonical (earliest, src, ..) order, not posting order: node 0
+        // wins the shared rx timeline of node 1.
+        assert_eq!(got[0], (0, 0), "lowest source granted first, backdated");
+        assert_eq!(got[1].0, 2);
+        assert!(got[1].1 > 0, "later grant queues behind on the rx NIC");
     }
 }

@@ -17,6 +17,15 @@
 //! NACK); higher layers (the clMPI `RetryPolicy`) use that to model
 //! retransmission without an explicit ack protocol. Dropped messages still
 //! consume sender-side injection time, like real lost packets.
+//!
+//! **Node kills.** Beyond per-message link faults, a plan can schedule
+//! whole-node failures ([`FaultPlan::with_node_down`], permanent, and
+//! [`FaultPlan::with_node_down_window`], transient). Every message to
+//! *or* from a dead node resolves deterministically as
+//! [`DropReason::NodeDown`] — including control-plane tags a
+//! `tag_floor` would otherwise shield, because a dead process answers
+//! on no channel. Higher layers (minimpi's ULFM-style surface) classify
+//! the resulting timeouts as process failures.
 
 // checker-allow(determinism): keyed flow counters only, never iterated.
 use std::collections::HashMap;
@@ -44,9 +53,44 @@ pub struct FaultPlan {
     /// If set, only messages with `tag >= tag_floor` are subject to
     /// faults. Lets a plan target the bulk-data plane (e.g. clMPI transfer
     /// tags) while control traffic (barriers, reductions) stays reliable,
-    /// mirroring a transport with protected control channels.
+    /// mirroring a transport with protected control channels. Node-down
+    /// schedules ignore the floor: a dead process answers on no channel.
     pub tag_floor: Option<i32>,
+    /// Half-open `[from, until)` windows during which a whole node is
+    /// dead: every message to or from it is dropped, regardless of
+    /// `tag_floor`. Permanent kills use `until = SimNs::MAX`.
+    pub node_down: Vec<NodeDownWindow>,
 }
+
+/// One scheduled node failure: node `node` is dead during `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDownWindow {
+    /// The node being killed.
+    pub node: NodeId,
+    /// Virtual instant the node dies.
+    pub from: SimNs,
+    /// Virtual instant the node comes back (`SimNs::MAX` = never).
+    pub until: SimNs,
+}
+
+/// Rejected [`FaultPlan`] construction input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A `[from, until)` window with `until <= from` selects nothing.
+    EmptyWindow { from: SimNs, until: SimNs },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::EmptyWindow { from, until } => {
+                write!(f, "empty fault window {from}..{until}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 impl FaultPlan {
     /// The perfect fabric: nothing dropped, no jitter, never down.
@@ -57,6 +101,7 @@ impl FaultPlan {
             jitter_ns: 0,
             down_windows: Vec::new(),
             tag_floor: None,
+            node_down: Vec::new(),
         }
     }
 
@@ -79,11 +124,61 @@ impl FaultPlan {
         self
     }
 
-    /// Add a `[from, until)` link-down window.
+    /// Add a `[from, until)` link-down window. An empty window
+    /// (`until <= from`) selects no instant and is a documented no-op —
+    /// library construction never aborts the process; use
+    /// [`FaultPlan::try_down_window`] to surface the mistake instead.
     pub fn with_down_window(mut self, from: SimNs, until: SimNs) -> Self {
-        assert!(until > from, "empty down window {from}..{until}");
-        self.down_windows.push((from, until));
+        if until > from {
+            self.down_windows.push((from, until));
+        }
         self
+    }
+
+    /// [`FaultPlan::with_down_window`] that rejects an empty window with
+    /// a [`FaultPlanError`] instead of silently ignoring it.
+    pub fn try_down_window(self, from: SimNs, until: SimNs) -> Result<Self, FaultPlanError> {
+        if until <= from {
+            return Err(FaultPlanError::EmptyWindow { from, until });
+        }
+        Ok(self.with_down_window(from, until))
+    }
+
+    /// Kill `node` permanently at virtual instant `at_ns`: from then on
+    /// every message to or from it is dropped with
+    /// [`DropReason::NodeDown`], regardless of any `tag_floor`.
+    pub fn with_node_down(mut self, node: NodeId, at_ns: SimNs) -> Self {
+        self.node_down.push(NodeDownWindow {
+            node,
+            from: at_ns,
+            until: SimNs::MAX,
+        });
+        self
+    }
+
+    /// Kill `node` for the `[from, until)` window only (a transient
+    /// process failure: crash-and-restart). An empty window is a
+    /// documented no-op, like [`FaultPlan::with_down_window`]; use
+    /// [`FaultPlan::try_node_down_window`] to reject it.
+    pub fn with_node_down_window(mut self, node: NodeId, from: SimNs, until: SimNs) -> Self {
+        if until > from {
+            self.node_down.push(NodeDownWindow { node, from, until });
+        }
+        self
+    }
+
+    /// [`FaultPlan::with_node_down_window`] that rejects an empty window
+    /// with a [`FaultPlanError`].
+    pub fn try_node_down_window(
+        self,
+        node: NodeId,
+        from: SimNs,
+        until: SimNs,
+    ) -> Result<Self, FaultPlanError> {
+        if until <= from {
+            return Err(FaultPlanError::EmptyWindow { from, until });
+        }
+        Ok(self.with_node_down_window(node, from, until))
     }
 
     /// Restrict faults to messages with `tag >= floor`.
@@ -94,7 +189,10 @@ impl FaultPlan {
 
     /// True if this plan can never perturb anything.
     pub fn is_none(&self) -> bool {
-        self.drop_probability == 0.0 && self.jitter_ns == 0 && self.down_windows.is_empty()
+        self.drop_probability == 0.0
+            && self.jitter_ns == 0
+            && self.down_windows.is_empty()
+            && self.node_down.is_empty()
     }
 
     /// Whether messages with `tag` fall under this plan.
@@ -105,6 +203,31 @@ impl FaultPlan {
     fn down_at(&self, t: SimNs) -> bool {
         self.down_windows.iter().any(|&(a, b)| t >= a && t < b)
     }
+
+    /// True if `node` is scheduled dead at virtual instant `t`.
+    pub fn node_down_at(&self, node: NodeId, t: SimNs) -> bool {
+        self.node_down
+            .iter()
+            .any(|w| w.node == node && t >= w.from && t < w.until)
+    }
+
+    /// True if `node` is scheduled dead at any instant of `[from, until)`
+    /// (crash-consistency checks: does a kill interrupt this interval?).
+    pub fn node_down_in(&self, node: NodeId, from: SimNs, until: SimNs) -> bool {
+        self.node_down
+            .iter()
+            .any(|w| w.node == node && w.from < until && from < w.until)
+    }
+
+    /// The earliest scheduled death of `node`, if any (`from` of its
+    /// first window in time order).
+    pub fn node_down_since(&self, node: NodeId) -> Option<SimNs> {
+        self.node_down
+            .iter()
+            .filter(|w| w.node == node)
+            .map(|w| w.from)
+            .min()
+    }
 }
 
 /// Why a message was dropped.
@@ -114,6 +237,8 @@ pub enum DropReason {
     Random,
     /// The injection start fell inside a link-down window.
     LinkDown,
+    /// The source or destination node was dead at injection start.
+    NodeDown,
 }
 
 /// The fate the injector assigned to one message.
@@ -142,14 +267,16 @@ pub struct FaultCounts {
     pub dropped_random: u64,
     /// Messages dropped by a link-down window.
     pub dropped_down: u64,
+    /// Messages dropped because an endpoint node was dead.
+    pub dropped_node: u64,
     /// Total extra latency injected, ns.
     pub jitter_ns_total: u64,
 }
 
 impl FaultCounts {
-    /// Total dropped messages, both reasons.
+    /// Total dropped messages, all reasons.
     pub fn dropped(&self) -> u64 {
-        self.dropped_random + self.dropped_down
+        self.dropped_random + self.dropped_down + self.dropped_node
     }
 }
 
@@ -167,6 +294,7 @@ pub struct FaultInjector {
     delivered: AtomicU64,
     dropped_random: AtomicU64,
     dropped_down: AtomicU64,
+    dropped_node: AtomicU64,
     jitter_total: AtomicU64,
 }
 
@@ -181,6 +309,7 @@ impl FaultInjector {
             delivered: AtomicU64::new(0),
             dropped_random: AtomicU64::new(0),
             dropped_down: AtomicU64::new(0),
+            dropped_node: AtomicU64::new(0),
             jitter_total: AtomicU64::new(0),
         }
     }
@@ -193,7 +322,18 @@ impl FaultInjector {
     /// Decide the fate of the next message of flow `(src, dst, tag)` whose
     /// injection starts at `start`.
     pub fn decide(&self, src: NodeId, dst: NodeId, tag: i32, start: SimNs) -> FaultOutcome {
-        if self.plan.is_none() || !self.plan.applies_to_tag(tag) {
+        if self.plan.is_none() {
+            return FaultOutcome::Deliver {
+                extra_latency_ns: 0,
+            };
+        }
+        // Node death trumps everything, including the tag floor: a dead
+        // process answers on no channel.
+        if self.plan.node_down_at(src, start) || self.plan.node_down_at(dst, start) {
+            self.dropped_node.fetch_add(1, Ordering::Relaxed);
+            return FaultOutcome::Drop(DropReason::NodeDown);
+        }
+        if !self.plan.applies_to_tag(tag) {
             return FaultOutcome::Deliver {
                 extra_latency_ns: 0,
             };
@@ -238,6 +378,7 @@ impl FaultInjector {
             delivered: self.delivered.load(Ordering::Relaxed),
             dropped_random: self.dropped_random.load(Ordering::Relaxed),
             dropped_down: self.dropped_down.load(Ordering::Relaxed),
+            dropped_node: self.dropped_node.load(Ordering::Relaxed),
             jitter_ns_total: self.jitter_total.load(Ordering::Relaxed),
         }
     }
@@ -345,6 +486,72 @@ mod tests {
         }
         assert!(total > 0, "jitter actually injected");
         assert_eq!(inj.counts().jitter_ns_total, total);
+    }
+
+    #[test]
+    fn empty_down_window_is_a_no_op_not_a_panic() {
+        let plan = FaultPlan::none().with_down_window(5_000, 5_000);
+        assert!(plan.is_none(), "empty window must select nothing");
+        let plan = FaultPlan::none().with_down_window(9, 3);
+        assert!(plan.is_none(), "inverted window must select nothing");
+        assert_eq!(
+            FaultPlan::none().try_down_window(5_000, 5_000),
+            Err(FaultPlanError::EmptyWindow {
+                from: 5_000,
+                until: 5_000
+            })
+        );
+        assert!(FaultPlan::none().try_down_window(1, 2).is_ok());
+    }
+
+    #[test]
+    fn permanent_node_kill_drops_both_directions_forever() {
+        let plan = FaultPlan::none().with_node_down(1, 10_000);
+        let inj = FaultInjector::new(plan.clone(), 0);
+        assert!(!inj.decide(0, 1, 0, 9_999).is_drop(), "alive before kill");
+        assert_eq!(
+            inj.decide(0, 1, 0, 10_000),
+            FaultOutcome::Drop(DropReason::NodeDown),
+            "messages to the dead node drop"
+        );
+        assert_eq!(
+            inj.decide(1, 2, 0, u64::MAX - 1),
+            FaultOutcome::Drop(DropReason::NodeDown),
+            "messages from the dead node drop, permanently"
+        );
+        assert!(!inj.decide(0, 2, 0, 20_000).is_drop(), "bystanders fine");
+        assert_eq!(inj.counts().dropped_node, 2);
+        assert!(plan.node_down_at(1, 10_000));
+        assert!(!plan.node_down_at(1, 9_999));
+        assert_eq!(plan.node_down_since(1), Some(10_000));
+        assert_eq!(plan.node_down_since(0), None);
+    }
+
+    #[test]
+    fn transient_node_kill_recovers_after_the_window() {
+        let plan = FaultPlan::none().with_node_down_window(2, 1_000, 2_000);
+        let inj = FaultInjector::new(plan.clone(), 0);
+        assert!(!inj.decide(2, 0, 0, 999).is_drop());
+        assert!(inj.decide(2, 0, 0, 1_500).is_drop());
+        assert!(!inj.decide(2, 0, 0, 2_000).is_drop(), "restarted node");
+        assert!(plan.node_down_in(2, 0, 1_001), "overlaps the window");
+        assert!(!plan.node_down_in(2, 0, 1_000), "half-open: ends before");
+        assert!(!plan.node_down_in(2, 2_000, 9_000), "after restart");
+        // Empty transient windows are the same documented no-op.
+        assert!(FaultPlan::none().with_node_down_window(0, 7, 7).is_none());
+        assert!(FaultPlan::none().try_node_down_window(0, 7, 7).is_err());
+    }
+
+    #[test]
+    fn node_kill_ignores_the_tag_floor() {
+        let plan = FaultPlan::none()
+            .with_tag_floor(1 << 22)
+            .with_node_down(1, 0);
+        let inj = FaultInjector::new(plan, 0);
+        assert!(
+            inj.decide(0, 1, 7, 0).is_drop(),
+            "control-plane tag still drops to a dead node"
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@ mod link;
 mod mailbox;
 
 pub use cluster::{ClusterSpec, Fabric, NodeId};
-pub use fault::{DropReason, FaultCounts, FaultInjector, FaultOutcome, FaultPlan};
+pub use fault::{
+    DropReason, FaultCounts, FaultInjector, FaultOutcome, FaultPlan, FaultPlanError, NodeDownWindow,
+};
 pub use link::{reserve_pair, Link, LinkSpec, Reservation};
 pub use mailbox::{Envelope, Mailbox};
 

@@ -1,0 +1,97 @@
+//! Rank failure and recovery — the ULFM-style fault-tolerance stack
+//! end to end.
+//!
+//! Runs the distributed Himeno solve three times on a 4-node RICC
+//! cluster: fault-free, with one node killed mid-loop, and with two
+//! nodes killed at the same instant. Each faulty run detects the dead
+//! rank(s) through chunk-deadline timeouts, classifies the failure
+//! against the fabric's ground truth, revokes the communicator, agrees
+//! on the survivor set, shrinks, restores the newest durable checkpoint
+//! from shared storage (or restarts from initial conditions when none
+//! survived), and recomputes to the same residual as the fault-free
+//! run. Every number printed is virtual-time derived: a second run
+//! prints identical output.
+//!
+//! Run: `cargo run --release --example rank_failure`
+
+use clmpi::obs::ObsSummary;
+use clmpi::SystemConfig;
+use himeno::{reference_jacobi, run_himeno_recover, GridSize, RecoverConfig};
+use minimpi::FaultPlan;
+use simtime::fmt_ns;
+
+fn main() {
+    let cfg = || RecoverConfig {
+        size: GridSize::S,
+        iters: 4,
+        sys: SystemConfig::ricc(),
+        nodes: 4,
+        ckpt_every: 2,
+    };
+
+    // Fault-free baseline: bounds the kill instants and the goodput.
+    let base = run_himeno_recover(cfg(), FaultPlan::none());
+    let reference = reference_jacobi(GridSize::S, 4);
+    println!("Himeno S on 4 RICC ranks, checkpoint every 2 iterations");
+    println!(
+        "  fault-free   {}  gosa {:.6e}  (reference {:.6e})",
+        fmt_ns(base.elapsed_ns),
+        base.gosa,
+        reference.gosa
+    );
+
+    // One node dies mid-loop. The survivors shrink 4 → 3 and resume —
+    // from a durable checkpoint slot if one exists, else from scratch.
+    // Scan forward (deterministically) for the latest kill instant that
+    // still forces a recovery; late instants land after the survivors'
+    // last reduction and complete cleanly.
+    let t_kill = (1..8)
+        .rev()
+        .map(|x| base.elapsed_ns * x / 8)
+        .find(|&t| run_himeno_recover(cfg(), FaultPlan::none().with_node_down(2, t)).recovered)
+        .expect("some kill instant forces recovery");
+    let one = run_himeno_recover(cfg(), FaultPlan::none().with_node_down(2, t_kill));
+    assert!(one.recovered, "survivors must shrink and resume");
+    assert!(
+        (one.gosa - base.gosa).abs() / base.gosa < 1e-9,
+        "recovered residual matches fault-free"
+    );
+    println!(
+        "  one kill     {}  gosa {:.6e}  survivors {}  resumed from {}",
+        fmt_ns(one.elapsed_ns),
+        one.gosa,
+        one.survivors,
+        one.resumed_from
+            .map_or("initial state".to_string(), |s| format!("slot {s}")),
+    );
+
+    // Two nodes die at the same instant: same protocol, 4 → 2.
+    let two = run_himeno_recover(
+        cfg(),
+        FaultPlan::none()
+            .with_node_down(1, t_kill)
+            .with_node_down(3, t_kill),
+    );
+    assert!(two.recovered && two.survivors == 2);
+    println!(
+        "  two kills    {}  gosa {:.6e}  survivors {}",
+        fmt_ns(two.elapsed_ns),
+        two.gosa,
+        two.survivors,
+    );
+
+    // The recovery protocol leaves an audit trail in the op-span trace.
+    let summary = ObsSummary::from_trace(&one.trace);
+    let total =
+        |f: fn(&clmpi::obs::RankSummary) -> u64| -> u64 { summary.ranks.values().map(f).sum() };
+    println!("\nrecovery counters (one-kill run):");
+    println!("  proc failures classified  {}", total(|r| r.proc_failures));
+    println!("  communicator revokes      {}", total(|r| r.revokes));
+    println!("  communicator shrinks      {}", total(|r| r.shrinks));
+    println!("  checkpoint restores       {}", total(|r| r.restores));
+    println!(
+        "\nrecovery overhead: one kill +{}, two kills +{}",
+        fmt_ns(one.elapsed_ns.saturating_sub(base.elapsed_ns)),
+        fmt_ns(two.elapsed_ns.saturating_sub(base.elapsed_ns)),
+    );
+}
