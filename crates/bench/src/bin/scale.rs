@@ -1,0 +1,262 @@
+//! Simulator scale benchmark: Himeno and nanopowder worlds far past the
+//! thread-per-actor wall, run under the sharded event scheduler
+//! ([`ExecMode::Events`]), with simulator *self-throughput* recorded
+//! alongside the virtual results.
+//!
+//! Outputs:
+//!
+//! 1. `BENCH_scale.json` (repo root) — the deterministic results:
+//!    virtual makespans, scheduler event counts, and bit-exact residual/
+//!    checksum fingerprints per world size. Byte-identical on rerun; CI
+//!    enforces this with a regenerate-and-`cmp` step.
+//! 2. `results/scale.json` — the host-dependent sidecar: wall-clock per
+//!    config, events/sec, and wall-ms per virtual second. Informative
+//!    only, never diffed.
+//!
+//! The binary *asserts* the PR's acceptance bar in-process: Himeno M
+//! completes at world 256 and nanopowder at world 64 under the event
+//! core, and at world 64 the event core reproduces the thread-per-actor
+//! oracle exactly (virtual makespan, event count, ObsSummary hash).
+//!
+//! Usage: `scale [--out path] [--results path]`
+
+use std::time::Instant;
+
+use clmpi::obs::{validate_json, ObsSummary};
+use clmpi::SystemConfig;
+use himeno::{run_himeno_with_faults_mode, GridSize, HimenoConfig, Variant};
+use minimpi::FaultPlan;
+use nanopowder::{run_nanopowder_mode, NanoConfig, NanoVariant};
+use simtime::ExecMode;
+
+/// Himeno covers the full ladder, including the 1,024-rank world: the
+/// stencil's communication is neighbor-local, so the simulated world
+/// stays tractable at any rank count (at 1,024 ranks the M grid's 127
+/// interior planes leave the tail ranks with empty slabs — exactly the
+/// degenerate decomposition the scheduler must handle).
+const HIMENO_WORLDS: [usize; 3] = [64, 256, 1024];
+const HIMENO_ITERS: usize = 2;
+/// Nanopowder rows: (world size, sections). The 64-rank row keeps the
+/// paper-scale coefficient volume (K=2048 → 16.8 MB/step); 256 ranks
+/// drops to K=1024 (4.2 MB/step). The app's rank-0 fan-out/gather is
+/// inherently all-to-root, which costs O(world²) simulated wakeups —
+/// the 256-rank row is the largest that keeps the CI
+/// regenerate-twice job in minutes, and the 1,024-rank scheduling bar
+/// is carried by the Himeno ladder above.
+const NANO_ROWS: [(usize, usize); 2] = [(64, 2048), (256, 1024)];
+const NANO_STEPS: usize = 1;
+
+struct ConfigRow {
+    label: String,
+    nodes: usize,
+    elapsed_ns: u64,
+    events: u64,
+    /// Bit-exact payload fingerprints, name → f64 bits.
+    fingerprints: Vec<(&'static str, u64)>,
+    wall_ms: f64,
+}
+
+impl ConfigRow {
+    fn events_per_sec(&self) -> u64 {
+        (self.events as f64 / (self.wall_ms / 1e3).max(1e-9)) as u64
+    }
+
+    fn wall_ms_per_vsec(&self) -> f64 {
+        self.wall_ms / (self.elapsed_ns as f64 / 1e9).max(1e-12)
+    }
+}
+
+/// RICC's link and device cost model, scaled out past its physical 100
+/// nodes: the per-link latency/bandwidth/overhead parameters are
+/// unchanged, only the node inventory grows to admit 256/1024-rank
+/// worlds.
+fn ricc_scaled(nodes: usize) -> SystemConfig {
+    let mut sys = SystemConfig::ricc();
+    sys.cluster.nodes = sys.cluster.nodes.max(nodes);
+    sys
+}
+
+fn himeno_cfg(nodes: usize) -> HimenoConfig {
+    HimenoConfig {
+        size: GridSize::M,
+        iters: HIMENO_ITERS,
+        sys: ricc_scaled(nodes),
+        nodes,
+        strategy: None,
+    }
+}
+
+fn run_himeno_row(nodes: usize, mode: ExecMode) -> (ConfigRow, u64) {
+    let t0 = Instant::now();
+    let r = run_himeno_with_faults_mode(Variant::ClMpi, himeno_cfg(nodes), FaultPlan::none(), mode);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        r.gosa.is_finite() && r.gosa > 0.0,
+        "himeno world {nodes}: residual must be finite and positive, got {}",
+        r.gosa
+    );
+    let obs = ObsSummary::from_trace(&r.trace).hash();
+    (
+        ConfigRow {
+            label: format!("himeno-M-w{nodes}"),
+            nodes,
+            elapsed_ns: r.elapsed_ns,
+            events: r.sched_events,
+            fingerprints: vec![
+                ("gosa_bits", r.gosa.to_bits()),
+                ("checksum_bits", r.checksum.to_bits()),
+                ("obs_fnv1a", obs),
+            ],
+            wall_ms,
+        },
+        obs,
+    )
+}
+
+fn run_nano_row(nodes: usize, sections: usize, mode: ExecMode) -> ConfigRow {
+    let t0 = Instant::now();
+    let r = run_nanopowder_mode(
+        NanoVariant::ClMpi,
+        NanoConfig {
+            sections,
+            steps: NANO_STEPS,
+            sys: ricc_scaled(nodes),
+            nodes,
+        },
+        mode,
+    );
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let n_sum: f64 = r.final_n.iter().map(|&v| v as f64).sum();
+    assert!(
+        n_sum.is_finite() && n_sum > 0.0,
+        "nanopowder world {nodes}: final concentrations must be finite"
+    );
+    ConfigRow {
+        label: format!("nanopowder-K{sections}-w{nodes}"),
+        nodes,
+        elapsed_ns: r.total_ns,
+        events: r.sched_events,
+        fingerprints: vec![("final_n_sum_bits", n_sum.to_bits())],
+        wall_ms,
+    }
+}
+
+/// Per-row progress line (stderr, wall-clock — never in the artifact).
+fn note(r: &ConfigRow) {
+    eprintln!(
+        "[scale] {:<24} done: {} virtual ns, {} events, {:.1} s wall",
+        r.label,
+        r.elapsed_ns,
+        r.events,
+        r.wall_ms / 1e3
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_scale.json".to_string();
+    let mut results = "results/scale.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().expect("--out needs a value").clone(),
+            "--results" => results = it.next().expect("--results needs a value").clone(),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let mut rows: Vec<ConfigRow> = Vec::new();
+
+    // -- Oracle cross-check at world 64 (the acceptance gate) -------------
+    // The same Himeno scenario under both executors: virtual makespan,
+    // scheduler event count, and the full observability fingerprint must
+    // match exactly.
+    let (ev64, obs_ev) = run_himeno_row(64, ExecMode::Events);
+    note(&ev64);
+    let (th64, obs_th) = run_himeno_row(64, ExecMode::Threads);
+    note(&th64);
+    assert_eq!(
+        ev64.elapsed_ns, th64.elapsed_ns,
+        "world 64: event core must reproduce the oracle's virtual makespan"
+    );
+    assert_eq!(
+        ev64.events, th64.events,
+        "world 64: modes must count identical machine transitions"
+    );
+    assert_eq!(
+        obs_ev, obs_th,
+        "world 64: ObsSummary fingerprints must be byte-identical across modes"
+    );
+    rows.push(ev64);
+
+    // -- Larger Himeno worlds under the event core ------------------------
+    for nodes in HIMENO_WORLDS.into_iter().skip(1) {
+        let row = run_himeno_row(nodes, ExecMode::Events).0;
+        note(&row);
+        rows.push(row);
+    }
+
+    // -- Nanopowder worlds ------------------------------------------------
+    for (nodes, sections) in NANO_ROWS {
+        let row = run_nano_row(nodes, sections, ExecMode::Events);
+        note(&row);
+        rows.push(row);
+    }
+
+    // -- Deterministic artifact ------------------------------------------
+    let mut configs = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let fps: Vec<String> = r
+            .fingerprints
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        configs.push_str(&format!(
+            "  {{ \"config\": \"{}\", \"nodes\": {}, \"elapsed_ns\": {}, \"sched_events\": {}, {} }}{}\n",
+            r.label,
+            r.nodes,
+            r.elapsed_ns,
+            r.events,
+            fps.join(", "),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    let bench_json = format!(
+        "{{\n\"bench\": \"scale\",\n\
+         \"system\": \"ricc\", \"mode\": \"events\", \"himeno_grid\": \"M\", \
+         \"himeno_iters\": {HIMENO_ITERS}, \"nano_steps\": {NANO_STEPS},\n\
+         \"oracle_match_world64\": true,\n\
+         \"configs\": [\n{configs}]\n}}\n"
+    );
+    validate_json(&bench_json).expect("BENCH_scale json must be well-formed");
+    std::fs::write(&out, &bench_json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("(deterministic bench json written to {out})");
+
+    // -- Host-dependent sidecar ------------------------------------------
+    let mut side = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        side.push_str(&format!(
+            "  {{ \"config\": \"{}\", \"wall_ms\": {:.1}, \"events_per_sec\": {}, \"wall_ms_per_virtual_sec\": {:.1} }}{}\n",
+            r.label,
+            r.wall_ms,
+            r.events_per_sec(),
+            r.wall_ms_per_vsec(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    let side_json = format!("{{\n\"bench\": \"scale-wallclock\",\n\"configs\": [\n{side}]\n}}\n");
+    validate_json(&side_json).expect("scale sidecar json must be well-formed");
+    std::fs::write(&results, &side_json).unwrap_or_else(|e| panic!("write {results}: {e}"));
+    eprintln!("(wall-clock sidecar written to {results})");
+
+    for r in &rows {
+        println!(
+            "{:<24} elapsed {:>12} ns  events {:>9}  wall {:>8.1} ms  ({} ev/s)",
+            r.label,
+            r.elapsed_ns,
+            r.events,
+            r.wall_ms,
+            r.events_per_sec()
+        );
+    }
+}

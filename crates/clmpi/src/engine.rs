@@ -40,7 +40,6 @@
 //! (the previous one-thread-per-command design raced them).
 
 use std::sync::Arc;
-use std::thread::{JoinHandle, ThreadId};
 
 use minicl::{
     Buffer, ClError, ClResult, Device, Event, HostBuffer, UserEvent, WaitListStatus,
@@ -48,7 +47,10 @@ use minicl::{
 };
 use minimpi::{Datatype, DropReason, MpiError, Rank, RecvResult, Request, Tag};
 use simtime::plock::Mutex;
-use simtime::{Actor, Completion, CompletionState, Monitor, OpSpan, SimClock, SimNs};
+use simtime::{
+    Actor, Completion, CompletionState, MachineHandle, MachineStep, Monitor, OpSpan, SimActor,
+    SimClock, SimNs,
+};
 
 use crate::obs::ChildIds;
 use crate::retry::RetryPolicy;
@@ -102,31 +104,30 @@ struct EngineShared {
     shutdown: bool,
 }
 
-/// The per-rank progress engine. Owns one worker thread (a clock actor)
-/// that steps every registered [`EngineOp`] to completion.
+/// The per-rank progress engine. Owns one scheduled machine
+/// (`EngineCore`) that steps every registered [`EngineOp`] to
+/// completion — on a dedicated thread in thread mode, on its shard's
+/// worker in event mode.
 pub struct Engine {
     shared: Arc<Monitor<EngineShared>>,
-    handle: Mutex<Option<JoinHandle<()>>>,
-    worker_id: ThreadId,
+    handle: Mutex<Option<MachineHandle>>,
 }
 
 impl Engine {
     /// Start an engine on `clock`. The calling thread must be a running
-    /// clock actor (the registration rule): the worker's actor is
-    /// registered here, before its thread spawns.
-    pub fn start(clock: &SimClock, label: String) -> Engine {
-        let actor = clock.register(label.clone());
+    /// clock actor (the registration rule): the machine's executing actor
+    /// is registered here, before any thread spawns. `hint` places the
+    /// machine in event mode (the runtime passes the MPI rank).
+    pub fn start(clock: &SimClock, label: String, hint: u64) -> Engine {
         let shared = Arc::new(Monitor::new(clock.clone(), EngineShared::default()));
-        let worker_shared = shared.clone();
-        let handle = std::thread::Builder::new()
-            .name(label)
-            .spawn(move || worker(actor, worker_shared))
-            .expect("spawn clMPI progress engine");
-        let worker_id = handle.thread().id();
+        let core = EngineCore {
+            shared: shared.clone(),
+            ops: Vec::new(),
+        };
+        let handle = clock.spawn_machine(hint, label, Box::new(core));
         Engine {
             shared,
             handle: Mutex::new(Some(handle)),
-            worker_id,
         }
     }
 
@@ -156,87 +157,109 @@ impl Engine {
         self.shared.peek(|s| s.active)
     }
 
-    /// True when called from the engine's own worker thread (used by
-    /// drop paths that must not join themselves).
+    /// True when called from the thread executing the engine's machine
+    /// (used by drop paths that must not block the scheduler).
     pub(crate) fn on_worker_thread(&self) -> bool {
-        std::thread::current().id() == self.worker_id
+        self.handle
+            .lock()
+            .as_ref()
+            .is_some_and(|h| h.on_worker_thread())
     }
 }
 
 impl Drop for Engine {
-    /// Ask the worker to exit once its machines drain, and reap it.
-    /// Callers must drain first ([`Engine::wait_idle`]) unless dropping
-    /// from the worker itself — joining an engine that still owes
+    /// Ask the machine to exit once its ops drain, and reap it. Callers
+    /// must drain first ([`Engine::wait_idle`]) unless dropping from the
+    /// machine's own executor — joining an engine that still owes
     /// virtual-time progress would stall the clock.
     fn drop(&mut self) {
         if std::thread::panicking() {
-            return; // clock is poisoned; the worker dies on its own
+            return; // clock is poisoned; the machine dies on its own
         }
         self.shared.with(|s| s.shutdown = true);
         if let Some(h) = self.handle.lock().take() {
-            if h.thread().id() != std::thread::current().id() {
-                let _ = h.join();
-            }
+            h.reap();
         }
     }
 }
 
-/// The engine loop. Runs entirely inside one predicate wait: every pass
-/// happens at a frozen virtual instant (the worker is runnable while
-/// stepping), and between passes the worker is a blocked actor whose
-/// scheduled alarms are eligible to drive the clock.
-fn worker(actor: Actor, shared: Arc<Monitor<EngineShared>>) {
-    let clock = actor.clock().clone();
-    let mut ops: Vec<Box<dyn EngineOp>> = Vec::new();
-    // Alarm instants already scheduled, so repeated parks at the same
-    // target do not flood the clock's alarm heap.
-    let mut alarms: Vec<SimNs> = Vec::new();
-    actor.wait_until_labeled("clmpi engine", || {
-        if let Some(mut newly) = shared.try_now(|s| {
+/// The engine loop as a resumable machine. Every poll happens at a frozen
+/// virtual instant (the executor is runnable while stepping); between
+/// polls the executor is a blocked actor whose scheduled alarms are
+/// eligible to drive the clock. Identical code serves both execution
+/// modes, which is what makes their virtual timings indistinguishable.
+struct EngineCore {
+    shared: Arc<Monitor<EngineShared>>,
+    ops: Vec<Box<dyn EngineOp>>,
+}
+
+impl SimActor for EngineCore {
+    fn wait_label(&self) -> &'static str {
+        "clmpi engine"
+    }
+
+    fn poll(&mut self, now: SimNs, actor: &Actor) -> MachineStep {
+        if let Some(mut newly) = self.shared.try_now(|s| {
             if s.incoming.is_empty() {
                 None
             } else {
                 Some(std::mem::take(&mut s.incoming))
             }
         }) {
-            ops.append(&mut newly);
+            self.ops.append(&mut newly);
         }
-        let now = clock.now_ns();
-        alarms.retain(|&t| t > now);
+        // Count only actual op-state transitions (progress and
+        // completions): idle re-polls of parked ops are free, so the
+        // count is a deterministic property of the scenario, not of the
+        // host's wake-up pattern.
+        let mut transitions: u64 = 0;
+        // The wake hint reported upward: the earliest future instant any
+        // op asked for *in the final, progress-free pass* (earlier passes
+        // recompute it — a parked op re-reports its hint every pass).
+        let mut hint: Option<SimNs> = None;
         let mut made_progress = true;
         while made_progress {
             made_progress = false;
+            hint = None;
             let mut i = 0;
-            while i < ops.len() {
-                match ops[i].step(now, &actor) {
+            while i < self.ops.len() {
+                match self.ops[i].step(now, actor) {
                     Step::Progressed => {
+                        transitions += 1;
                         made_progress = true;
                         i += 1;
                     }
-                    Step::Park(hint) => {
-                        if let Some(t) = hint {
+                    Step::Park(h) => {
+                        if let Some(t) = h {
                             debug_assert!(t > now, "machines must progress, not park, when due");
-                            if t > now && !alarms.contains(&t) {
-                                clock.schedule_alarm(t);
-                                alarms.push(t);
+                            if t > now {
+                                hint = Some(hint.map_or(t, |c: SimNs| c.min(t)));
                             }
                         }
                         i += 1;
                     }
                     Step::Done => {
-                        let op = ops.remove(i);
-                        // Decrement while the machine is still alive:
-                        // dropping it may release the last handle on the
-                        // runtime, whose drop path reads this counter.
-                        shared.with(|s| s.active -= 1);
+                        let op = self.ops.remove(i);
+                        // Decrement while the op is still alive: dropping
+                        // it may release the last handle on the runtime,
+                        // whose drop path reads this counter.
+                        self.shared.with(|s| s.active -= 1);
                         drop(op);
+                        transitions += 1;
                         made_progress = true;
                     }
                 }
             }
         }
-        (ops.is_empty() && shared.peek(|s| s.shutdown && s.incoming.is_empty())).then_some(())
-    });
+        if transitions > 0 {
+            actor.clock().count_events(transitions);
+        }
+        if self.ops.is_empty() && self.shared.peek(|s| s.shutdown && s.incoming.is_empty()) {
+            MachineStep::Done
+        } else {
+            MachineStep::Pending(hint)
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -1763,7 +1786,7 @@ mod tests {
         // Register the caller first: the engine worker must never be the
         // only actor (the deadlock detector would trip at start-up).
         let actor = clock.register("caller");
-        let engine = Engine::start(&clock, "test-engine".into());
+        let engine = Engine::start(&clock, "test-engine".into(), 0);
         let fired = Arc::new(Monitor::new(clock.clone(), None));
         engine.submit(Box::new(TimerOp {
             fire_at: 5_000,
@@ -1780,7 +1803,7 @@ mod tests {
         // Register the caller first: the engine worker must never be the
         // only actor (the deadlock detector would trip at start-up).
         let actor = clock.register("caller");
-        let engine = Engine::start(&clock, "test-engine".into());
+        let engine = Engine::start(&clock, "test-engine".into(), 0);
         let order = Arc::new(Monitor::new(clock.clone(), Vec::<SimNs>::new()));
         struct LoggingTimer {
             fire_at: SimNs,
@@ -1818,7 +1841,7 @@ mod tests {
         // Register the caller first: the engine worker must never be the
         // only actor (the deadlock detector would trip at start-up).
         let actor = clock.register("caller");
-        let engine = Engine::start(&clock, "test-engine".into());
+        let engine = Engine::start(&clock, "test-engine".into(), 0);
         engine.wait_idle(&actor);
         engine.shared.with(|s| s.shutdown = true);
         let fired = Arc::new(Monitor::new(clock.clone(), None));

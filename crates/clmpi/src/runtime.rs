@@ -141,7 +141,11 @@ impl ClMpi {
         let ctx = Context::new(clock.clone(), &[cfg.device]);
         let device = ctx.device(0).clone();
         let trace = comm.world().trace().clone();
-        let engine = Engine::start(&clock, format!("clmpi-engine-r{}", comm.rank()));
+        let engine = Engine::start(
+            &clock,
+            format!("clmpi-engine-r{}", comm.rank()),
+            comm.rank() as u64,
+        );
         ClMpi {
             inner: Arc::new(Inner {
                 comm,

@@ -94,6 +94,22 @@ impl HimenoGrid {
     }
 }
 
+/// Initialize planes `[lo, hi)` of the standard grid directly, without
+/// materializing the whole field: bit-identical to
+/// `HimenoGrid::new(size).planes(lo, hi)` but O(slab) in memory, which is
+/// what keeps 256-rank scale runs (each rank holding a few planes of a
+/// 17 MB grid) feasible in one process.
+pub fn init_planes(size: GridSize, lo: usize, hi: usize) -> Vec<f32> {
+    let (mi, mj, mk) = size.dims();
+    let denom = ((mi - 1) * (mi - 1)) as f32;
+    let mut p = vec![0.0f32; (hi - lo) * mj * mk];
+    for i in lo..hi {
+        let v = (i * i) as f32 / denom;
+        p[(i - lo) * mj * mk..(i - lo + 1) * mj * mk].fill(v);
+    }
+    p
+}
+
 /// One Jacobi sweep over planes `i_lo..i_hi` (local indices, interior
 /// only) of a slab shaped `(planes, mjmax, mkmax)`: reads `old`, writes
 /// `new` for those planes, and returns the partial `gosa`.
@@ -206,6 +222,16 @@ mod tests {
         // Boundary untouched (still -1), interior written.
         assert_eq!(new[0], -1.0);
         assert_ne!(new[(mj + 1) * mk + 1], -1.0);
+    }
+
+    #[test]
+    fn init_planes_matches_full_grid() {
+        let size = GridSize::Xs;
+        let g = HimenoGrid::new(size);
+        let (mi, _, _) = size.dims();
+        for (lo, hi) in [(0, 2), (5, 9), (mi - 3, mi)] {
+            assert_eq!(init_planes(size, lo, hi), g.planes(lo, hi));
+        }
     }
 
     #[test]

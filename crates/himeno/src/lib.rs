@@ -30,7 +30,10 @@ mod recover;
 mod reference;
 mod run;
 
-pub use grid::{GridSize, HimenoGrid, FLOPS_PER_POINT, OMEGA};
+pub use grid::{init_planes, GridSize, HimenoGrid, FLOPS_PER_POINT, OMEGA};
 pub use recover::{run_himeno_recover, RecoverConfig, RecoverResult};
 pub use reference::{checksum, reference_jacobi};
-pub use run::{run_himeno, run_himeno_with_faults, HimenoConfig, HimenoResult, Variant};
+pub use run::{
+    run_himeno, run_himeno_with_faults, run_himeno_with_faults_mode, HimenoConfig, HimenoResult,
+    Variant,
+};

@@ -22,11 +22,11 @@ use std::sync::Arc;
 
 use clmpi::{ClMpi, SystemConfig, TransferStrategy};
 use minicl::{Buffer, CommandQueue, Event, HostBuffer};
-use minimpi::{run_world_faulty, FaultPlan, Process, Tag};
+use minimpi::{run_world_faulty_mode, FaultPlan, Process, Tag};
 use simtime::plock::Mutex;
 use simtime::SimNs;
 
-use crate::grid::{jacobi_sweep, GridSize, HimenoGrid, BYTES_PER_POINT, FLOPS_PER_POINT};
+use crate::grid::{jacobi_sweep, GridSize, BYTES_PER_POINT, FLOPS_PER_POINT};
 
 pub(crate) const TAG_DOWN: Tag = 100; // payload travels towards rank 0
 pub(crate) const TAG_UP: Tag = 101; // payload travels towards rank P-1
@@ -103,6 +103,9 @@ pub struct HimenoResult {
     /// clMPI runtime fault/retry counters, summed over ranks (all zero
     /// on a perfect fabric).
     pub transfer_faults: clmpi::FaultStats,
+    /// Scheduler machine transitions over the whole run (simulator
+    /// self-throughput numerator; mode-independent).
+    pub sched_events: u64,
 }
 
 pub(crate) struct Slab {
@@ -123,21 +126,24 @@ impl Slab {
         let (mi, mj, mk) = cfg.size.dims();
         let interior = mi - 2;
         let p = cfg.nodes;
-        assert!(
-            interior >= 2 * p,
-            "grid too small: {interior} interior planes for {p} ranks"
-        );
         let base = interior / p;
         let rem = interior % p;
+        // Worlds larger than the interior plane count are legal (scale
+        // runs): ranks past the remainder own zero planes, compute
+        // nothing, and have no neighbors. `n` is non-increasing in rank,
+        // so the zero-plane ranks form a contiguous tail and the slab
+        // chain stays connected. A rank's up-neighbor exists only if that
+        // neighbor owns at least one plane.
         let n = base + usize::from(rank < rem);
+        let up_has_planes = base > 0 || rank + 1 < rem;
         Slab {
             n,
             ha: n / 2 + 1,
             mj,
             mk,
             plane_bytes: mj * mk * 4,
-            down: (rank > 0).then(|| rank - 1),
-            up: (rank + 1 < p).then(|| rank + 1),
+            down: (rank > 0 && n > 0).then(|| rank - 1),
+            up: (n > 0 && rank + 1 < p && up_has_planes).then(|| rank + 1),
         }
     }
 
@@ -258,12 +264,25 @@ pub fn run_himeno_with_faults(
     cfg: HimenoConfig,
     plan: FaultPlan,
 ) -> HimenoResult {
+    run_himeno_with_faults_mode(variant, cfg, plan, simtime::ExecMode::from_env())
+}
+
+/// [`run_himeno_with_faults`] with an explicit executor mode for the
+/// in-world machines (clMPI engines, queue executors), overriding the
+/// `SIM_EXEC_MODE` default — the scale harness pins [`simtime::ExecMode::Events`]
+/// (and the oracle) regardless of the environment.
+pub fn run_himeno_with_faults_mode(
+    variant: Variant,
+    cfg: HimenoConfig,
+    plan: FaultPlan,
+    mode: simtime::ExecMode,
+) -> HimenoResult {
     let cluster = cfg.sys.cluster.clone();
     let nodes = cfg.nodes;
     let cfg = Arc::new(cfg);
     let interior_global: usize = cfg.size.interior_points();
     let iters = cfg.iters;
-    let res = run_world_faulty(cluster, nodes, plan, move |p: Process| {
+    let res = run_world_faulty_mode(cluster, nodes, plan, mode, move |p: Process| {
         rank_main(variant, &cfg, p)
     });
     // Per-rank outputs: (gosa, checksum, comp, comm, loop_ns, faults).
@@ -287,6 +306,7 @@ pub fn run_himeno_with_faults(
         trace: res.trace,
         fault_counts: res.fault_counts,
         transfer_faults,
+        sched_events: res.events,
     }
 }
 
@@ -303,10 +323,7 @@ fn rank_main(variant: Variant, cfg: &HimenoConfig, p: Process) -> RankOut {
     let ctx = rt.context().clone();
     // Initialize both pressure buffers from the identical global grid.
     let start = Slab::global_start(cfg, rank);
-    let init = {
-        let g = HimenoGrid::new(cfg.size);
-        g.planes(start - 1, start + slab.n + 1).to_vec()
-    };
+    let init = crate::grid::init_planes(cfg.size, start - 1, start + slab.n + 1);
     let bufs = [
         ctx.create_buffer(slab.slab_bytes()),
         ctx.create_buffer(slab.slab_bytes()),

@@ -1,20 +1,21 @@
-//! In-order command queues with real executor threads.
+//! In-order command queues with scheduled executor machines.
 //!
-//! Each queue owns an OS thread registered as a clock actor. Commands are
-//! dispatched strictly in enqueue order; a command first waits for its
-//! wait-list events (possibly from other queues), then runs. This is the
-//! OpenCL in-order execution model, and because the executor is a real
+//! Each queue owns one executor machine ([`QueueCore`]) spawned through
+//! [`SimClock::spawn_machine`]: a dedicated clock-actor thread in thread
+//! mode, a shard-worker resident in event mode. Commands are dispatched
+//! strictly in enqueue order; a command first waits for its wait-list
+//! events (possibly from other queues), then runs. This is the OpenCL
+//! in-order execution model, and because the executor is a real
 //! concurrent actor, enqueues never block the host thread — the exact
 //! property the paper's clMPI design builds on.
 
 use simtime::plock::Mutex;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use simtime::{Actor, SimChannel, SimClock, SimNs, Trace};
+use simtime::{Actor, MachineHandle, MachineStep, SimActor, SimChannel, SimClock, SimNs, Trace};
 
 use crate::status::EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST;
-use crate::{Buffer, ClResult, CommandStatus, Device, Event, HostBuffer};
+use crate::{Buffer, ClResult, CommandStatus, Device, Event, HostBuffer, WaitListStatus};
 
 type Body = Box<dyn FnOnce() + Send>;
 
@@ -62,7 +63,17 @@ struct QueueShared {
 /// An in-order command queue (`cl_command_queue`).
 pub struct CommandQueue {
     shared: Arc<QueueShared>,
-    joiner: Mutex<Option<JoinHandle<()>>>,
+    joiner: Mutex<Option<MachineHandle>>,
+}
+
+/// FNV-1a over the queue label: a host-independent shard-placement hint.
+fn label_hint(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl CommandQueue {
@@ -74,13 +85,12 @@ impl CommandQueue {
             label: label.clone(),
             trace: Mutex::new(None),
         });
-        // Register the executor's actor *before* spawning (ordering rule).
-        let actor = clock.register(format!("queue:{label}"));
-        let shared2 = shared.clone();
-        let joiner = std::thread::Builder::new()
-            .name(format!("clq-{label}"))
-            .spawn(move || executor_loop(shared2, actor))
-            .expect("spawn queue executor");
+        let core = QueueCore {
+            shared: shared.clone(),
+            state: ExecState::Idle,
+        };
+        let joiner =
+            clock.spawn_machine(label_hint(&label), format!("queue:{label}"), Box::new(core));
         CommandQueue {
             shared,
             joiner: Mutex::new(Some(joiner)),
@@ -333,125 +343,208 @@ impl Drop for CommandQueue {
         self.shared.chan.send(Command::Shutdown);
         if let Some(j) = self.joiner.lock().take() {
             // If the owning thread is panicking the clock is poisoned and
-            // the executor exits by panic; joining would double-panic.
-            if std::thread::panicking() {
-                return;
-            }
-            let _ = j.join();
+            // the executor dies by panic; joining would double-panic.
+            // (`reap` skips the join in that case, and has nothing to
+            // join in event mode — the machine retires on its shard.)
+            j.reap();
         }
     }
 }
 
-fn executor_loop(shared: Arc<QueueShared>, actor: Actor) {
-    while let Some(cmd) = shared.chan.recv(&actor) {
-        match cmd {
-            Command::Shutdown => break,
-            Command::Task {
-                event,
-                wait,
-                cost_ns,
-                body,
-                kind,
-            } => {
-                event.mark_submitted(actor.now_ns());
-                if !await_wait_list(&shared, &event, &wait, kind, &actor) {
-                    continue;
-                }
-                let start = actor.now_ns();
-                event.mark_running(start);
-                if let Some(b) = body {
-                    b();
-                }
-                if cost_ns > 0 {
-                    // Kernels serialize on the device's compute engine,
-                    // even across queues.
-                    let res = shared
-                        .device
-                        .compute_link()
-                        .reserve_duration(cost_ns, start);
-                    actor.advance_until(res.end);
-                }
-                finish_command(&shared, &event, kind, start, actor.now_ns());
-            }
-            Command::ReadBuffer {
-                event,
-                wait,
-                buf,
-                offset,
-                size,
-                host,
-                host_offset,
-            } => {
-                event.mark_submitted(actor.now_ns());
-                if !await_wait_list(&shared, &event, &wait, "read", &actor) {
-                    continue;
-                }
-                let start = actor.now_ns();
-                event.mark_running(start);
-                let dur = shared.device.spec().pcie.staged_ns(size, host.is_pinned());
-                let res = shared.device.d2h_link().reserve_duration(dur, start);
-                actor.advance_until(res.end);
-                let bytes = buf.load(offset, size).expect("range checked at enqueue");
-                host.write(|h| {
-                    h.as_mut_slice()[host_offset..host_offset + size].copy_from_slice(&bytes)
-                });
-                finish_command(&shared, &event, "read", start, actor.now_ns());
-            }
-            Command::WriteBuffer {
-                event,
-                wait,
-                buf,
-                offset,
-                size,
-                host,
-                host_offset,
-            } => {
-                event.mark_submitted(actor.now_ns());
-                if !await_wait_list(&shared, &event, &wait, "write", &actor) {
-                    continue;
-                }
-                let start = actor.now_ns();
-                event.mark_running(start);
-                let dur = shared.device.spec().pcie.staged_ns(size, host.is_pinned());
-                let res = shared.device.h2d_link().reserve_duration(dur, start);
-                actor.advance_until(res.end);
-                let bytes = host.read(|h| h.as_slice()[host_offset..host_offset + size].to_vec());
-                buf.store(offset, &bytes).expect("range checked at enqueue");
-                finish_command(&shared, &event, "write", start, actor.now_ns());
-            }
+impl Command {
+    fn event(&self) -> Option<&Event> {
+        match self {
+            Command::Shutdown => None,
+            Command::Task { event, .. }
+            | Command::ReadBuffer { event, .. }
+            | Command::WriteBuffer { event, .. } => Some(event),
+        }
+    }
+
+    fn wait(&self) -> &[Event] {
+        match self {
+            Command::Shutdown => &[],
+            Command::Task { wait, .. }
+            | Command::ReadBuffer { wait, .. }
+            | Command::WriteBuffer { wait, .. } => wait,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Command::Shutdown => "shutdown",
+            Command::Task { kind, .. } => kind,
+            Command::ReadBuffer { .. } => "read",
+            Command::WriteBuffer { .. } => "write",
         }
     }
 }
 
-/// Wait for a command's wait list; if any dependency failed, poison the
-/// command with `CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST` (its body
-/// never runs, no device time is charged) and return `false`.
-fn await_wait_list(
-    shared: &Arc<QueueShared>,
-    event: &Event,
-    wait: &[Event],
-    kind: &str,
-    actor: &Actor,
-) -> bool {
-    match Event::wait_all_result(wait, actor) {
-        Ok(()) => true,
-        Err(_) => {
-            let at = actor.now_ns();
-            event.fail(at, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST);
-            if let Some((trace, lane)) = shared.trace.lock().as_ref() {
-                trace.record(
-                    lane.clone(),
-                    format!("{kind}@{} poisoned", shared.label),
-                    at,
-                    at,
-                );
+/// Where the executor machine stands between polls.
+enum ExecState {
+    /// Between commands: dequeue the next one at the current instant.
+    Idle,
+    /// The head command's wait list has unsettled events.
+    AwaitDeps(Command),
+    /// The head command occupies its engine/link reservation until `end`.
+    Running {
+        cmd: Command,
+        start: SimNs,
+        end: SimNs,
+    },
+}
+
+/// The queue executor as a resumable machine: dequeue → settle deps →
+/// reserve and run → complete, strictly in order, exactly as the old
+/// dedicated-thread loop did instant for instant. Identical code serves
+/// both execution modes.
+struct QueueCore {
+    shared: Arc<QueueShared>,
+    state: ExecState,
+}
+
+impl SimActor for QueueCore {
+    fn wait_label(&self) -> &'static str {
+        "queue executor"
+    }
+
+    fn poll(&mut self, now: SimNs, _actor: &Actor) -> MachineStep {
+        let mut transitions: u64 = 0;
+        let step = loop {
+            match std::mem::replace(&mut self.state, ExecState::Idle) {
+                ExecState::Idle => match self.shared.chan.try_recv() {
+                    None => break MachineStep::Pending(None),
+                    Some(Command::Shutdown) => {
+                        transitions += 1;
+                        break MachineStep::Done;
+                    }
+                    Some(cmd) => {
+                        // Submission instant: when the executor reaches
+                        // the command (the old loop's dequeue instant).
+                        cmd.event().expect("non-shutdown").mark_submitted(now);
+                        transitions += 1;
+                        self.state = ExecState::AwaitDeps(cmd);
+                    }
+                },
+                ExecState::AwaitDeps(cmd) => match Event::poll_wait_list(cmd.wait()) {
+                    WaitListStatus::Pending => {
+                        self.state = ExecState::AwaitDeps(cmd);
+                        break MachineStep::Pending(None);
+                    }
+                    WaitListStatus::Failed { .. } => {
+                        // A dependency failed: poison the command (its
+                        // body never runs, no device time is charged)
+                        // and move on to the next one.
+                        let event = cmd.event().expect("non-shutdown");
+                        event.fail(now, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST);
+                        if let Some((trace, lane)) = self.shared.trace.lock().as_ref() {
+                            trace.record(
+                                lane.clone(),
+                                format!("{}@{} poisoned", cmd.kind(), self.shared.label),
+                                now,
+                                now,
+                            );
+                        }
+                        transitions += 1;
+                        self.state = ExecState::Idle;
+                    }
+                    WaitListStatus::Ready => {
+                        let start = now;
+                        let mut cmd = cmd;
+                        let end = begin_command(&self.shared, &mut cmd, start);
+                        transitions += 1;
+                        self.state = ExecState::Running { cmd, start, end };
+                    }
+                },
+                ExecState::Running { cmd, start, end } => {
+                    if now < end {
+                        self.state = ExecState::Running { cmd, start, end };
+                        break MachineStep::Pending(Some(end));
+                    }
+                    complete_command(&self.shared, cmd, start, end);
+                    transitions += 1;
+                    self.state = ExecState::Idle;
+                }
             }
-            false
+        };
+        if transitions > 0 {
+            self.shared.clock.count_events(transitions);
+        }
+        step
+    }
+}
+
+/// Start the head command at `start`: mark it running, execute its host
+/// body (Task bodies run at the start instant, as the old loop did), and
+/// reserve its device engine/link. Returns the occupancy end instant.
+fn begin_command(shared: &QueueShared, cmd: &mut Command, start: SimNs) -> SimNs {
+    cmd.event().expect("non-shutdown").mark_running(start);
+    match cmd {
+        Command::Shutdown => start,
+        Command::Task { cost_ns, body, .. } => {
+            if let Some(b) = body.take() {
+                b();
+            }
+            if *cost_ns > 0 {
+                // Kernels serialize on the device's compute engine, even
+                // across queues.
+                shared
+                    .device
+                    .compute_link()
+                    .reserve_duration(*cost_ns, start)
+                    .end
+            } else {
+                start
+            }
+        }
+        Command::ReadBuffer { size, host, .. } => {
+            let dur = shared.device.spec().pcie.staged_ns(*size, host.is_pinned());
+            shared.device.d2h_link().reserve_duration(dur, start).end
+        }
+        Command::WriteBuffer { size, host, .. } => {
+            let dur = shared.device.spec().pcie.staged_ns(*size, host.is_pinned());
+            shared.device.h2d_link().reserve_duration(dur, start).end
         }
     }
 }
 
-fn finish_command(shared: &QueueShared, event: &Event, kind: &str, start: SimNs, end: SimNs) {
+/// Finish the head command at `end`: transfer payloads move at the
+/// completion instant (the old loop copied after `advance_until(end)`),
+/// then the event completes and the span is recorded.
+fn complete_command(shared: &QueueShared, cmd: Command, start: SimNs, end: SimNs) {
+    let kind = cmd.kind();
+    let event = match cmd {
+        Command::Shutdown => unreachable!("shutdown never runs"),
+        Command::Task { event, .. } => event,
+        Command::ReadBuffer {
+            event,
+            buf,
+            offset,
+            size,
+            host,
+            host_offset,
+            ..
+        } => {
+            let bytes = buf.load(offset, size).expect("range checked at enqueue");
+            host.write(|h| {
+                h.as_mut_slice()[host_offset..host_offset + size].copy_from_slice(&bytes)
+            });
+            event
+        }
+        Command::WriteBuffer {
+            event,
+            buf,
+            offset,
+            size,
+            host,
+            host_offset,
+            ..
+        } => {
+            let bytes = host.read(|h| h.as_slice()[host_offset..host_offset + size].to_vec());
+            buf.store(offset, &bytes).expect("range checked at enqueue");
+            event
+        }
+    };
     event.complete(end);
     debug_assert_eq!(event.status(), CommandStatus::Complete);
     if let Some((trace, lane)) = shared.trace.lock().as_ref() {

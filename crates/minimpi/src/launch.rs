@@ -1,7 +1,7 @@
 //! SPMD launcher: run `n` ranks as threads over a simulated cluster.
 
 use simnet::{ClusterSpec, FaultCounts, FaultPlan};
-use simtime::{SimClock, SimNs, Trace};
+use simtime::{ExecMode, SimClock, SimNs, Trace};
 
 use crate::world::{Process, World};
 
@@ -16,6 +16,11 @@ pub struct WorldResult<R> {
     /// Fault counters accumulated by the fabric (all zero when the run
     /// used a [`FaultPlan::none`] plan).
     pub fault_counts: FaultCounts,
+    /// Machine state transitions counted by the scheduler cores (clMPI
+    /// engines, command-queue executors) — the simulator self-throughput
+    /// numerator. Deterministic for a fixed scenario and identical in
+    /// both executor modes.
+    pub events: u64,
 }
 
 /// Run `f` on every rank of a world sized to the full cluster preset.
@@ -55,7 +60,28 @@ where
     R: Send + 'static,
     F: Fn(Process) -> R + Send + Sync + 'static,
 {
-    let clock = SimClock::new();
+    run_world_faulty_mode(spec, nodes, plan, ExecMode::from_env(), f)
+}
+
+/// [`run_world_faulty`] with an explicit executor mode for the auxiliary
+/// machines (clMPI engines, command-queue executors), overriding the
+/// `SIM_EXEC_MODE` environment default. Rank bodies always run on their
+/// own OS threads; the mode only selects how machines spawned *inside*
+/// the world execute. Both modes produce identical virtual timings —
+/// [`ExecMode::Threads`] serves as the differential oracle for
+/// [`ExecMode::Events`].
+pub fn run_world_faulty_mode<R, F>(
+    spec: ClusterSpec,
+    nodes: usize,
+    plan: FaultPlan,
+    mode: ExecMode,
+    f: F,
+) -> WorldResult<R>
+where
+    R: Send + 'static,
+    F: Fn(Process) -> R + Send + Sync + 'static,
+{
+    let clock = SimClock::with_mode(mode);
     let world = World::with_faults(clock.clone(), spec, nodes, plan);
     let trace = world.trace().clone();
     // Register every rank's actor before spawning any thread (see
@@ -91,6 +117,7 @@ where
         outputs,
         trace,
         fault_counts: world.fault_counts(),
+        events: clock.events(),
     }
 }
 

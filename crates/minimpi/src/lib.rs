@@ -44,7 +44,9 @@ mod world;
 
 pub use collectives::ReduceOp;
 pub use datatype::Datatype;
-pub use launch::{run_world, run_world_faulty, run_world_sized, WorldResult};
+pub use launch::{
+    run_world, run_world_faulty, run_world_faulty_mode, run_world_sized, WorldResult,
+};
 pub use p2p::{wait_all, wait_any, MpiError, RecvResult, Request, Status};
 pub use world::{Comm, Process, World, ANY_SOURCE, ANY_TAG, MAX_USER_TAG};
 

@@ -12,8 +12,7 @@
 //!   instant. (Real MPI matches on arrival of the envelope; the observable
 //!   completion times are the same.)
 
-// checker-allow(determinism): keyed by receive id only, never iterated.
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use simnet::{DropReason, FaultOutcome};
@@ -139,9 +138,9 @@ struct PendingRecv {
 pub(crate) struct RankState {
     inbox: Vec<InMsg>,
     pending: Vec<PendingRecv>,
-    // checker-allow(determinism): get/remove by the posted receive's id
-    // only; match order is decided by the ordered `inbox`/`pending` vecs.
-    matched: HashMap<u64, InMsg>,
+    /// Matched-but-unclaimed messages by posted-receive id; match order
+    /// is decided by the ordered `inbox`/`pending` vecs.
+    matched: BTreeMap<u64, InMsg>,
     next_seq: u64,
     next_recv_id: u64,
     next_order: u64,

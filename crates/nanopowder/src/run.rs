@@ -5,8 +5,9 @@ use std::sync::Arc;
 use clmpi::{ClMpi, SystemConfig};
 use minicl::HostBuffer;
 use minimpi::datatype::{bytes_to_f32, f32_as_bytes};
-use minimpi::{run_world_sized, Process, Tag};
+use minimpi::{run_world_faulty_mode, FaultPlan, Process, Tag};
 use simtime::plock::Mutex;
+use simtime::ExecMode;
 use simtime::SimNs;
 
 use crate::model::{coagulation_step, pair_count, NanoModel};
@@ -82,10 +83,19 @@ pub struct NanoResult {
     pub total_ns: SimNs,
     /// Final concentration vector (rank 0's state) for validation.
     pub final_n: Vec<f32>,
+    /// Scheduler machine transitions over the whole run (simulator
+    /// self-throughput numerator; mode-independent).
+    pub sched_events: u64,
 }
 
 /// Run `variant` under `cfg`.
 pub fn run_nanopowder(variant: NanoVariant, cfg: NanoConfig) -> NanoResult {
+    run_nanopowder_mode(variant, cfg, ExecMode::from_env())
+}
+
+/// [`run_nanopowder`] with an explicit executor mode for the in-world
+/// machines, overriding the `SIM_EXEC_MODE` default.
+pub fn run_nanopowder_mode(variant: NanoVariant, cfg: NanoConfig, mode: ExecMode) -> NanoResult {
     assert!(
         cfg.sections.is_multiple_of(cfg.nodes),
         "nodes ({}) must divide sections ({})",
@@ -96,9 +106,13 @@ pub fn run_nanopowder(variant: NanoVariant, cfg: NanoConfig) -> NanoResult {
     let nodes = cfg.nodes;
     let steps = cfg.steps;
     let cfg = Arc::new(cfg);
-    let res = run_world_sized(cluster, nodes, move |p: Process| {
-        rank_main(variant, &cfg, p)
-    });
+    let res = run_world_faulty_mode(
+        cluster,
+        nodes,
+        FaultPlan::none(),
+        mode,
+        move |p: Process| rank_main(variant, &cfg, p),
+    );
     let total_ns = res
         .outputs
         .iter()
@@ -111,6 +125,7 @@ pub fn run_nanopowder(variant: NanoVariant, cfg: NanoConfig) -> NanoResult {
         step_ns: total_ns / steps as u64,
         total_ns,
         final_n,
+        sched_events: res.events,
     }
 }
 

@@ -27,8 +27,7 @@
 //! on no channel. Higher layers (minimpi's ULFM-style surface) classify
 //! the resulting timeouts as process failures.
 
-// checker-allow(determinism): keyed flow counters only, never iterated.
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::NodeId;
@@ -286,11 +285,9 @@ pub struct FaultInjector {
     plan: FaultPlan,
     salt: u64,
     /// Per-(src, dst, tag) message counters: the flow position `k` feeds
-    /// the pure decision function.
-    // checker-allow(determinism): entry() by (src, dst, tag) key only; the
-    // drop decision is a pure function of (plan, salt, key, k), so map
-    // order can never reach an outcome.
-    flows: Mutex<HashMap<(NodeId, NodeId, i32), u64>>,
+    /// the pure decision function (the drop decision is pure in
+    /// (plan, salt, key, k), so storage order can never reach an outcome).
+    flows: Mutex<BTreeMap<(NodeId, NodeId, i32), u64>>,
     delivered: AtomicU64,
     dropped_random: AtomicU64,
     dropped_down: AtomicU64,
@@ -305,7 +302,7 @@ impl FaultInjector {
         FaultInjector {
             plan,
             salt,
-            flows: Mutex::new(HashMap::new()), // checker-allow(determinism): see field note.
+            flows: Mutex::new(BTreeMap::new()),
             delivered: AtomicU64::new(0),
             dropped_random: AtomicU64::new(0),
             dropped_down: AtomicU64::new(0),

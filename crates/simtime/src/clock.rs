@@ -21,11 +21,12 @@
 
 use crate::plock::{Condvar, Mutex};
 use std::cmp::Reverse;
-// checker-allow(determinism): keyed lookups by actor id only, never iterated.
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::sched::{self, ExecMode, MachineHandle, SchedPool, ShardState, SimActor};
 use crate::SimNs;
 
 /// What an actor is doing right now; shown in deadlock diagnostics.
@@ -65,9 +66,9 @@ struct ClockState {
     alarms: BinaryHeap<Reverse<SimNs>>,
     next_seq: u64,
     next_actor: u64,
-    // checker-allow(determinism): accessed by actor id only (get_mut/remove);
-    // wake order comes from the `sleepers` heap, never from map iteration.
-    actors: HashMap<u64, ActorInfo>,
+    /// Registered actors by id. A `BTreeMap` so that any iteration (the
+    /// deadlock report) is in deterministic id order by construction.
+    actors: BTreeMap<u64, ActorInfo>,
     /// Set when a registered actor panics or a deadlock is detected, so
     /// every other actor unblocks and fails fast instead of hanging.
     poisoned: bool,
@@ -76,6 +77,14 @@ struct ClockState {
 struct ClockInner {
     state: Mutex<ClockState>,
     cv: Condvar,
+    /// How spawned machines execute ([`SimClock::spawn_machine`]).
+    mode: ExecMode,
+    /// Event-mode shard pool (empty queues in thread mode).
+    pool: SchedPool,
+    /// Machine state transitions observed by the scheduler cores, for the
+    /// simulator self-throughput metric (events/sec). Deterministic for a
+    /// fixed scenario: only actual transitions count, never idle re-polls.
+    events: AtomicU64,
 }
 
 impl ClockInner {
@@ -108,7 +117,7 @@ impl ClockInner {
                 (None, Some(b)) => b,
                 (None, None) => {
                     if st.blocked > 0 {
-                        let report = Self::render_actors(st);
+                        let report = self.render_actors(st);
                         st.poisoned = true;
                         self.cv.notify_all();
                         panic!(
@@ -143,13 +152,52 @@ impl ClockInner {
         }
     }
 
-    fn render_actors(st: &ClockState) -> String {
+    fn render_actors(&self, st: &ClockState) -> String {
         let mut lines: Vec<String> = st
             .actors
             .values()
             .map(|a| format!("  {:<24} {:?}", a.label, a.status))
             .collect();
         lines.sort();
+        if self.mode == ExecMode::Events {
+            // Per-shard view: which machines each worker holds and the
+            // earliest wake hint it has armed. `try_lock` because this
+            // runs under the clock lock; at deadlock time every worker is
+            // parked outside its shard lock, so contention means a bug
+            // elsewhere and is reported rather than deadlocking the
+            // reporter.
+            for (i, shard) in self.pool.shards.iter().enumerate() {
+                let Some(s) = shard.try_lock() else {
+                    lines.push(format!("  shard {i}: <locked — worker mid-pass?>"));
+                    continue;
+                };
+                if s.resident.is_empty() && s.incoming.is_empty() && !s.running {
+                    continue;
+                }
+                let labels: Vec<&str> = s
+                    .resident
+                    .iter()
+                    .chain(s.incoming.iter())
+                    .map(|m| m.label.as_str())
+                    .collect();
+                let earliest = s
+                    .resident
+                    .iter()
+                    .chain(s.incoming.iter())
+                    .flat_map(|m| m.alarms.iter().copied())
+                    .min();
+                lines.push(format!(
+                    "  shard {i}: {} resident + {} queued machine(s) [{}], earliest alarm {}",
+                    s.resident.len(),
+                    s.incoming.len(),
+                    labels.join(", "),
+                    match earliest {
+                        Some(t) => format!("t={t}"),
+                        None => "none".into(),
+                    },
+                ));
+            }
+        }
         lines.join("\n")
     }
 }
@@ -168,12 +216,95 @@ impl Default for SimClock {
 
 impl SimClock {
     /// Create a new clock at virtual time zero with no registered actors.
+    /// The execution mode for spawned machines comes from `SIM_EXEC_MODE`
+    /// ([`ExecMode::from_env`]); use [`SimClock::with_mode`] to pin it.
     pub fn new() -> Self {
+        Self::with_mode(ExecMode::from_env())
+    }
+
+    /// Create a new clock with an explicit machine execution mode.
+    pub fn with_mode(mode: ExecMode) -> Self {
         SimClock {
             inner: Arc::new(ClockInner {
                 state: Mutex::new(ClockState::default()),
                 cv: Condvar::new(),
+                mode,
+                pool: SchedPool::new(sched::shard_count_from_env()),
+                events: AtomicU64::new(0),
             }),
+        }
+    }
+
+    /// How spawned machines execute on this clock.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.inner.mode
+    }
+
+    /// Add `n` to the machine-transition counter (scheduler cores only).
+    pub fn count_events(&self, n: u64) {
+        self.inner.events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Machine state transitions observed so far (simulator
+    /// self-throughput metric; deterministic for a fixed scenario).
+    pub fn events(&self) -> u64 {
+        self.inner.events.load(Ordering::Relaxed)
+    }
+
+    /// Access one event-mode shard (shard workers and diagnostics).
+    pub(crate) fn shard(&self, i: usize) -> &Mutex<ShardState> {
+        &self.inner.pool.shards[i]
+    }
+
+    /// Spawn a resumable machine according to this clock's [`ExecMode`].
+    ///
+    /// The caller must be a running clock actor (the registration
+    /// ordering rule): the machine's executing actor — its own thread's
+    /// in thread mode, its shard worker's in event mode — is registered
+    /// here, before any thread spawns. The machine's first poll happens
+    /// at the caller's current virtual instant.
+    ///
+    /// `hint` selects the event-mode shard (`hint % shards`); it must be
+    /// a host-independent value (a rank, a label hash) so machine
+    /// placement is reproducible. Machines must never spawn further
+    /// machines from inside `poll` — the executing shard holds its own
+    /// lock across the pass.
+    pub fn spawn_machine(
+        &self,
+        hint: u64,
+        label: impl Into<String>,
+        body: Box<dyn SimActor>,
+    ) -> MachineHandle {
+        let label = label.into();
+        match self.exec_mode() {
+            ExecMode::Threads => {
+                let actor = self.register(label.clone());
+                let handle = std::thread::Builder::new()
+                    .name(label)
+                    .spawn(move || sched::run_on_thread(actor, body))
+                    .expect("spawn machine thread");
+                MachineHandle::thread(handle)
+            }
+            ExecMode::Events => {
+                let shards = self.inner.pool.shards.len();
+                let shard = (hint % shards as u64) as usize;
+                let needs_worker = {
+                    let mut st = self.shard(shard).lock();
+                    st.incoming.push(sched::Slot::new(label, body));
+                    !std::mem::replace(&mut st.running, true)
+                };
+                if needs_worker {
+                    let actor = self.register(format!("sched:shard{shard}"));
+                    let clock = self.clone();
+                    std::thread::Builder::new()
+                        .name(format!("sim-shard{shard}"))
+                        .spawn(move || sched::shard_worker(actor, clock, shard))
+                        .expect("spawn shard worker");
+                }
+                // An already-parked worker re-polls only on notification.
+                self.notify();
+                MachineHandle::event()
+            }
         }
     }
 

@@ -46,12 +46,14 @@ mod clock;
 pub mod plock;
 pub mod progress;
 pub mod rng;
+pub mod sched;
 pub mod sync;
 pub mod trace;
 
 pub use clock::{Actor, ActorStatus, SimClock};
 pub use progress::{Completion, CompletionState};
 pub use rng::XorShift64;
+pub use sched::{on_pool_worker, ExecMode, MachineHandle, MachineStep, SimActor};
 pub use sync::{Monitor, SimBarrier, SimChannel};
 pub use trace::{OpSpan, Span, Trace};
 

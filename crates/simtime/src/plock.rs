@@ -52,6 +52,19 @@ impl<T: ?Sized> Mutex<T> {
         }
     }
 
+    /// Try to acquire the lock without blocking; `None` if held elsewhere.
+    /// A lock poisoned by a panicking holder is recovered, as in
+    /// [`Mutex::lock`].
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())

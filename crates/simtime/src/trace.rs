@@ -164,8 +164,9 @@ impl Trace {
     }
 
     /// Render an ASCII Gantt chart `width` characters wide. Lanes are
-    /// ordered by first appearance; overlapping spans in a lane stack onto
-    /// extra rows.
+    /// ordered by first activity in virtual time (ties by name), so the
+    /// chart does not depend on which recording thread reached the trace
+    /// first; overlapping spans in a lane stack onto extra rows.
     pub fn render_ascii(&self, width: usize) -> String {
         let spans = self.inner.lock().spans.clone();
         if spans.is_empty() {
@@ -178,13 +179,17 @@ impl Trace {
         let scale = |t: SimNs| -> usize {
             (((t - t0) as f64 / (t1 - t0) as f64) * (width.max(2) - 1) as f64).round() as usize
         };
-        // Preserve lane order of first appearance.
-        let mut lanes: Vec<String> = Vec::new();
+        // Lane order: earliest span start, ties by lane name — a pure
+        // function of the recorded spans, never of arrival order.
+        let mut lanes: Vec<(SimNs, String)> = Vec::new();
         for s in &spans {
-            if !lanes.contains(&s.lane) {
-                lanes.push(s.lane.clone());
+            match lanes.iter_mut().find(|(_, l)| l == &s.lane) {
+                Some(e) => e.0 = e.0.min(s.start),
+                None => lanes.push((s.start, s.lane.clone())),
             }
         }
+        lanes.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let lanes: Vec<String> = lanes.into_iter().map(|(_, l)| l).collect();
         let mut out = String::new();
         out.push_str(&format!(
             "timeline: {} .. {} ({} total)\n",
@@ -196,7 +201,12 @@ impl Trace {
             // Rows within a lane: greedy placement avoiding overlap.
             let mut rows: Vec<Vec<&Span>> = Vec::new();
             let mut lane_spans: Vec<&Span> = spans.iter().filter(|s| &s.lane == lane).collect();
-            lane_spans.sort_by_key(|s| s.start);
+            lane_spans.sort_by(|a, b| {
+                a.start
+                    .cmp(&b.start)
+                    .then(a.end.cmp(&b.end))
+                    .then(a.label.cmp(&b.label))
+            });
             for s in lane_spans {
                 let row = rows
                     .iter_mut()
