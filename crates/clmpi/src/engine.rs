@@ -177,7 +177,11 @@ impl Drop for Engine {
             return; // clock is poisoned; the machine dies on its own
         }
         self.shared.with(|s| s.shutdown = true);
-        if let Some(h) = self.handle.lock().take() {
+        // Take the handle out before reaping: an `if let` scrutinee would
+        // keep the MutexGuard alive across the join, deadlocking any
+        // `on_worker_thread` call from the machine being joined.
+        let h = self.handle.lock().take();
+        if let Some(h) = h {
             h.reap();
         }
     }

@@ -444,6 +444,67 @@ fn run_hand(
     let mut e_second_prev: Option<Event> = None;
     for t in 0..cfg.iters {
         let (old, new) = (&bufs[t % 2], &bufs[(t + 1) % 2]);
+        if slab.n < 2 {
+            // Degenerate slab (0 or 1 interior plane): `ha == 1` leaves
+            // no independent half — the whole slab is one kernel that
+            // reads *both* ghost planes, so the phase-1 exchange must
+            // fully precede it instead of overlapping with it. The
+            // per-edge protocol (old-buffer edges in phase 1, new-buffer
+            // edges in phase 2, by parity) is unchanged, so a 2-plane
+            // overlap slab neighboring a 1-plane slab still pairs.
+            if even {
+                host_exchange(
+                    p, &q1, old, slab, slab.down, 1, 0, TAG_DOWN, TAG_UP, &stage1,
+                );
+            } else {
+                host_exchange(
+                    p,
+                    &q1,
+                    old,
+                    slab,
+                    slab.up,
+                    slab.n,
+                    slab.n + 1,
+                    TAG_UP,
+                    TAG_DOWN,
+                    &stage1,
+                );
+            }
+            let e = enqueue_half_kernel(
+                &q0,
+                "jacobi",
+                old,
+                new,
+                slab,
+                1,
+                slab.n + 1,
+                gosa.clone(),
+                t,
+                &[],
+            );
+            e.wait(&p.actor);
+            if even {
+                host_exchange(
+                    p,
+                    &q0,
+                    new,
+                    slab,
+                    slab.up,
+                    slab.n,
+                    slab.n + 1,
+                    TAG_UP,
+                    TAG_DOWN,
+                    &stage0,
+                );
+            } else {
+                host_exchange(
+                    p, &q0, new, slab, slab.down, 1, 0, TAG_DOWN, TAG_UP, &stage0,
+                );
+            }
+            e_first_prev = Some(e.clone());
+            e_second_prev = Some(e);
+            continue;
+        }
         let waits_first: Vec<Event> = e_second_prev.iter().cloned().collect();
         let mut waits_second: Vec<Event> = e_first_prev.iter().cloned().collect();
         // Phase 1: first-half kernel on q0; host exchanges the second
@@ -577,6 +638,75 @@ fn run_clmpi(
     let mut e_second_prev: Option<Event> = None;
     for t in 0..cfg.iters {
         let (old, new) = (&bufs[t % 2], &bufs[(t + 1) % 2]);
+        if slab.n < 2 {
+            // Degenerate slab: the whole slab is one kernel reading both
+            // ghost planes, so the phase-1 exchange is enqueued *first*
+            // and the kernel waits on it (plus the previous phase-2
+            // exchange, which filled the other ghost). The per-edge
+            // protocol by parity is the same as the overlap path, so
+            // mixed worlds pair correctly; only the intra-rank ordering
+            // changes. The previous whole-slab kernel produced the plane
+            // x1 sends and last read the ghost x1 overwrites, so it is
+            // x1's gate.
+            let gate1: Vec<Event> = e_first_prev.iter().cloned().collect();
+            let x1 = if even {
+                exchange_clmpi(rt, &q, p, old, slab, slab.down, 1, 0, TAG_DOWN, &gate1)
+            } else {
+                exchange_clmpi(
+                    rt,
+                    &q,
+                    p,
+                    old,
+                    slab,
+                    slab.up,
+                    slab.n,
+                    slab.n + 1,
+                    TAG_UP,
+                    &gate1,
+                )
+            };
+            let mut w: Vec<Event> = std::mem::take(&mut e_phase2_xfer);
+            w.extend(x1.iter().cloned());
+            w.extend(e_first_prev.iter().cloned());
+            let e = enqueue_half_kernel(
+                &q,
+                "jacobi",
+                old,
+                new,
+                slab,
+                1,
+                slab.n + 1,
+                gosa.clone(),
+                t,
+                &w,
+            );
+            let gate2 = vec![e.clone()];
+            let x2 = if even {
+                exchange_clmpi(
+                    rt,
+                    &q,
+                    p,
+                    new,
+                    slab,
+                    slab.up,
+                    slab.n,
+                    slab.n + 1,
+                    TAG_UP,
+                    &gate2,
+                )
+            } else {
+                exchange_clmpi(rt, &q, p, new, slab, slab.down, 1, 0, TAG_DOWN, &gate2)
+            };
+            e_phase2_xfer = x2;
+            e_first_prev = Some(e.clone());
+            e_second_prev = Some(e);
+            q.finish(&p.actor);
+            if block_each_iter {
+                Event::wait_all(&x1, &p.actor);
+                Event::wait_all(&e_phase2_xfer, &p.actor);
+            }
+            continue;
+        }
         // Phase 1 kernel: waits the previous phase-2 exchange (it filled
         // the ghost this kernel reads / sent the planes it overwrites)
         // and the previous second-half kernel (internal boundary plane).
@@ -772,6 +902,41 @@ fn run_gpu_aware(
     let mut e_second_prev: Option<Event> = None;
     for t in 0..cfg.iters {
         let (old, new) = (&bufs[t % 2], &bufs[(t + 1) % 2]);
+        if slab.n < 2 {
+            // Degenerate slab: exchange first (the whole-slab kernel
+            // reads both ghosts), same per-edge protocol as the overlap
+            // path. The previous kernel produced the plane this exchange
+            // sends, so the host waits on it first (§II's limitation).
+            if let Some(e) = &e_first_prev {
+                e.wait(&p.actor);
+            }
+            if even {
+                exchange_gpu_aware(rt, &q1, p, old, slab, slab.down, 1, 0, TAG_DOWN);
+            } else {
+                exchange_gpu_aware(rt, &q1, p, old, slab, slab.up, slab.n, slab.n + 1, TAG_UP);
+            }
+            let e = enqueue_half_kernel(
+                &q0,
+                "jacobi",
+                old,
+                new,
+                slab,
+                1,
+                slab.n + 1,
+                gosa.clone(),
+                t,
+                &[],
+            );
+            e.wait(&p.actor);
+            if even {
+                exchange_gpu_aware(rt, &q0, p, new, slab, slab.up, slab.n, slab.n + 1, TAG_UP);
+            } else {
+                exchange_gpu_aware(rt, &q0, p, new, slab, slab.down, 1, 0, TAG_DOWN);
+            }
+            e_first_prev = Some(e.clone());
+            e_second_prev = Some(e);
+            continue;
+        }
         let waits_first: Vec<Event> = e_second_prev.iter().cloned().collect();
         let e_first = if even {
             enqueue_half_kernel(

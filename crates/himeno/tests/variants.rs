@@ -97,6 +97,60 @@ fn gpu_aware_matches_reference_3_nodes() {
 }
 
 #[test]
+fn degenerate_slabs_match_reference() {
+    // 10 ranks over a 7-plane interior (base == 0): ranks 0–6 own a
+    // single plane each — ha == 1, so the B half is empty, the whole
+    // slab is one "A" kernel, and the same plane is sent in both
+    // directions — and ranks 7–9 own zero planes. Every variant must
+    // still reproduce the serial reference's physics, in both slab
+    // shapes at once.
+    let size = GridSize::Custom(9, 9, 17);
+    let iters = 4;
+    let (ref_sum, ref_gosa) = reference_checksum(size, iters);
+    for variant in [
+        Variant::Serial,
+        Variant::HandOptimized,
+        Variant::ClMpi,
+        Variant::ClMpiBlocked,
+        Variant::GpuAwareMpi,
+    ] {
+        // 5 ranks: n = [2,2,1,1,1] — a 2-plane slab neighbors a 1-plane
+        // slab, covering the mixed overlap/degenerate edge protocol.
+        for nodes in [5usize, 7, 10] {
+            // Cichlid's cost model scaled out to admit the 10-rank world.
+            let mut sys = SystemConfig::cichlid();
+            sys.cluster.nodes = sys.cluster.nodes.max(nodes);
+            let res = run_himeno(
+                variant,
+                HimenoConfig {
+                    size,
+                    iters,
+                    sys,
+                    nodes,
+                    strategy: None,
+                },
+            );
+            let rel_p = (res.checksum - ref_sum).abs() / ref_sum;
+            let rel_g = (res.gosa - ref_gosa).abs() / ref_gosa;
+            assert!(
+                rel_p < 1e-10,
+                "{} x{nodes} degenerate: checksum {} vs reference {}",
+                variant.name(),
+                res.checksum,
+                ref_sum
+            );
+            assert!(
+                rel_g < 1e-9,
+                "{} x{nodes} degenerate: gosa {} vs reference {}",
+                variant.name(),
+                res.gosa,
+                ref_gosa
+            );
+        }
+    }
+}
+
+#[test]
 fn gpu_aware_sits_between_serial_and_clmpi() {
     // §II's argument: GPU-aware MPI gets the optimized transfers (beats
     // a serial joint code) but keeps the host-blocking serialization

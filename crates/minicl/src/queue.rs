@@ -341,7 +341,11 @@ impl CommandQueue {
 impl Drop for CommandQueue {
     fn drop(&mut self) {
         self.shared.chan.send(Command::Shutdown);
-        if let Some(j) = self.joiner.lock().take() {
+        // Take the handle out before reaping: an `if let` scrutinee would
+        // keep the MutexGuard alive across the join, deadlocking any
+        // `on_worker_thread` call from the executor being joined.
+        let j = self.joiner.lock().take();
+        if let Some(j) = j {
             // If the owning thread is panicking the clock is poisoned and
             // the executor dies by panic; joining would double-panic.
             // (`reap` skips the join in that case, and has nothing to

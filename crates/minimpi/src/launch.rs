@@ -108,6 +108,13 @@ where
         .into_iter()
         .map(|h| h.join().unwrap_or_else(|_| panic!("a rank panicked")))
         .collect();
+    // Event mode: the ranks' drop paths only *signal* their machines
+    // (queue shutdowns, engine drains) — the shard workers process those
+    // final transitions asynchronously. Wait for every shard to drain and
+    // retire before reading the clock, or `events`/`elapsed_ns` would be
+    // timing-dependent where the thread-mode oracle (which joins machine
+    // threads inside the rank bodies) is complete. No-op in thread mode.
+    clock.quiesce_machines();
     // Grant any deferred sends still in the arbiter (fire-and-forget
     // isends nobody waited on), single-threaded and in canonical order,
     // so their trace spans and fault counters land deterministically.

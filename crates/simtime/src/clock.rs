@@ -256,6 +256,44 @@ impl SimClock {
         &self.inner.pool.shards[i]
     }
 
+    /// Block (in real time) until the event-mode scheduler is fully
+    /// quiescent: every shard's machine queues are empty and its worker
+    /// has retired. A no-op in thread mode, where machines are joined by
+    /// their owners' drop paths.
+    ///
+    /// Shard workers process machine shutdowns *asynchronously* after the
+    /// spawning actors have exited: a queue's `Shutdown` transition and an
+    /// engine's trailing drain — including their [`SimClock::count_events`]
+    /// contributions and any final alarm-driven advance — may run after
+    /// the owners dropped their handles. A reader that wants the complete
+    /// [`SimClock::events`] total or the final [`SimClock::now_ns`] must
+    /// quiesce first. Acquiring each shard lock orders the workers' last
+    /// counted pass before the caller's subsequent reads.
+    ///
+    /// Preconditions: every spawned machine has been asked to shut down
+    /// (its owner dropped), and the caller holds no registered actor —
+    /// retiring machines may still need the clock to advance (trailing
+    /// device reservations), which a runnable caller would stall.
+    pub fn quiesce_machines(&self) {
+        if self.exec_mode() != ExecMode::Events {
+            return;
+        }
+        loop {
+            let drained = self.inner.pool.shards.iter().all(|s| {
+                let st = s.lock();
+                st.resident.is_empty() && st.incoming.is_empty() && !st.running
+            });
+            if drained {
+                return;
+            }
+            // Workers retire on their own (shutdown notifications are
+            // already in flight, and blocked workers still drive the
+            // clock through their scheduled alarms); the wait is a few
+            // final shard passes, so yielding the OS slice is enough.
+            std::thread::yield_now();
+        }
+    }
+
     /// Spawn a resumable machine according to this clock's [`ExecMode`].
     ///
     /// The caller must be a running clock actor (the registration
