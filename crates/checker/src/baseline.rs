@@ -11,23 +11,34 @@
 //! unwrap = 12
 //! expect = 3
 //! panic = 1
+//! unreachable = 0
+//!
+//! [allow]
+//! lock-lifetime = 2
 //! ```
+//!
+//! The `[allow]` section pins the count of `// checker-allow(<pass>):`
+//! markers per pass, so a new suppression is as visible in review as a
+//! new panic path.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Per-crate counts of the three panic-path forms.
+/// Per-crate counts of the four panic-path forms.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Counts {
     pub unwrap: usize,
     pub expect: usize,
     pub panic: usize,
+    pub unreachable: usize,
 }
 
 /// Baseline table, ordered by crate name so serialization is canonical.
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct Baseline {
     pub crates: BTreeMap<String, Counts>,
+    /// `checker-allow(<pass>)` marker counts, keyed by pass id.
+    pub allows: BTreeMap<String, usize>,
 }
 
 impl Baseline {
@@ -45,25 +56,32 @@ impl Baseline {
             }
             if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
                 let name = name.trim().to_string();
-                out.crates.entry(name.clone()).or_default();
+                if name != "allow" {
+                    out.crates.entry(name.clone()).or_default();
+                }
                 current = Some(name);
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
                 return Err((lineno, format!("expected `key = value`, got `{line}`")));
             };
-            let Some(krate) = &current else {
+            let Some(section) = &current else {
                 return Err((lineno, "key outside any [crate] section".to_string()));
             };
             let n: usize = value
                 .trim()
                 .parse()
                 .map_err(|_| (lineno, format!("`{}` is not a count", value.trim())))?;
-            let counts = out.crates.get_mut(krate).expect("section inserted above");
+            if section == "allow" {
+                out.allows.insert(key.trim().to_string(), n);
+                continue;
+            }
+            let counts = out.crates.get_mut(section).expect("section inserted above");
             match key.trim() {
                 "unwrap" => counts.unwrap = n,
                 "expect" => counts.expect = n,
                 "panic" => counts.panic = n,
+                "unreachable" => counts.unreachable = n,
                 other => return Err((lineno, format!("unknown key `{other}`"))),
             }
         }
@@ -73,18 +91,25 @@ impl Baseline {
     /// Canonical serialization, suitable for committing.
     pub fn serialize(&self) -> String {
         let mut s = String::from(
-            "# Panic-path ratchet baseline (checker pass 3).\n\
-             # Counts of unwrap( / expect( / panic! tokens per library crate,\n\
-             # src/ and tests/ included, comments and strings excluded.\n\
+            "# Panic-path and allow-marker ratchet baseline (checker pass 3).\n\
+             # Counts of unwrap( / expect( / panic! / unreachable! tokens per library\n\
+             # crate, src/ and tests/ included, comments and strings excluded; plus\n\
+             # checker-allow(<pass>) marker counts in [allow].\n\
              # New code may only move these numbers DOWN. After an improvement,\n\
              # regenerate with: cargo run -p checker -- --write-baseline\n",
         );
         for (krate, c) in &self.crates {
             let _ = write!(
                 s,
-                "\n[{krate}]\nunwrap = {}\nexpect = {}\npanic = {}\n",
-                c.unwrap, c.expect, c.panic
+                "\n[{krate}]\nunwrap = {}\nexpect = {}\npanic = {}\nunreachable = {}\n",
+                c.unwrap, c.expect, c.panic, c.unreachable
             );
+        }
+        if !self.allows.is_empty() {
+            s.push_str("\n[allow]\n");
+            for (pass, n) in &self.allows {
+                let _ = writeln!(s, "{pass} = {n}");
+            }
         }
         s
     }
@@ -96,11 +121,21 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        let b = Baseline::parse("# hi\n[clmpi]\nunwrap = 3\nexpect=2\n\n[simtime]\npanic = 1\n")
-            .expect("valid baseline parses");
+        let b = Baseline::parse(
+            "# hi\n[clmpi]\nunwrap = 3\nexpect=2\nunreachable = 4\n\n[simtime]\npanic = 1\n\
+             \n[allow]\nlock-lifetime = 2\ndeterminism = 1\n",
+        )
+        .expect("valid baseline parses");
         assert_eq!(b.crates["clmpi"].unwrap, 3);
         assert_eq!(b.crates["clmpi"].expect, 2);
+        assert_eq!(b.crates["clmpi"].unreachable, 4);
         assert_eq!(b.crates["simtime"].panic, 1);
+        assert_eq!(b.allows["lock-lifetime"], 2);
+        assert_eq!(b.allows["determinism"], 1);
+        assert!(
+            !b.crates.contains_key("allow"),
+            "[allow] is not a crate section"
+        );
         assert_eq!(
             Baseline::parse(&b.serialize()).expect("canonical form reparses"),
             b

@@ -11,36 +11,54 @@
 //! express anything deeper (attribute scope, token adjacency, counts
 //! against a baseline). This crate replaces them with a hand-rolled
 //! comment/string/raw-string-aware Rust [`lexer`] and a small pass
-//! framework ([`passes`]) running five checks:
+//! framework ([`passes`]) running eight checks:
 //!
 //! | id | pass | invariant |
 //! |----|------|-----------|
 //! | P1 | `non-blocking-engine` | engine.rs never blocks or advances virtual time |
 //! | P2 | `blocking-marker` | clmpi blocking calls carry `// blocking-api: <why>` |
-//! | P3 | `panic-ratchet` | unwrap/expect/panic! counts only move down ([`baseline`]) |
+//! | P3 | `panic-ratchet` | unwrap/expect/panic!/unreachable! and allow-marker counts only move down ([`baseline`]) |
 //! | P4 | `determinism` | no wall-clock, real sleeps, or unordered collections |
 //! | P5 | `status-literal` | raw `-14`/`-1100` must use `minicl::status` constants |
+//! | P6 | `lock-lifetime` | no blocking call / nested lock while a guard is live ([`flow`]) |
+//! | P7 | `lock-order` | the cross-function lock-order graph is acyclic ([`callgraph`]) |
+//! | P8 | `actor-hygiene` | SimActor/EngineOp machine bodies never OS-block or spawn threads |
+//!
+//! P1–P5 are token-level lints (PR 3). P6–P8 are flow-aware (PR 8),
+//! motivated by the PR-7 drop deadlock: a `MutexGuard` kept live by an
+//! `if let` scrutinee across a thread join. [`flow`] computes per-function
+//! guard-lifetime spans on top of the lexer; [`callgraph`] lifts the
+//! per-function lock sets one call level to build a workspace lock-order
+//! graph.
 //!
 //! ### How it runs
 //!
 //! * `cargo run -p checker` — the CI gate; prints `file:line: [pass] msg`
 //!   diagnostics and exits non-zero on any finding.
+//! * `cargo run -p checker -- --json` — the same findings as a
+//!   machine-readable report (emitted as a CI artifact).
+//! * `cargo run -p checker -- --explain <pass>` — prints a pass's rule
+//!   and rationale.
 //! * `cargo run -p checker -- --write-baseline` — regenerates
-//!   `crates/checker/baseline.toml` after a panic-path improvement.
-//! * `cargo test -p checker` — tier-1 coverage: the lexer unit tests,
-//!   fixture-driven positive/negative tests per pass, and a test that
-//!   runs all five passes over the real workspace.
+//!   `crates/checker/baseline.toml` after a panic-path or allow-marker
+//!   improvement.
+//! * `cargo test -p checker` — tier-1 coverage: the lexer and flow unit
+//!   tests, fixture-driven positive/negative tests per pass (including
+//!   the PR-7 deadlock regression fixture), and a test that runs all
+//!   eight passes over the real workspace.
 //!
 //! See DESIGN.md §9 for the invariant rationale and the allow-marker
 //! grammar (`// checker-allow(<pass-id>): <non-empty why>`).
 
 pub mod baseline;
+pub mod callgraph;
+pub mod flow;
 pub mod lexer;
 pub mod passes;
 pub mod workspace;
 
 pub use baseline::{Baseline, Counts};
-pub use passes::{current_baseline, run_all, Diag};
+pub use passes::{current_baseline, run_all, Diag, PASS_IDS};
 pub use workspace::{SourceFile, Workspace};
 
 use std::path::PathBuf;

@@ -1,4 +1,4 @@
-//! The five invariant passes.
+//! The eight invariant passes.
 //!
 //! Each pass walks the lexed token streams of the library crates and
 //! reports [`Diag`]s. All passes share two conventions:
@@ -8,12 +8,34 @@
 //!   gates could not do.
 //! * **Line-level allow markers.** A finding on line *L* is suppressed by
 //!   `// checker-allow(<pass-id>): <non-empty why>` on line *L* or
-//!   *L − 1*. The justification is mandatory; an empty one is itself a
-//!   violation of the marker grammar and does not suppress.
+//!   *L − 1* (or anywhere in the finding's multi-line statement). The
+//!   justification is mandatory; an empty one is itself a violation of
+//!   the marker grammar and does not suppress. Marker *counts* are
+//!   themselves ratcheted in `baseline.toml` (`[allow]` section), so a
+//!   new annotation is a reviewed event, not a silent escape.
+//!
+//! Passes P1–P5 are token-level lints (PR 3). P6–P8 are flow-aware: they
+//! reason over guard lifetimes ([`crate::flow`]) and one-level call
+//! summaries ([`crate::callgraph`]).
 
 use crate::baseline::{Baseline, Counts};
+use crate::callgraph;
+use crate::flow::{call_takes_name, guard_spans, GuardKind};
 use crate::lexer::Tok;
 use crate::workspace::{SourceFile, Workspace, LIBRARY_CRATES};
+
+/// Every pass id, in run order. The allow-marker ratchet and
+/// `--explain` both key off this list.
+pub const PASS_IDS: [&str; 8] = [
+    "non-blocking-engine",
+    "blocking-marker",
+    "panic-ratchet",
+    "determinism",
+    "status-literal",
+    "lock-lifetime",
+    "lock-order",
+    "actor-hygiene",
+];
 
 /// One reported violation, printed as `file:line: [pass] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,37 +65,10 @@ pub fn run_all(ws: &Workspace) -> Vec<Diag> {
     pass_panic_ratchet(ws, &mut out);
     pass_determinism(ws, &mut out);
     pass_status_literals(ws, &mut out);
+    pass_lock_lifetime(ws, &mut out);
+    pass_lock_order(ws, &mut out);
+    pass_actor_hygiene(ws, &mut out);
     out
-}
-
-fn ident_is<'f>(f: &'f SourceFile, idx: usize, names: &[&str]) -> Option<&'f str> {
-    match f.tok(idx) {
-        Tok::Ident(s) if names.iter().any(|n| n == s) => Some(s.as_str()),
-        _ => None,
-    }
-}
-
-/// Method-call shape at `idx`: `.` `name` `(` with `name` in `names`.
-/// Returns the method name. Comments between the tokens are skipped, so
-/// a marker comment cannot break the match.
-fn method_call<'f>(f: &'f SourceFile, idx: usize, names: &[&str]) -> Option<&'f str> {
-    let name = ident_is(f, idx, names)?;
-    if !matches!(f.prev_code(idx).map(|i| f.tok(i)), Some(Tok::Punct('.'))) {
-        return None;
-    }
-    match f.next_code(idx + 1).map(|i| f.tok(i)) {
-        Some(Tok::Punct('(')) => Some(name),
-        _ => None,
-    }
-}
-
-/// Call shape at `idx`: `name` `(` with `name` in `names` (any receiver).
-fn any_call<'f>(f: &'f SourceFile, idx: usize, names: &[&str]) -> Option<&'f str> {
-    let name = ident_is(f, idx, names)?;
-    match f.next_code(idx + 1).map(|i| f.tok(i)) {
-        Some(Tok::Punct('(')) => Some(name),
-        _ => None,
-    }
 }
 
 // ----------------------------------------------------------------------
@@ -100,10 +95,12 @@ pub fn pass_nonblocking_engine(ws: &Workspace, out: &mut Vec<Diag>) {
                 continue;
             }
             let line = f.tokens[idx].line;
-            let hit = method_call(f, idx, BLOCKING)
+            let hit = f
+                .method_call_at(idx, BLOCKING)
                 .map(|n| format!("blocking call `.{n}(`"))
                 .or_else(|| {
-                    any_call(f, idx, CLOCK).map(|n| format!("virtual-time advance `{n}(`"))
+                    f.any_call_at(idx, CLOCK)
+                        .map(|n| format!("virtual-time advance `{n}(`"))
                 });
             if let Some(what) = hit {
                 if f.allowed_at(idx, PASS) {
@@ -147,7 +144,7 @@ pub fn pass_blocking_markers(ws: &Workspace, out: &mut Vec<Diag>) {
             if f.is_test_token(idx) {
                 continue;
             }
-            let Some(name) = method_call(f, idx, BLOCKING) else {
+            let Some(name) = f.method_call_at(idx, BLOCKING) else {
                 continue;
             };
             let line = f.tokens[idx].line;
@@ -180,14 +177,15 @@ pub fn pass_blocking_markers(ws: &Workspace, out: &mut Vec<Diag>) {
 }
 
 // ----------------------------------------------------------------------
-// Pass 3 — panic-path ratchet
+// Pass 3 — panic-path and allow-marker ratchet
 // ----------------------------------------------------------------------
 
-/// Count `unwrap(` / `expect(` / `panic!` code tokens per library crate
+/// Count `unwrap(` / `expect(` / `panic!` / `unreachable!` code tokens
+/// per library crate — and `// checker-allow(<pass>)` markers per pass —
 /// and compare against the committed `crates/checker/baseline.toml`.
 /// Counts may only move down; an improvement must be locked in by
 /// regenerating the baseline, and a regression is an error naming the
-/// crate and the delta.
+/// crate (or pass) and the delta.
 pub fn pass_panic_ratchet(ws: &Workspace, out: &mut Vec<Diag>) {
     const PASS: &str = "panic-ratchet";
     let baseline = match Baseline::parse(&ws.baseline_text) {
@@ -209,6 +207,7 @@ pub fn pass_panic_ratchet(ws: &Workspace, out: &mut Vec<Diag>) {
             ("unwrap(", actual.unwrap, base.unwrap),
             ("expect(", actual.expect, base.expect),
             ("panic!", actual.panic, base.panic),
+            ("unreachable!", actual.unreachable, base.unreachable),
         ] {
             if got > want {
                 out.push(Diag {
@@ -235,6 +234,32 @@ pub fn pass_panic_ratchet(ws: &Workspace, out: &mut Vec<Diag>) {
             }
         }
     }
+    for pass in PASS_IDS {
+        let got = count_allow_markers(ws, pass);
+        let want = baseline.allows.get(pass).copied().unwrap_or(0);
+        if got > want {
+            out.push(Diag {
+                pass: PASS,
+                file: "crates/checker/baseline.toml".into(),
+                line: 0,
+                msg: format!(
+                    "`checker-allow({pass})` marker count ratcheted UP: {got} > baseline \
+                     {want} — a new suppression is a reviewed event; fix the site or \
+                     re-baseline deliberately with --write-baseline (DESIGN.md §9 P3)"
+                ),
+            });
+        } else if got < want {
+            out.push(Diag {
+                pass: PASS,
+                file: "crates/checker/baseline.toml".into(),
+                line: 0,
+                msg: format!(
+                    "`checker-allow({pass})` marker count improved: {got} < baseline \
+                     {want} — lock it in with `cargo run -p checker -- --write-baseline`"
+                ),
+            });
+        }
+    }
 }
 
 /// The counting half of pass 3, also used by `--write-baseline`.
@@ -242,21 +267,40 @@ pub fn count_panic_paths(ws: &Workspace, krate: &str) -> Counts {
     let mut c = Counts::default();
     for f in ws.files.iter().filter(|f| f.krate == krate) {
         for idx in 0..f.tokens.len() {
-            if any_call(f, idx, &["unwrap"]).is_some() {
+            if f.any_call_at(idx, &["unwrap"]).is_some() {
                 c.unwrap += 1;
-            } else if any_call(f, idx, &["expect"]).is_some() {
+            } else if f.any_call_at(idx, &["expect"]).is_some() {
                 c.expect += 1;
-            } else if ident_is(f, idx, &["panic"]).is_some()
+            } else if f.ident_at(idx, &["panic", "unreachable"]).is_some()
                 && matches!(
                     f.next_code(idx + 1).map(|i| f.tok(i)),
                     Some(Tok::Punct('!'))
                 )
             {
-                c.panic += 1;
+                if matches!(f.tok(idx), Tok::Ident(s) if s == "panic") {
+                    c.panic += 1;
+                } else {
+                    c.unreachable += 1;
+                }
             }
         }
     }
     c
+}
+
+/// Count `// checker-allow(<pass>):` markers across the non-test library
+/// sources — the other half of the ratchet.
+pub fn count_allow_markers(ws: &Workspace, pass: &str) -> usize {
+    let needle = format!("checker-allow({pass}):");
+    let mut n = 0;
+    for f in ws.files.iter().filter(|f| !f.in_tests_dir) {
+        for t in &f.tokens {
+            if let Tok::LineComment(text) = &t.tok {
+                n += text.matches(&needle).count();
+            }
+        }
+    }
+    n
 }
 
 /// Compute the full baseline for the current tree.
@@ -265,6 +309,12 @@ pub fn current_baseline(ws: &Workspace) -> Baseline {
     for krate in LIBRARY_CRATES {
         b.crates
             .insert(krate.to_string(), count_panic_paths(ws, krate));
+    }
+    for pass in PASS_IDS {
+        let n = count_allow_markers(ws, pass);
+        if n > 0 {
+            b.allows.insert(pass.to_string(), n);
+        }
     }
     b
 }
@@ -290,15 +340,15 @@ pub fn pass_determinism(ws: &Workspace, out: &mut Vec<Diag>) {
                 continue;
             }
             let line = f.tokens[idx].line;
-            let finding = if let Some(n) = ident_is(f, idx, &["Instant", "SystemTime"]) {
+            let finding = if let Some(n) = f.ident_at(idx, &["Instant", "SystemTime"]) {
                 Some(format!(
                     "wall-clock type `{n}` — deterministic crates tell time only \
                      through the simtime clock"
                 ))
-            } else if ident_is(f, idx, &["sleep"]).is_some() && is_thread_path(f, idx) {
+            } else if f.ident_at(idx, &["sleep"]).is_some() && is_thread_path(f, idx) {
                 Some("real `thread::sleep` — park on the simtime clock instead".to_string())
             } else {
-                ident_is(f, idx, &["HashMap", "HashSet"]).map(|n| {
+                f.ident_at(idx, &["HashMap", "HashSet"]).map(|n| {
                     format!(
                         "unordered collection `{n}` — use BTreeMap/BTreeSet or justify \
                          keyed-only access with `// checker-allow(determinism): <why>`"
@@ -385,4 +435,288 @@ pub fn pass_status_literals(ws: &Workspace, out: &mut Vec<Diag>) {
             });
         }
     }
+}
+
+// ----------------------------------------------------------------------
+// Pass 6 — lock-lifetime (flow-aware)
+// ----------------------------------------------------------------------
+
+/// Calls that block the OS thread or advance virtual time — either way,
+/// running one with a `MutexGuard` live is how PR 7's drop deadlock
+/// happened. The set covers std blocking (`join`, `park`, `sleep`,
+/// channel `recv`), the simtime wait vocabulary, and the progress pumps.
+pub const BLOCKING_CALLS: &[&str] = &[
+    "join",
+    "reap",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_labeled",
+    "wait_until",
+    "wait_until_labeled",
+    "wait_result",
+    "wait_delivered",
+    "wait_idle",
+    "pump",
+    "quiesce_machines",
+    "park",
+    "sleep",
+    "advance_until",
+    "advance_ns",
+];
+
+/// `join` is both `JoinHandle::join()` (blocking, zero arguments) and
+/// `slice::join(sep)` (pure string glue). Only the empty-argument form
+/// blocks.
+fn blocking_join_shape(f: &SourceFile, idx: usize) -> bool {
+    let Some(open) = f.next_code(idx + 1) else {
+        return false;
+    };
+    matches!(f.tok(open), Tok::Punct('('))
+        && matches!(
+            f.next_code(open + 1).map(|i| f.tok(i)),
+            Some(Tok::Punct(')'))
+        )
+}
+
+/// DESIGN.md §9 P6: no blocking call and no nested blocking `.lock()`
+/// while a `MutexGuard` is live. Guard lifetimes come from
+/// [`crate::flow::guard_spans`] — `let`-bound guards live to the end of
+/// the enclosing block (or `drop(g)`), `if let`/`match` scrutinee
+/// temporaries live through the whole body and `else` chain (the PR-7
+/// deadlock shape), other temporaries die at their statement.
+///
+/// Two shapes are exempt by construction:
+/// * **Guard handoff** — the blocking call receives the guard binding
+///   itself (`cv.wait(&mut st)`): the callee releases the lock while
+///   blocked. This is the condvar protocol, not a bug.
+/// * **`try_lock`** as the *nested* acquisition: it cannot wait.
+pub fn pass_lock_lifetime(ws: &Workspace, out: &mut Vec<Diag>) {
+    const PASS: &str = "lock-lifetime";
+    for f in ws.files.iter().filter(|f| !f.in_tests_dir) {
+        for def in f.fn_defs() {
+            if f.is_test_token(def.body.0) {
+                continue;
+            }
+            for g in guard_spans(f, def.body) {
+                let kind = match g.kind {
+                    GuardKind::LetBound => "let-bound",
+                    GuardKind::Scrutinee => "scrutinee",
+                    GuardKind::Temporary => "temporary",
+                };
+                for idx in (g.lock_idx + 1)..g.end.min(f.tokens.len()) {
+                    let line = f.tokens[idx].line;
+                    if f.method_call_at(idx, &["lock"]).is_some() {
+                        if f.allowed_at(idx, PASS) || f.allowed_at(g.lock_idx, PASS) {
+                            continue;
+                        }
+                        out.push(Diag {
+                            pass: PASS,
+                            file: f.path.clone(),
+                            line,
+                            msg: format!(
+                                "nested `.lock()` on `{}` while the {kind} guard of \
+                                 `{}` (line {}) is live in `{}` — release first, or \
+                                 use try_lock, or justify the ordering with \
+                                 `// checker-allow(lock-lifetime): <why>` (DESIGN.md §9 P6)",
+                                crate::flow::lock_receiver_name(f, idx),
+                                g.lock_name,
+                                g.line,
+                                def.name,
+                            ),
+                        });
+                    } else if let Some(name) = f.any_call_at(idx, BLOCKING_CALLS) {
+                        if name == "join" && !blocking_join_shape(f, idx) {
+                            continue; // slice::join(sep), not a thread join
+                        }
+                        if call_takes_name(f, idx, g.name.as_deref()) {
+                            continue; // condvar-style guard handoff
+                        }
+                        if f.allowed_at(idx, PASS) || f.allowed_at(g.lock_idx, PASS) {
+                            continue;
+                        }
+                        out.push(Diag {
+                            pass: PASS,
+                            file: f.path.clone(),
+                            line,
+                            msg: format!(
+                                "blocking call `{name}(` while the {kind} guard of \
+                                 `{}` (line {}) is live in `{}` — take the value out \
+                                 of the mutex before blocking (the 04d47ed pattern) \
+                                 (DESIGN.md §9 P6)",
+                                g.lock_name, g.line, def.name,
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.dedup();
+}
+
+// ----------------------------------------------------------------------
+// Pass 7 — lock-order (cross-function)
+// ----------------------------------------------------------------------
+
+/// DESIGN.md §9 P7: the lock-order graph — `held → acquired` edges from
+/// guard spans, propagated one level through direct calls
+/// ([`crate::callgraph`]) — must be acyclic. A cycle means two code
+/// paths take the same locks in opposite orders, which deadlocks the
+/// moment two shard workers interleave. Edges acquired via `try_lock`
+/// don't exist (it cannot wait), and an edge site annotated
+/// `// checker-allow(lock-order): <why>` is removed before the check.
+pub fn pass_lock_order(ws: &Workspace, out: &mut Vec<Diag>) {
+    const PASS: &str = "lock-order";
+    let es = callgraph::edges(ws);
+    for c in callgraph::cycles(&es) {
+        let sites: Vec<String> = c
+            .example
+            .iter()
+            .take(4)
+            .map(|e| {
+                if e.via.is_empty() {
+                    format!("{} → {} at {}:{}", e.held, e.acquired, e.file, e.line)
+                } else {
+                    format!(
+                        "{} → {} via {}() at {}:{}",
+                        e.held, e.acquired, e.via, e.file, e.line
+                    )
+                }
+            })
+            .collect();
+        let (file, line) = c
+            .example
+            .first()
+            .map(|e| (e.file.clone(), e.line))
+            .unwrap_or_default();
+        out.push(Diag {
+            pass: PASS,
+            file,
+            line,
+            msg: format!(
+                "lock-order cycle between {{{}}} — acquisition orders conflict: {} \
+                 (DESIGN.md §9 P7)",
+                c.locks.join(", "),
+                sites.join("; "),
+            ),
+        });
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pass 8 — actor hygiene
+// ----------------------------------------------------------------------
+
+/// DESIGN.md §9 P8: machine bodies — `poll`/`on_wake` of any
+/// `impl SimActor`, and `step` of any `impl EngineOp` — run on shard
+/// workers at a frozen virtual instant and must stay *resumable*: no
+/// OS-blocking primitive (the [`BLOCKING_CALLS`] vocabulary) and no
+/// direct `thread::spawn` (machines are spawned through the clock so
+/// the scheduler can account for them). Test code is exempt — fixtures
+/// deliberately build stuck machines.
+pub fn pass_actor_hygiene(ws: &Workspace, out: &mut Vec<Diag>) {
+    const PASS: &str = "actor-hygiene";
+    // `pump` is in the lock-lifetime vocabulary because it acquires the
+    // defer queue, but it never blocks the OS thread — machines pumping
+    // deferred completions at a frozen instant is the intended progress
+    // pattern, so it is not a hygiene violation.
+    let os_blocking: Vec<&str> = BLOCKING_CALLS
+        .iter()
+        .copied()
+        .filter(|n| *n != "pump")
+        .collect();
+    for f in ws.files.iter().filter(|f| !f.in_tests_dir) {
+        let regions = machine_regions(f);
+        if regions.is_empty() {
+            continue;
+        }
+        for (fn_name, body) in regions {
+            if f.is_test_token(body.0) {
+                continue;
+            }
+            for idx in body.0..body.1 {
+                let line = f.tokens[idx].line;
+                let found = if let Some(n) = f.any_call_at(idx, &os_blocking) {
+                    if n == "join" && !blocking_join_shape(f, idx) {
+                        None // slice::join(sep)
+                    } else {
+                        Some(format!("OS-blocking call `{n}(`"))
+                    }
+                } else if f.ident_at(idx, &["spawn"]).is_some()
+                    && is_thread_path(f, idx)
+                    && matches!(
+                        f.next_code(idx + 1).map(|i| f.tok(i)),
+                        Some(Tok::Punct('('))
+                    )
+                {
+                    Some("direct `thread::spawn`".to_string())
+                } else {
+                    None
+                };
+                if let Some(what) = found {
+                    if f.allowed_at(idx, PASS) {
+                        continue;
+                    }
+                    out.push(Diag {
+                        pass: PASS,
+                        file: f.path.clone(),
+                        line,
+                        msg: format!(
+                            "{what} inside machine body `{fn_name}` — machines run on \
+                             shard workers and must stay resumable: return Pending with \
+                             a wake hint instead (DESIGN.md §9 P8)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Machine-body regions of a file: for each `impl SimActor …` block the
+/// bodies of `poll` and `on_wake`; for each `impl EngineOp …` block the
+/// body of `step`. Returns `(fn name, body token range)` pairs.
+fn machine_regions(f: &SourceFile) -> Vec<(String, (usize, usize))> {
+    let mut out = Vec::new();
+    let defs = f.fn_defs();
+    for idx in 0..f.tokens.len() {
+        if f.ident_at(idx, &["impl"]).is_none() {
+            continue;
+        }
+        // Header: tokens up to the body `{` at paren/bracket depth 0.
+        let mut header_names: Vec<&str> = Vec::new();
+        let mut depth = 0i32;
+        let mut j = idx;
+        let open = loop {
+            let Some(nj) = f.next_code(j + 1) else {
+                break None;
+            };
+            j = nj;
+            match f.tok(j) {
+                Tok::Punct('(' | '[') => depth += 1,
+                Tok::Punct(')' | ']') => depth -= 1,
+                Tok::Punct('{') if depth == 0 => break Some(j),
+                Tok::Punct(';') if depth == 0 => break None,
+                Tok::Ident(s) => header_names.push(s.as_str()),
+                _ => {}
+            }
+        };
+        let Some(open) = open else { continue };
+        let targets: &[&str] = if header_names.contains(&"SimActor") {
+            &["poll", "on_wake"]
+        } else if header_names.contains(&"EngineOp") {
+            &["step"]
+        } else {
+            continue;
+        };
+        let close = f.match_delim(open).unwrap_or(f.tokens.len());
+        for d in &defs {
+            if d.body.0 > open && d.body.1 <= close + 1 && targets.contains(&d.name.as_str()) {
+                out.push((d.name.clone(), d.body));
+            }
+        }
+    }
+    out
 }

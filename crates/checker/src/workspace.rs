@@ -14,6 +14,16 @@ use crate::lexer::{lex, Tok, Token};
 /// by design — the invariants belong to the runtime stack.
 pub const LIBRARY_CRATES: [&str; 5] = ["simtime", "simnet", "minimpi", "minicl", "clmpi"];
 
+/// A `fn` definition found by [`SourceFile::fn_defs`].
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Half-open token range from the body `{` to just past its `}`.
+    pub body: (usize, usize),
+}
+
 /// One lexed source file.
 pub struct SourceFile {
     /// Workspace-relative path with `/` separators, e.g.
@@ -107,6 +117,126 @@ impl SourceFile {
             i = p;
         }
         first
+    }
+
+    /// The identifier at `idx`, if its name is one of `names`.
+    pub fn ident_at<'f>(&'f self, idx: usize, names: &[&str]) -> Option<&'f str> {
+        match self.tok(idx) {
+            Tok::Ident(s) if names.iter().any(|n| n == s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Method-call shape at `idx`: `.` `name` `(` with `name` in `names`.
+    /// Returns the method name. Comments between the tokens are skipped,
+    /// so a marker comment cannot break the match.
+    pub fn method_call_at<'f>(&'f self, idx: usize, names: &[&str]) -> Option<&'f str> {
+        let name = self.ident_at(idx, names)?;
+        if !matches!(
+            self.prev_code(idx).map(|i| self.tok(i)),
+            Some(Tok::Punct('.'))
+        ) {
+            return None;
+        }
+        match self.next_code(idx + 1).map(|i| self.tok(i)) {
+            Some(Tok::Punct('(')) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Call shape at `idx`: `name` `(` with `name` in `names` (any
+    /// receiver, including none). A `fn name(` definition site does not
+    /// match.
+    pub fn any_call_at<'f>(&'f self, idx: usize, names: &[&str]) -> Option<&'f str> {
+        let name = self.ident_at(idx, names)?;
+        if matches!(self.prev_code(idx).map(|i| self.tok(i)), Some(Tok::Ident(k)) if k == "fn") {
+            return None;
+        }
+        match self.next_code(idx + 1).map(|i| self.tok(i)) {
+            Some(Tok::Punct('(')) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Index of the `}` / `)` / `]` code token matching the opener at
+    /// `open`, honoring nesting of the same bracket kind. `None` when the
+    /// file ends first (half-edited source must not crash the tool).
+    pub fn match_delim(&self, open: usize) -> Option<usize> {
+        let (o, c) = match self.tok(open) {
+            Tok::Punct('{') => ('{', '}'),
+            Tok::Punct('(') => ('(', ')'),
+            Tok::Punct('[') => ('[', ']'),
+            _ => return None,
+        };
+        let mut depth = 0usize;
+        let mut i = open;
+        loop {
+            match self.tok(i) {
+                Tok::Punct(p) if *p == o => depth += 1,
+                Tok::Punct(p) if *p == c => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+            i = self.next_code(i + 1)?;
+        }
+    }
+
+    /// Every `fn name … { body }` definition in this file, in source
+    /// order, including impl/trait methods and nested fns. Bodyless trait
+    /// declarations (`fn f(…);`) are skipped. `body` is the half-open
+    /// token range from the opening `{` to just past its matching `}`.
+    pub fn fn_defs(&self) -> Vec<FnDef> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.tokens.len() {
+            let is_fn = matches!(self.tok(i), Tok::Ident(s) if s == "fn");
+            if !is_fn {
+                i += 1;
+                continue;
+            }
+            let Some(ni) = self.next_code(i + 1) else {
+                break;
+            };
+            let Tok::Ident(name) = self.tok(ni) else {
+                i += 1; // `fn(` pointer type — not a definition
+                continue;
+            };
+            // Find the body `{` (or `;` for a bodyless declaration): the
+            // first one at paren/bracket depth 0 after the signature.
+            // Generic angle brackets never contain braces, so they need
+            // no tracking.
+            let mut depth = 0i32;
+            let mut j = ni;
+            let body = loop {
+                let Some(nj) = self.next_code(j + 1) else {
+                    break None;
+                };
+                j = nj;
+                match self.tok(j) {
+                    Tok::Punct('(' | '[') => depth += 1,
+                    Tok::Punct(')' | ']') => depth -= 1,
+                    Tok::Punct(';') if depth == 0 => break None,
+                    Tok::Punct('{') if depth == 0 => break Some(j),
+                    _ => {}
+                }
+            };
+            if let Some(open) = body {
+                let end = self.match_delim(open).map_or(self.tokens.len(), |e| e + 1);
+                out.push(FnDef {
+                    name: name.clone(),
+                    line: self.tokens[i].line,
+                    body: (open, end),
+                });
+                i = open + 1; // descend: nested fns are recorded too
+            } else {
+                i = j + 1;
+            }
+        }
+        out
     }
 
     /// Find a marker anywhere in the statement containing token `idx`:

@@ -1,12 +1,14 @@
-//! Fixture-driven pass tests: for each of the five passes, one fixture
+//! Fixture-driven pass tests: for each of the eight passes, one fixture
 //! that MUST trip it (positive) and one near-identical fixture that must
-//! NOT (negative). The negatives are chosen to be exactly the situations
-//! the old CI grep gates got wrong — forbidden tokens inside comments,
-//! strings, raw strings, and test modules.
+//! NOT (negative). The P1–P5 negatives are chosen to be exactly the
+//! situations the old CI grep gates got wrong — forbidden tokens inside
+//! comments, strings, raw strings, and test modules. The P6–P8 fixtures
+//! replay the real bugs that motivated the flow-aware passes, headlined
+//! by the PR-7 `if let` drop-join deadlock.
 
 use checker::passes::{
-    pass_blocking_markers, pass_determinism, pass_nonblocking_engine, pass_panic_ratchet,
-    pass_status_literals,
+    pass_actor_hygiene, pass_blocking_markers, pass_determinism, pass_lock_lifetime,
+    pass_lock_order, pass_nonblocking_engine, pass_panic_ratchet, pass_status_literals,
 };
 use checker::{Diag, Workspace};
 
@@ -317,4 +319,335 @@ fn p5_separator_and_suffix_forms_still_match() {
     let src = "fn f(e: &Event) { e.fail(1, -1_100); }";
     let out = diags(pass_status_literals, &[("crates/clmpi/src/a.rs", src)], "");
     assert_eq!(out.len(), 1, "`-1_100` is still -1100: {out:?}");
+}
+
+// ------------------------------------------------------------------
+// P3 — unreachable! and allow-marker ratchets (PR 8 extensions)
+// ------------------------------------------------------------------
+
+#[test]
+fn p3_unreachable_is_ratcheted_like_panic() {
+    let src = "fn f(x: u32) -> u32 {\n    match x {\n        0 => 1,\n        _ => unreachable!(\"no\"),\n    }\n}\n";
+    let files = [("crates/simtime/src/a.rs", src)];
+    let exact = "[simtime]\nunwrap = 0\nexpect = 0\npanic = 0\nunreachable = 1\n";
+    assert!(diags(pass_panic_ratchet, &files, exact).is_empty());
+    let tighter = "[simtime]\nunwrap = 0\nexpect = 0\npanic = 0\nunreachable = 0\n";
+    let out = diags(pass_panic_ratchet, &files, tighter);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(out[0].msg.contains("`unreachable!`"), "{}", out[0].msg);
+}
+
+#[test]
+fn p3_new_allow_marker_trips_the_ratchet() {
+    let src = "// checker-allow(lock-lifetime): justified elsewhere\nfn f() {}\n";
+    let files = [("crates/simtime/src/a.rs", src)];
+    let pinned = "[simtime]\n\n[allow]\nlock-lifetime = 1\n";
+    assert!(diags(pass_panic_ratchet, &files, pinned).is_empty());
+    let out = diags(pass_panic_ratchet, &files, "[simtime]\n");
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(
+        out[0].msg.contains("checker-allow(lock-lifetime)"),
+        "{}",
+        out[0].msg
+    );
+    assert!(out[0].msg.contains("ratcheted UP"), "{}", out[0].msg);
+}
+
+// ------------------------------------------------------------------
+// P6 — lock-lifetime
+// ------------------------------------------------------------------
+
+/// The PR-7 deadlock, verbatim in shape: the `if let` scrutinee keeps
+/// the `handle` guard live across `reap()` (which joins the worker
+/// thread), so the worker's own drop path deadlocks against it. This
+/// fixture MUST fail the pass — it is the bug the pass exists for.
+#[test]
+fn p6_pr7_if_let_drop_join_deadlock_is_caught() {
+    let src = r#"
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.lock().take() {
+            h.reap();
+        }
+    }
+}
+"#;
+    let out = diags(
+        pass_lock_lifetime,
+        &[("crates/clmpi/src/engine.rs", src)],
+        "",
+    );
+    assert_eq!(out.len(), 1, "the PR-7 shape must be flagged: {out:?}");
+    assert!(out[0].msg.contains("scrutinee"), "{}", out[0].msg);
+    assert!(
+        out[0].msg.contains("`reap`(") || out[0].msg.contains("reap("),
+        "{}",
+        out[0].msg
+    );
+}
+
+/// The 04d47ed fix pattern: take the handle out of the mutex first.
+/// The guard is a temporary that dies at the `;` — no finding.
+#[test]
+fn p6_take_then_join_pattern_is_clean() {
+    let src = r#"
+impl Drop for Engine {
+    fn drop(&mut self) {
+        let h = self.handle.lock().take();
+        if let Some(h) = h {
+            h.reap();
+        }
+    }
+}
+"#;
+    let out = diags(
+        pass_lock_lifetime,
+        &[("crates/clmpi/src/engine.rs", src)],
+        "",
+    );
+    assert!(out.is_empty(), "the fixed pattern is clean: {out:?}");
+}
+
+#[test]
+fn p6_let_bound_guard_across_blocking_and_nested_lock() {
+    let src = r#"
+fn f(&self) {
+    let st = self.state.lock();
+    self.chan.recv();
+    self.other.lock().push(1);
+    drop(st);
+}
+"#;
+    let out = diags(pass_lock_lifetime, &[("crates/simtime/src/a.rs", src)], "");
+    assert_eq!(out.len(), 2, "one recv + one nested lock: {out:?}");
+    assert!(out
+        .iter()
+        .any(|d| d.msg.contains("`recv`(") || d.msg.contains("recv(")));
+    assert!(out.iter().any(|d| d.msg.contains("nested `.lock()`")));
+}
+
+#[test]
+fn p6_drop_before_blocking_and_condvar_handoff_are_clean() {
+    let src = r#"
+fn f(&self) {
+    let st = self.state.lock();
+    drop(st);
+    self.chan.recv();
+}
+fn waiter(&self) {
+    let mut st = self.state.lock();
+    while !st.ready {
+        st = self.cv.wait(st);
+    }
+}
+fn names(&self) -> String {
+    let st = self.state.lock();
+    st.labels.join(", ")
+}
+"#;
+    let out = diags(pass_lock_lifetime, &[("crates/simtime/src/a.rs", src)], "");
+    assert!(
+        out.is_empty(),
+        "drop-first, guard handoff, and string join are clean: {out:?}"
+    );
+}
+
+#[test]
+fn p6_allow_marker_with_rationale_suppresses() {
+    let src = r#"
+fn pump(&self) {
+    // checker-allow(lock-lifetime): defer serializes the grant order;
+    // cell is a per-job leaf lock.
+    let q = self.defer.lock();
+    for j in q.iter() {
+        j.cell.lock().replace(1);
+    }
+}
+"#;
+    let out = diags(pass_lock_lifetime, &[("crates/clmpi/src/a.rs", src)], "");
+    assert!(out.is_empty(), "justified allow-marker suppresses: {out:?}");
+}
+
+#[test]
+fn p6_test_code_is_exempt() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    fn t(&self) {
+        let st = self.state.lock();
+        self.chan.recv();
+        drop(st);
+    }
+}
+"#;
+    let out = diags(pass_lock_lifetime, &[("crates/simtime/src/a.rs", src)], "");
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ------------------------------------------------------------------
+// P7 — lock-order
+// ------------------------------------------------------------------
+
+#[test]
+fn p7_opposite_acquisition_orders_across_files_cycle() {
+    let a = "fn f(&self) {\n    let g = self.alpha.lock();\n    self.beta.lock().push(1);\n}\n";
+    let b = "fn h(&self) {\n    let g = self.beta.lock();\n    self.alpha.lock().push(1);\n}\n";
+    let out = diags(
+        pass_lock_order,
+        &[
+            ("crates/simtime/src/a.rs", a),
+            ("crates/simtime/src/b.rs", b),
+        ],
+        "",
+    );
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(out[0].msg.contains("simtime:alpha"), "{}", out[0].msg);
+    assert!(out[0].msg.contains("simtime:beta"), "{}", out[0].msg);
+}
+
+#[test]
+fn p7_cross_function_cycle_through_a_direct_call() {
+    let src = r#"
+fn take_beta(&self) {
+    self.beta.lock().push(1);
+}
+fn f(&self) {
+    let g = self.alpha.lock();
+    self.take_beta();
+}
+fn h(&self) {
+    let g = self.beta.lock();
+    self.alpha.lock().push(1);
+}
+"#;
+    let out = diags(pass_lock_order, &[("crates/simtime/src/a.rs", src)], "");
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(out[0].msg.contains("via take_beta()"), "{}", out[0].msg);
+}
+
+#[test]
+fn p7_consistent_order_and_try_lock_are_clean() {
+    let src = r#"
+fn f(&self) {
+    let g = self.alpha.lock();
+    self.beta.lock().push(1);
+}
+fn h(&self) {
+    let g = self.beta.lock();
+    if let Some(a) = self.alpha.try_lock() {
+        use_it(a);
+    }
+}
+"#;
+    let out = diags(pass_lock_order, &[("crates/simtime/src/a.rs", src)], "");
+    assert!(out.is_empty(), "consistent order + try_lock: {out:?}");
+}
+
+#[test]
+fn p7_allow_marker_removes_the_edge() {
+    let src = r#"
+fn f(&self) {
+    let g = self.alpha.lock();
+    // checker-allow(lock-order): alpha strictly outranks beta; the h()
+    // path runs only at shutdown when f() can no longer be entered.
+    self.beta.lock().push(1);
+}
+fn h(&self) {
+    let g = self.beta.lock();
+    self.alpha.lock().push(1);
+}
+"#;
+    let out = diags(pass_lock_order, &[("crates/simtime/src/a.rs", src)], "");
+    assert!(out.is_empty(), "annotated edge is removed: {out:?}");
+}
+
+// ------------------------------------------------------------------
+// P8 — actor hygiene
+// ------------------------------------------------------------------
+
+#[test]
+fn p8_blocking_and_thread_spawn_in_machine_bodies() {
+    let src = r#"
+impl SimActor for QueueCore {
+    fn poll(&mut self, now: SimNs, actor: &Actor) -> MachineStep {
+        self.chan.recv();
+        MachineStep::Pending
+    }
+    fn on_wake(&mut self, now: SimNs, actor: &Actor) -> MachineStep {
+        std::thread::spawn(move || {});
+        MachineStep::Done
+    }
+}
+impl EngineOp for Copy2D {
+    fn step(&mut self, now: SimNs, actor: &Actor) -> Step {
+        self.event.wait(actor);
+        Step::Done
+    }
+}
+"#;
+    let out = diags(
+        pass_actor_hygiene,
+        &[("crates/minicl/src/queue.rs", src)],
+        "",
+    );
+    assert_eq!(out.len(), 3, "{out:?}");
+    assert!(out
+        .iter()
+        .any(|d| d.msg.contains("`recv`(") || d.msg.contains("recv(")));
+    assert!(out.iter().any(|d| d.msg.contains("thread::spawn")));
+    assert!(out
+        .iter()
+        .any(|d| d.msg.contains("`wait`(") || d.msg.contains("wait(")));
+}
+
+#[test]
+fn p8_resumable_machine_and_non_machine_code_are_clean() {
+    let src = r#"
+impl SimActor for QueueCore {
+    fn poll(&mut self, now: SimNs, actor: &Actor) -> MachineStep {
+        // Accessors that merely *name* wait lists are fine.
+        match Event::poll_wait_list(cmd.wait_list()) {
+            Deps::Ready => MachineStep::Pending,
+            Deps::Blocked(t) => MachineStep::Pending,
+        }
+    }
+}
+impl QueueCore {
+    // Not a machine body: the control plane may block (P2 governs it).
+    fn drain(&self, actor: &Actor) {
+        self.done.recv();
+    }
+}
+"#;
+    let out = diags(
+        pass_actor_hygiene,
+        &[("crates/minicl/src/queue.rs", src)],
+        "",
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn p8_allow_marker_and_test_impls_are_exempt() {
+    let live = r#"
+impl SimActor for Probe {
+    fn poll(&mut self, now: SimNs, actor: &Actor) -> MachineStep {
+        // checker-allow(actor-hygiene): diagnostic probe; the harness
+        // guarantees a dedicated shard for it.
+        self.chan.recv();
+        MachineStep::Pending
+    }
+}
+#[cfg(test)]
+mod tests {
+    impl SimActor for Stuck {
+        fn poll(&mut self, now: SimNs, actor: &Actor) -> MachineStep {
+            self.chan.recv(); // deliberately stuck fixture
+            MachineStep::Pending
+        }
+    }
+}
+"#;
+    let out = diags(pass_actor_hygiene, &[("crates/simtime/src/a.rs", live)], "");
+    assert!(out.is_empty(), "{out:?}");
 }

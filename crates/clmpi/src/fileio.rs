@@ -138,6 +138,11 @@ impl SimStorage {
     /// backdated to their (clamped) post instants, so the timeline is
     /// identical to the eager first-come order — minus the race.
     pub(crate) fn pump(&self, now: SimNs) {
+        // checker-allow(lock-lifetime): defer is the serialization point
+        // for the canonical (earliest, prio, seq) grant order — releasing
+        // it mid-grant would let a racing pump interleave reservations.
+        // The nested `cell` lock is a per-job leaf that is never held
+        // across any other acquisition.
         let mut q = self.defer.lock();
         if !q.pending.iter().any(|j| j.earliest < now) {
             return;

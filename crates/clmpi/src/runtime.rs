@@ -80,9 +80,16 @@ impl Inner {
     /// numbering follows its own program order — never the real-time
     /// interleaving of engine threads.
     pub(crate) fn new_op(&self) -> ChildIds {
-        let mut seq = self.op_seq.lock();
-        let ids = ChildIds::new(crate::obs::op_id(self.comm.rank(), *seq));
-        *seq += 1;
+        // Allocate under op_seq alone, then count under obs alone — the
+        // submission counter does not need to be atomic with the id
+        // allocation, and holding both guards would order op_seq before
+        // obs for every submitter.
+        let ids = {
+            let mut seq = self.op_seq.lock();
+            let ids = ChildIds::new(crate::obs::op_id(self.comm.rank(), *seq));
+            *seq += 1;
+            ids
+        };
         self.obs.lock().note_submitted();
         ids
     }

@@ -365,7 +365,9 @@ impl Command {
         }
     }
 
-    fn wait(&self) -> &[Event] {
+    /// The command's event wait list (named to stay distinct from the
+    /// blocking `wait` vocabulary — this is an accessor, it never parks).
+    fn wait_list(&self) -> &[Event] {
         match self {
             Command::Shutdown => &[],
             Command::Task { wait, .. }
@@ -430,7 +432,7 @@ impl SimActor for QueueCore {
                         self.state = ExecState::AwaitDeps(cmd);
                     }
                 },
-                ExecState::AwaitDeps(cmd) => match Event::poll_wait_list(cmd.wait()) {
+                ExecState::AwaitDeps(cmd) => match Event::poll_wait_list(cmd.wait_list()) {
                     WaitListStatus::Pending => {
                         self.state = ExecState::AwaitDeps(cmd);
                         break MachineStep::Pending(None);
