@@ -20,6 +20,7 @@ fn main() {
                     sys: SystemConfig::cichlid(),
                     nodes: 4,
                     strategy: None,
+                    halo: Default::default(),
                 },
             );
         });

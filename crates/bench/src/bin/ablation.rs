@@ -50,6 +50,7 @@ fn main() {
                     sys,
                     nodes: 4,
                     strategy: *strategy,
+                    halo: Default::default(),
                 },
             );
             cells.push(r.gflops);
@@ -74,6 +75,7 @@ fn main() {
                 sys: SystemConfig::cichlid(),
                 nodes: 4,
                 strategy: None,
+                halo: Default::default(),
             },
         );
         println!("{:>16}: {:>8.2} GFLOPS", variant.name(), r.gflops);

@@ -33,6 +33,7 @@ fn main() {
             sys: SystemConfig::ricc(),
             nodes: 2,
             strategy: None,
+            halo: Default::default(),
         },
     );
     println!("Fig. 4(a) — hand-optimized, computation ≥ communication (RICC, 2 nodes, S):");
@@ -47,6 +48,7 @@ fn main() {
         sys: SystemConfig::cichlid(),
         nodes: 4,
         strategy: None,
+        halo: Default::default(),
     };
     let b = run_himeno(Variant::HandOptimized, cfg_b.clone());
     println!("Fig. 4(b) — hand-optimized, communication exposed (Cichlid, 4 nodes, S):");

@@ -74,6 +74,7 @@ fn run_system(sys: SystemConfig, size: GridSize, iters: usize, csv: &mut CsvOut)
             sys: sys.clone(),
             nodes: n,
             strategy,
+            halo: Default::default(),
         };
         let serial = run_himeno(Variant::Serial, cfg(None));
         let hand = run_himeno(Variant::HandOptimized, cfg(None));

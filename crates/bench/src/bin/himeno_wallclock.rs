@@ -54,6 +54,7 @@ fn main() {
         sys: SystemConfig::cichlid(),
         nodes,
         strategy: None,
+        halo: Default::default(),
     };
     // One canonical run for the virtual-time witnesses...
     let him = run_himeno(Variant::ClMpi, cfg());

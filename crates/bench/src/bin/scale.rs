@@ -83,6 +83,7 @@ fn himeno_cfg(nodes: usize) -> HimenoConfig {
         sys: ricc_scaled(nodes),
         nodes,
         strategy: None,
+        halo: Default::default(),
     }
 }
 

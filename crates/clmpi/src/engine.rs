@@ -45,7 +45,7 @@ use minicl::{
     Buffer, ClError, ClResult, Device, Event, HostBuffer, UserEvent, WaitListStatus,
     CL_MPI_TRANSFER_ERROR, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST,
 };
-use minimpi::{Datatype, DropReason, MpiError, Rank, RecvResult, Request, Tag};
+use minimpi::{CommittedType, Datatype, DropReason, MpiError, Rank, RecvResult, Request, Tag};
 use simtime::plock::Mutex;
 use simtime::{
     Actor, Completion, CompletionState, MachineHandle, MachineStep, Monitor, OpSpan, SimActor,
@@ -55,7 +55,31 @@ use simtime::{
 use crate::obs::ChildIds;
 use crate::retry::RetryPolicy;
 use crate::runtime::Inner;
-use crate::strategy::{ResolvedStrategy, TransferStrategy};
+use crate::strategy::{PackMode, ResolvedStrategy, TransferStrategy};
+
+/// A derived-datatype lowering attached to a transfer machine: the
+/// committed type map plus the pack canonicalization mode (the TEMPI
+/// axis). When present, `offset`/`size` on the op describe the *region
+/// base* and the *packed wire size*; the type map routes bytes between
+/// the strided device region and the contiguous wire chunks.
+pub(crate) struct Lowering {
+    pub ty: CommittedType,
+    pub mode: PackMode,
+}
+
+impl Lowering {
+    /// Cost of gathering/scattering the packed range `[lo, hi)` across
+    /// PCIe segment-by-segment (the host-pack baseline): every type-map
+    /// segment pays the full staged latency, which is exactly why real
+    /// MPI implementations lose to device-side packing on strided types.
+    fn host_staged_ns(&self, pcie: &minicl::PcieModel, lo: usize, hi: usize) -> SimNs {
+        self.ty
+            .segments_for_packed_range(lo, hi)
+            .iter()
+            .map(|&(_, len)| pcie.staged_ns(len, true))
+            .sum()
+    }
+}
 
 // ----------------------------------------------------------------------
 // Engine core
@@ -651,6 +675,9 @@ pub(crate) struct SendOp {
     user_tag: Tag,
     wire_tag: Tag,
     strategy: TransferStrategy,
+    /// Derived-datatype lowering: `Some` routes every chunk through the
+    /// type map (and, for the device modes, through a pack kernel).
+    lowering: Option<Lowering>,
     wait: Vec<Event>,
     ue: UserEvent,
     result: Option<ResultSlot>,
@@ -663,6 +690,10 @@ pub(crate) struct SendOp {
 enum SendState {
     WaitDeps,
     // Boxed: the in-flight chunk machine dwarfs the other variants.
+    // With a device-pack lowering each chunk first runs a PackStage (a
+    // pack kernel reserved on the compute timeline) before its d2h hop;
+    // the reservation is backdated, so chunk k's pack overlaps chunk
+    // k−1's wire time without the machine ever blocking.
     Transfer(Box<SendTransfer>),
     Finish { done_at: SimNs },
     Done,
@@ -683,6 +714,12 @@ enum ChunkTrace {
     Mapped { t0: SimNs },
     /// Staged path: the d2h span, then a net span from `d2h.1`.
     Staged { d2h: (SimNs, SimNs) },
+    /// Device-pack path: the pack-kernel span, its d2h hop, then the net
+    /// span from `d2h.1`.
+    Packed {
+        pack: (SimNs, SimNs),
+        d2h: (SimNs, SimNs),
+    },
 }
 
 impl SendOp {
@@ -697,6 +734,7 @@ impl SendOp {
         user_tag: Tag,
         wire_tag: Tag,
         strategy: TransferStrategy,
+        lowering: Option<Lowering>,
         wait: Vec<Event>,
         ue: UserEvent,
         result: Option<ResultSlot>,
@@ -714,6 +752,7 @@ impl SendOp {
             user_tag,
             wire_tag,
             strategy,
+            lowering,
             wait,
             ue,
             result,
@@ -722,6 +761,27 @@ impl SendOp {
             submit_ns,
             state: SendState::WaitDeps,
         }
+    }
+
+    /// Gather the packed range `[lo, hi)` of the lowered type out of the
+    /// device buffer (the simulated pack kernel's data movement; timing
+    /// is charged separately on the relevant resource timeline).
+    /// Associated fn: callable while `self.state` is mutably borrowed.
+    fn gather_packed(
+        buf: &Buffer,
+        offset: usize,
+        ty: &CommittedType,
+        lo: usize,
+        hi: usize,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(hi - lo);
+        for (soff, slen) in ty.segments_for_packed_range(lo, hi) {
+            out.extend_from_slice(
+                &buf.load(offset + soff, slen)
+                    .expect("range checked at enqueue"),
+            );
+        }
+        out
     }
 
     fn settle(&mut self, outcome: ClResult<()>, at: SimNs) -> Step {
@@ -854,36 +914,115 @@ impl EngineOp for SendOp {
                                 // Staged path: chunks flow d2h (pinned
                                 // staging) then network. Retransmits
                                 // re-inject from the host staging copy —
-                                // the d2h stage is not repeated.
+                                // the d2h stage (and any pack kernel) is
+                                // not repeated.
                                 let (coff, clen) = tr.chunks[tr.next_chunk];
                                 tr.next_chunk += 1;
-                                let bytes = self
-                                    .buf
-                                    .load(self.offset + coff, clen)
-                                    .expect("range checked at enqueue");
                                 let earliest = if tr.first {
                                     tr.t0 + pcie.pin_setup_ns
                                 } else {
                                     tr.t0
                                 };
                                 tr.first = false;
-                                let d2h = self
-                                    .device
-                                    .d2h_link()
-                                    .reserve_duration(pcie.staged_ns(clen, true), earliest);
-                                (
-                                    ReliableChunkSend::new(
-                                        &self.inner,
-                                        self.dst,
-                                        self.wire_tag,
-                                        bytes,
-                                        d2h.end,
-                                        None,
-                                    ),
-                                    ChunkTrace::Staged {
-                                        d2h: (d2h.start, d2h.end),
-                                    },
-                                )
+                                match &self.lowering {
+                                    None => {
+                                        let bytes = self
+                                            .buf
+                                            .load(self.offset + coff, clen)
+                                            .expect("range checked at enqueue");
+                                        let d2h = self
+                                            .device
+                                            .d2h_link()
+                                            .reserve_duration(pcie.staged_ns(clen, true), earliest);
+                                        (
+                                            ReliableChunkSend::new(
+                                                &self.inner,
+                                                self.dst,
+                                                self.wire_tag,
+                                                bytes,
+                                                d2h.end,
+                                                None,
+                                            ),
+                                            ChunkTrace::Staged {
+                                                d2h: (d2h.start, d2h.end),
+                                            },
+                                        )
+                                    }
+                                    Some(l) if l.mode == PackMode::HostPack => {
+                                        // Host-pack baseline: the type
+                                        // map is gathered segment-by-
+                                        // segment across PCIe — every
+                                        // segment pays the staged
+                                        // latency.
+                                        let cost = l.host_staged_ns(&pcie, coff, coff + clen);
+                                        let bytes = Self::gather_packed(
+                                            &self.buf,
+                                            self.offset,
+                                            &l.ty,
+                                            coff,
+                                            coff + clen,
+                                        );
+                                        let d2h =
+                                            self.device.d2h_link().reserve_duration(cost, earliest);
+                                        (
+                                            ReliableChunkSend::new(
+                                                &self.inner,
+                                                self.dst,
+                                                self.wire_tag,
+                                                bytes,
+                                                d2h.end,
+                                                None,
+                                            ),
+                                            ChunkTrace::Staged {
+                                                d2h: (d2h.start, d2h.end),
+                                            },
+                                        )
+                                    }
+                                    Some(_) => {
+                                        // PackStage: an on-device pack
+                                        // kernel canonicalizes this
+                                        // chunk's type-map slice into
+                                        // contiguous staging memory
+                                        // (reads strided + writes packed
+                                        // = 2× the bytes through device
+                                        // memory), then a single d2h hop
+                                        // moves the packed bytes. Both
+                                        // are backdated reservations, so
+                                        // chunk k's pack overlaps chunk
+                                        // k−1's wire time.
+                                        let spec = self.device.spec();
+                                        let pack = self.device.pack_link().reserve_duration(
+                                            spec.membound_kernel_ns(2 * clen),
+                                            earliest,
+                                        );
+                                        let l = self.lowering.as_ref().expect("lowered op");
+                                        let bytes = Self::gather_packed(
+                                            &self.buf,
+                                            self.offset,
+                                            &l.ty,
+                                            coff,
+                                            coff + clen,
+                                        );
+                                        let d2h = self
+                                            .device
+                                            .d2h_link()
+                                            .reserve_duration(pcie.staged_ns(clen, true), pack.end);
+                                        (
+                                            ReliableChunkSend::new(
+                                                &self.inner,
+                                                self.dst,
+                                                self.wire_tag,
+                                                bytes,
+                                                d2h.end,
+                                                None,
+                                            ),
+                                            ChunkTrace::Packed {
+                                                pack: (pack.start, pack.end),
+                                                d2h: (d2h.start, d2h.end),
+                                            },
+                                        )
+                                    }
+                                }
                             }
                             TransferStrategy::Auto => {
                                 unreachable!("strategy resolved before dispatch")
@@ -930,6 +1069,51 @@ impl EngineOp for SendOp {
                                         format!("net→{}", self.dst),
                                         d2h.1,
                                         done,
+                                    );
+                                    record_child(
+                                        &self.inner,
+                                        &mut self.ids,
+                                        "dev",
+                                        "d2h".into(),
+                                        "stage.d2h",
+                                        d2h.0,
+                                        d2h.1,
+                                        clen,
+                                        true,
+                                    );
+                                    record_child(
+                                        &self.inner,
+                                        &mut self.ids,
+                                        "net",
+                                        format!("net→{}", self.dst),
+                                        "chunk",
+                                        d2h.1,
+                                        done,
+                                        clen,
+                                        true,
+                                    );
+                                }
+                                ChunkTrace::Packed { pack, d2h } => {
+                                    self.inner
+                                        .trace
+                                        .record(lane.as_str(), "pack", pack.0, pack.1);
+                                    self.inner.trace.record(lane.as_str(), "d2h", d2h.0, d2h.1);
+                                    self.inner.trace.record(
+                                        lane.as_str(),
+                                        format!("net→{}", self.dst),
+                                        d2h.1,
+                                        done,
+                                    );
+                                    record_child(
+                                        &self.inner,
+                                        &mut self.ids,
+                                        "dev",
+                                        "pack".into(),
+                                        "stage.pack",
+                                        pack.0,
+                                        pack.1,
+                                        clen,
+                                        true,
                                     );
                                     record_child(
                                         &self.inner,
@@ -1002,6 +1186,10 @@ pub(crate) struct RecvOp {
     user_tag: Tag,
     wire_tag: Tag,
     strategy: TransferStrategy,
+    /// Derived-datatype lowering: `Some` scatters every arrived chunk
+    /// through the type map (and, for the device modes, through an
+    /// unpack kernel first).
+    lowering: Option<Lowering>,
     wait: Vec<Event>,
     ue: UserEvent,
     result: Option<ResultSlot>,
@@ -1033,6 +1221,15 @@ enum RecvState {
         start: SimNs,
         end: SimNs,
     },
+    /// Device-unpack lowering: the packed chunk landed in device staging
+    /// memory at the end of its h2d hop; an unpack kernel scatters it
+    /// through the type map until `end` (reserved on the compute
+    /// timeline, so it serializes with the app's own kernels).
+    UnpackStage {
+        data: Vec<u8>,
+        start: SimNs,
+        end: SimNs,
+    },
     /// Mapped path: the post-transfer unmap cost.
     Unmap {
         resume_at: SimNs,
@@ -1052,6 +1249,7 @@ impl RecvOp {
         user_tag: Tag,
         wire_tag: Tag,
         strategy: TransferStrategy,
+        lowering: Option<Lowering>,
         wait: Vec<Event>,
         ue: UserEvent,
         result: Option<ResultSlot>,
@@ -1069,6 +1267,7 @@ impl RecvOp {
             user_tag,
             wire_tag,
             strategy,
+            lowering,
             wait,
             ue,
             result,
@@ -1078,6 +1277,19 @@ impl RecvOp {
             received: 0,
             recv_t0: 0,
             state: RecvState::WaitDeps,
+        }
+    }
+
+    /// Scatter an arrived packed chunk (packed offset `lo`) into the
+    /// strided destination region through the type map.
+    fn scatter_packed(&self, lo: usize, data: &[u8]) {
+        let l = self.lowering.as_ref().expect("lowered op");
+        let mut pos = 0usize;
+        for (soff, slen) in l.ty.segments_for_packed_range(lo, lo + data.len()) {
+            self.buf
+                .store(self.offset + soff, &data[pos..pos + slen])
+                .expect("range checked at enqueue");
+            pos += slen;
         }
     }
 
@@ -1244,10 +1456,20 @@ impl EngineOp for RecvOp {
                             }
                             TransferStrategy::Pinned | TransferStrategy::Pipelined(_) => {
                                 let pcie = self.device.spec().pcie;
-                                let h2d = self
-                                    .device
-                                    .h2d_link()
-                                    .reserve_duration(pcie.staged_ns(r.data.len(), true), now);
+                                // Host-unpack baseline: the chunk's
+                                // type-map segments are scattered one by
+                                // one across PCIe, each paying the
+                                // staged latency. Every other path moves
+                                // the packed bytes in one hop.
+                                let cost = match &self.lowering {
+                                    Some(l) if l.mode == PackMode::HostPack => l.host_staged_ns(
+                                        &pcie,
+                                        self.received,
+                                        self.received + r.data.len(),
+                                    ),
+                                    _ => pcie.staged_ns(r.data.len(), true),
+                                };
+                                let h2d = self.device.h2d_link().reserve_duration(cost, now);
                                 self.state = RecvState::Stage {
                                     data: r.data,
                                     start: h2d.start,
@@ -1317,9 +1539,6 @@ impl EngineOp for RecvOp {
                     let RecvState::Stage { data, start, end } = state else {
                         unreachable!("matched above")
                     };
-                    self.buf
-                        .store(self.offset + self.received, &data)
-                        .expect("range checked at enqueue");
                     let lane = format!("r{}.comm", self.inner.comm.rank());
                     self.inner.trace.record(lane.as_str(), "h2d", start, end);
                     record_child(
@@ -1328,6 +1547,62 @@ impl EngineOp for RecvOp {
                         "dev",
                         "h2d".into(),
                         "stage.h2d",
+                        start,
+                        end,
+                        data.len() as u64,
+                        true,
+                    );
+                    match &self.lowering {
+                        None => {
+                            self.buf
+                                .store(self.offset + self.received, &data)
+                                .expect("range checked at enqueue");
+                        }
+                        Some(l) if l.mode == PackMode::HostPack => {
+                            // The host already scattered segment-by-
+                            // segment during the h2d hop.
+                            self.scatter_packed(self.received, &data);
+                        }
+                        Some(_) => {
+                            // UnpackStage: the packed chunk landed in
+                            // device staging memory; an unpack kernel
+                            // (2× the bytes through device memory)
+                            // scatters it through the type map.
+                            let spec = self.device.spec();
+                            let unpack = self
+                                .device
+                                .pack_link()
+                                .reserve_duration(spec.membound_kernel_ns(2 * data.len()), end);
+                            self.state = RecvState::UnpackStage {
+                                data,
+                                start: unpack.start,
+                                end: unpack.end,
+                            };
+                            continue;
+                        }
+                    }
+                    if let Some(step) = self.chunk_done(data.len(), now, actor) {
+                        return step;
+                    }
+                }
+                RecvState::UnpackStage { end, .. } => {
+                    let end = *end;
+                    if now < end {
+                        return Step::Park(Some(end));
+                    }
+                    let state = std::mem::replace(&mut self.state, RecvState::Done);
+                    let RecvState::UnpackStage { data, start, end } = state else {
+                        unreachable!("matched above")
+                    };
+                    self.scatter_packed(self.received, &data);
+                    let lane = format!("r{}.comm", self.inner.comm.rank());
+                    self.inner.trace.record(lane.as_str(), "unpack", start, end);
+                    record_child(
+                        &self.inner,
+                        &mut self.ids,
+                        "dev",
+                        "unpack".into(),
+                        "stage.unpack",
                         start,
                         end,
                         data.len() as u64,

@@ -1058,7 +1058,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "a rank panicked")]
+    #[should_panic(expected = "clock poisoned by a panicking actor")]
     fn reading_missing_file_fails() {
         run_world_sized(SystemConfig::ricc().cluster.clone(), 1, |p| {
             let rt = crate::ClMpi::new(&p, SystemConfig::ricc());

@@ -69,7 +69,7 @@ pub use obs::{chrome_trace, validate_json, ObsCounters, ObsSummary, OverlapRepor
 pub use retry::RetryPolicy;
 pub use runtime::{ClMpi, ClRecvRequest, ClSendRequest, RequestOutcome};
 pub use stats::{FaultStats, TransferStats};
-pub use strategy::{analytic, chunk_layout, ResolvedStrategy, TransferStrategy};
+pub use strategy::{analytic, chunk_layout, PackMode, ResolvedStrategy, TransferStrategy};
 pub use system::SystemConfig;
 
 // Event execution status of a transfer that failed permanently (retry

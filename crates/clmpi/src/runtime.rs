@@ -24,17 +24,17 @@ use simtime::plock::Mutex;
 use std::sync::Arc;
 
 use minicl::{Buffer, ClError, ClResult, CommandQueue, Context, Device, Event, HostBuffer};
-use minimpi::{Comm, MpiError, Process, Rank, RecvResult, Request, Tag};
+use minimpi::{Comm, CommittedType, MpiError, Process, Rank, RecvResult, Request, Tag};
 use simtime::{Actor, Monitor, SimClock, SimNs, Trace};
 
 use crate::data_tag;
 use crate::engine::{
-    record_envelope, Engine, EventFromRequestOp, HostSendOp, IrecvClOp, RecvOp, ResultSlot, SendOp,
-    SendSlot,
+    record_envelope, Engine, EventFromRequestOp, HostSendOp, IrecvClOp, Lowering, RecvOp,
+    ResultSlot, SendOp, SendSlot,
 };
 use crate::obs::{ChildIds, ObsCounters};
 use crate::retry::RetryPolicy;
-use crate::strategy::{ResolvedStrategy, TransferStrategy};
+use crate::strategy::{PackMode, ResolvedStrategy, TransferStrategy};
 use crate::system::SystemConfig;
 
 /// Loss bookkeeping behind the degradation heuristic.
@@ -442,6 +442,7 @@ impl ClMpi {
             tag,
             wire_tag,
             strategy,
+            None,
             wait_list.to_vec(),
             ue,
             None,
@@ -492,6 +493,7 @@ impl ClMpi {
             tag,
             wire_tag,
             strategy,
+            None,
             wait_list.to_vec(),
             ue,
             None,
@@ -549,6 +551,168 @@ impl ClMpi {
     }
 
     // ------------------------------------------------------------------
+    // Derived-datatype transfers (TEMPI-style device-side packing)
+    // ------------------------------------------------------------------
+
+    /// The wire strategy a pack mode lowers to: the contiguous packed
+    /// payload is staged (pinned) for the one-shot modes, or chunked
+    /// (pipelined) so pack kernels overlap earlier chunks' wire time.
+    fn pack_wire_strategy(&self, mode: PackMode, packed: usize) -> TransferStrategy {
+        match mode {
+            PackMode::HostPack | PackMode::DevicePack => TransferStrategy::Pinned,
+            PackMode::PipelinedPack => self
+                .inner
+                .cfg
+                .resolve(TransferStrategy::Pipelined(0), packed.max(1)),
+        }
+    }
+
+    /// `clEnqueueSendBufferDatatype`: send the committed derived type
+    /// `ty`, described over the region starting at `offset` of device
+    /// buffer `buf`, to rank `dst`. Only the type map's bytes
+    /// ([`CommittedType::packed_size`]) cross PCIe and the wire; `mode`
+    /// decides who canonicalizes them (host gather vs on-device pack
+    /// kernel vs pack fused into the pipelined transfer). A contiguous
+    /// committed type takes the plain contiguous path unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_send_datatype(
+        &self,
+        queue: &CommandQueue,
+        buf: &Buffer,
+        blocking: bool,
+        offset: usize,
+        ty: &CommittedType,
+        mode: PackMode,
+        dst: Rank,
+        tag: Tag,
+        wait_list: &[Event],
+        actor: &Actor,
+    ) -> ClResult<Event> {
+        buf.check_range(offset, ty.extent())?;
+        if ty.is_contiguous() {
+            return self.enqueue_send_buffer(
+                queue,
+                buf,
+                blocking,
+                offset,
+                ty.packed_size(),
+                dst,
+                tag,
+                wait_list,
+                actor,
+            );
+        }
+        if dst >= self.inner.comm.size() {
+            return Err(ClError::InvalidValue(format!("rank {dst} out of range")));
+        }
+        let wire_tag = crate::checked_data_tag(tag)?;
+        let packed = ty.packed_size();
+        let ue = self
+            .inner
+            .ctx
+            .create_user_event(format!("send-dt→{dst}#{tag}"));
+        let event = ue.event();
+        let strategy = self.pack_wire_strategy(mode, packed);
+        let ids = self.inner.new_op();
+        self.inner.engine.submit(Box::new(SendOp::new(
+            self.inner.clone(),
+            queue.device().clone(),
+            buf.clone(),
+            offset,
+            packed,
+            dst,
+            tag,
+            wire_tag,
+            strategy,
+            Some(Lowering {
+                ty: ty.clone(),
+                mode,
+            }),
+            wait_list.to_vec(),
+            ue,
+            None,
+            ids,
+            self.inner.clock.now_ns(),
+        )));
+        if blocking {
+            event.wait(actor); // blocking-api: explicit blocking enqueue flag
+        }
+        Ok(event)
+    }
+
+    /// `clEnqueueRecvBufferDatatype`: receive the committed derived type
+    /// `ty` into the region starting at `offset` of device buffer `buf`
+    /// from rank `src`. The wire carries the packed bytes; `mode` decides
+    /// whether the host scatters them segment-by-segment or an on-device
+    /// unpack kernel does (with the pipelined mode unpacking chunk *k*
+    /// while chunk *k+1* is still on the wire).
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_recv_datatype(
+        &self,
+        queue: &CommandQueue,
+        buf: &Buffer,
+        blocking: bool,
+        offset: usize,
+        ty: &CommittedType,
+        mode: PackMode,
+        src: Rank,
+        tag: Tag,
+        wait_list: &[Event],
+        actor: &Actor,
+    ) -> ClResult<Event> {
+        buf.check_range(offset, ty.extent())?;
+        if ty.is_contiguous() {
+            return self.enqueue_recv_buffer(
+                queue,
+                buf,
+                blocking,
+                offset,
+                ty.packed_size(),
+                src,
+                tag,
+                wait_list,
+                actor,
+            );
+        }
+        if src >= self.inner.comm.size() {
+            return Err(ClError::InvalidValue(format!("rank {src} out of range")));
+        }
+        let wire_tag = crate::checked_data_tag(tag)?;
+        let packed = ty.packed_size();
+        let ue = self
+            .inner
+            .ctx
+            .create_user_event(format!("recv-dt←{src}#{tag}"));
+        let event = ue.event();
+        let strategy = self.pack_wire_strategy(mode, packed);
+        let ids = self.inner.new_op();
+        self.inner.engine.submit(Box::new(RecvOp::new(
+            self.inner.clone(),
+            queue.device().clone(),
+            buf.clone(),
+            offset,
+            packed,
+            src,
+            tag,
+            wire_tag,
+            strategy,
+            Some(Lowering {
+                ty: ty.clone(),
+                mode,
+            }),
+            wait_list.to_vec(),
+            ue,
+            None,
+            ids,
+            self.inner.clock.now_ns(),
+        )));
+        if blocking {
+            event.wait(actor); // blocking-api: explicit blocking enqueue flag
+        }
+        Ok(event)
+    }
+
+    // ------------------------------------------------------------------
     // GPU-aware MPI comparator (paper §II related work)
     // ------------------------------------------------------------------
 
@@ -589,6 +753,7 @@ impl ClMpi {
             tag,
             data_tag(tag),
             strategy,
+            None,
             Vec::new(),
             ue,
             Some(slot.clone()),
@@ -630,6 +795,7 @@ impl ClMpi {
             tag,
             data_tag(tag),
             strategy,
+            None,
             Vec::new(),
             ue,
             Some(slot.clone()),

@@ -49,6 +49,39 @@ impl TransferStrategy {
     }
 }
 
+/// How a derived (noncontiguous) datatype is canonicalized onto the wire
+/// — the TEMPI axis (PAPERS.md): who gathers the type map into contiguous
+/// bytes, and whether the pack overlaps the transfer. Orthogonal to
+/// [`TransferStrategy`]: the pack mode decides *who* packs, the strategy
+/// decides how the packed bytes cross PCIe and the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackMode {
+    /// Gather/scatter segment-by-segment across PCIe: every type-map
+    /// segment pays the full staged latency. This is what stock MPI
+    /// implementations do with `MPI_Type_vector` on device memory, and
+    /// why they lose badly on strided halos.
+    HostPack,
+    /// One on-device pack/unpack kernel canonicalizes the whole type map
+    /// in device memory; the packed payload crosses PCIe and the wire as
+    /// a single contiguous message.
+    DevicePack,
+    /// Device pack fused into the pipelined transfer: the packed payload
+    /// is chunked, and chunk *k*'s pack kernel overlaps chunk *k−1*'s
+    /// PCIe and network stages.
+    PipelinedPack,
+}
+
+impl PackMode {
+    /// Short display name for stats/bench keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PackMode::HostPack => "host-pack",
+            PackMode::DevicePack => "device-pack",
+            PackMode::PipelinedPack => "pipelined-pack",
+        }
+    }
+}
+
 /// A fully-resolved plan for one transfer (strategy + chunk layout).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResolvedStrategy {

@@ -222,7 +222,7 @@ fn step_iter(
     );
     ek.wait(&p.actor); // kernels are local; they never fail
                        // Both exchanges enqueued before any wait (non-blocking pairs).
-    let x_down = exchange_clmpi(rt, q, p, new, slab, slab.down, 1, 0, TAG_DOWN, &[]);
+    let x_down = exchange_clmpi(rt, q, p, new, slab, slab.down, 1, 0, TAG_DOWN, &[], None);
     let x_up = exchange_clmpi(
         rt,
         q,
@@ -234,6 +234,7 @@ fn step_iter(
         slab.n + 1,
         TAG_UP,
         &[],
+        None,
     );
     for e in x_down.iter().chain(x_up.iter()) {
         e.wait_result(&p.actor)?;
@@ -273,6 +274,7 @@ fn rank_recover(cfg: &RecoverConfig, storage: SimStorage, p: Process) -> RankOut
         sys: cfg.sys.clone(),
         nodes: cfg.nodes,
         strategy: None,
+        halo: Default::default(),
     };
     let me = p.rank();
     let rt = ClMpi::new(&p, cfg.sys.clone());

@@ -20,9 +20,9 @@
 
 use std::sync::Arc;
 
-use clmpi::{ClMpi, SystemConfig, TransferStrategy};
+use clmpi::{ClMpi, PackMode, SystemConfig, TransferStrategy};
 use minicl::{Buffer, CommandQueue, Event, HostBuffer};
-use minimpi::{run_world_faulty_mode, FaultPlan, Process, Tag};
+use minimpi::{run_world_faulty_mode, CommittedType, DerivedType, FaultPlan, Process, Tag};
 use simtime::plock::Mutex;
 use simtime::SimNs;
 
@@ -64,6 +64,23 @@ impl Variant {
     }
 }
 
+/// How the clMPI variant describes a halo face to the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HaloMode {
+    /// Exchange the full boundary plane as one contiguous buffer region
+    /// (shell bytes included). This is the baseline path and reproduces
+    /// the historical behavior bit-for-bit.
+    #[default]
+    Plane,
+    /// Describe the face as an interior `Subarray` derived datatype over
+    /// the plane and let the runtime pack it — host-gather or on-device
+    /// pack kernel per [`PackMode`]. Bit-identical physics: the stencil
+    /// only ever reads the ghost plane's interior, and the shell bytes
+    /// the plane path would re-send are init values both ranks already
+    /// share (kernels never write plane shells).
+    Datatype(PackMode),
+}
+
 /// Parameters of one Himeno run.
 #[derive(Clone)]
 pub struct HimenoConfig {
@@ -77,6 +94,9 @@ pub struct HimenoConfig {
     pub nodes: usize,
     /// Force a clMPI transfer strategy (ablation); `None` = Auto.
     pub strategy: Option<TransferStrategy>,
+    /// Halo-face description for the clMPI variants (other variants
+    /// always stage full planes through the host).
+    pub halo: HaloMode,
 }
 
 /// Measured output of one run.
@@ -632,6 +652,24 @@ fn run_clmpi(
     let even = rank.is_multiple_of(2);
     let q = rt.context().create_queue(0, format!("r{rank}q"));
     q.set_trace(p.comm.world().trace().clone(), format!("r{rank}.gpu"));
+    // The face datatype, committed once per rank: the plane's interior
+    // (mj−2)×(mk−2) f32 window at starts (1,1) — the only bytes the
+    // neighbor's stencil reads.
+    let face: Option<(CommittedType, PackMode)> = match cfg.halo {
+        HaloMode::Plane => None,
+        HaloMode::Datatype(mode) => Some((
+            DerivedType::Subarray {
+                elem: 4,
+                sizes: vec![slab.mj, slab.mk],
+                subsizes: vec![slab.mj - 2, slab.mk - 2],
+                starts: vec![1, 1],
+            }
+            .commit()
+            .expect("interior face type"),
+            mode,
+        )),
+    };
+    let face = face.as_ref();
     // Events of the previous iteration's exchanges and kernels.
     let mut e_phase2_xfer: Vec<Event> = Vec::new(); // gate next first kernel
     let mut e_first_prev: Option<Event> = None;
@@ -650,7 +688,9 @@ fn run_clmpi(
             // x1's gate.
             let gate1: Vec<Event> = e_first_prev.iter().cloned().collect();
             let x1 = if even {
-                exchange_clmpi(rt, &q, p, old, slab, slab.down, 1, 0, TAG_DOWN, &gate1)
+                exchange_clmpi(
+                    rt, &q, p, old, slab, slab.down, 1, 0, TAG_DOWN, &gate1, face,
+                )
             } else {
                 exchange_clmpi(
                     rt,
@@ -663,6 +703,7 @@ fn run_clmpi(
                     slab.n + 1,
                     TAG_UP,
                     &gate1,
+                    face,
                 )
             };
             let mut w: Vec<Event> = std::mem::take(&mut e_phase2_xfer);
@@ -693,9 +734,12 @@ fn run_clmpi(
                     slab.n + 1,
                     TAG_UP,
                     &gate2,
+                    face,
                 )
             } else {
-                exchange_clmpi(rt, &q, p, new, slab, slab.down, 1, 0, TAG_DOWN, &gate2)
+                exchange_clmpi(
+                    rt, &q, p, new, slab, slab.down, 1, 0, TAG_DOWN, &gate2, face,
+                )
             };
             e_phase2_xfer = x2;
             e_first_prev = Some(e.clone());
@@ -743,7 +787,9 @@ fn run_clmpi(
         // previous iteration's second-half kernel which produced the data.
         let gate1: Vec<Event> = e_second_prev.iter().cloned().collect();
         let x1 = if even {
-            exchange_clmpi(rt, &q, p, old, slab, slab.down, 1, 0, TAG_DOWN, &gate1)
+            exchange_clmpi(
+                rt, &q, p, old, slab, slab.down, 1, 0, TAG_DOWN, &gate1, face,
+            )
         } else {
             exchange_clmpi(
                 rt,
@@ -756,6 +802,7 @@ fn run_clmpi(
                 slab.n + 1,
                 TAG_UP,
                 &gate1,
+                face,
             )
         };
         // Phase 2 kernel: waits the phase-1 exchange (its ghost/planes)
@@ -804,9 +851,12 @@ fn run_clmpi(
                 slab.n + 1,
                 TAG_UP,
                 &gate2,
+                face,
             )
         } else {
-            exchange_clmpi(rt, &q, p, new, slab, slab.down, 1, 0, TAG_DOWN, &gate2)
+            exchange_clmpi(
+                rt, &q, p, new, slab, slab.down, 1, 0, TAG_DOWN, &gate2, face,
+            )
         };
         e_phase2_xfer = x2;
         e_first_prev = Some(e_first);
@@ -840,6 +890,7 @@ pub(crate) fn exchange_clmpi(
     ghost_plane: usize,
     dir_tag: Tag,
     gate: &[Event],
+    face: Option<&(CommittedType, PackMode)>,
 ) -> Vec<Event> {
     let Some(nb) = neighbor else {
         return Vec::new();
@@ -851,6 +902,39 @@ pub(crate) fn exchange_clmpi(
     } else {
         (TAG_UP, TAG_DOWN)
     };
+    if let Some((ty, mode)) = face {
+        // Datatype path: ship only the plane's interior window; the
+        // runtime packs it per `mode` (host gather / device pack kernel).
+        let es = rt
+            .enqueue_send_datatype(
+                q,
+                buf,
+                false,
+                slab.plane_off(send_plane),
+                ty,
+                *mode,
+                nb,
+                send_tag,
+                gate,
+                &p.actor,
+            )
+            .expect("send boundary face");
+        let er = rt
+            .enqueue_recv_datatype(
+                q,
+                buf,
+                false,
+                slab.plane_off(ghost_plane),
+                ty,
+                *mode,
+                nb,
+                recv_tag,
+                gate,
+                &p.actor,
+            )
+            .expect("recv ghost face");
+        return vec![es, er];
+    }
     let es = rt
         .enqueue_send_buffer(
             q,

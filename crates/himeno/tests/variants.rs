@@ -2,8 +2,13 @@
 //! physics as the single-threaded reference, and their relative timing
 //! must reflect the paper's overlap story.
 
-use clmpi::SystemConfig;
-use himeno::{reference_jacobi, run_himeno, GridSize, HimenoConfig, Variant};
+use clmpi::{PackMode, SystemConfig};
+use himeno::{
+    reference_jacobi, run_himeno, run_himeno_with_faults_mode, GridSize, HaloMode, HimenoConfig,
+    Variant,
+};
+use minimpi::FaultPlan;
+use simtime::ExecMode;
 
 fn cfg(sys: SystemConfig, nodes: usize, iters: usize) -> HimenoConfig {
     HimenoConfig {
@@ -12,6 +17,7 @@ fn cfg(sys: SystemConfig, nodes: usize, iters: usize) -> HimenoConfig {
         sys,
         nodes,
         strategy: None,
+        halo: Default::default(),
     }
 }
 
@@ -128,6 +134,7 @@ fn degenerate_slabs_match_reference() {
                     sys,
                     nodes,
                     strategy: None,
+                    halo: Default::default(),
                 },
             );
             let rel_p = (res.checksum - ref_sum).abs() / ref_sum;
@@ -220,5 +227,73 @@ fn single_node_variants_agree_on_gflops_scale() {
         "serial {} vs clMPI {} on one node",
         s.gflops,
         c.gflops
+    );
+}
+
+#[test]
+fn datatype_halo_is_bitwise_identical_in_both_exec_modes() {
+    // The strided-face exchange (interior Subarray per plane) must not
+    // change the physics at all: same decomposition, same arithmetic,
+    // same summation order — so checksum and gosa are *bitwise* equal to
+    // the contiguous-plane baseline, which itself matches the serial
+    // reference. Verified under every pack mode and both schedulers.
+    let iters = 4;
+    let nodes = 4;
+    let run = |halo: HaloMode, mode: ExecMode| {
+        let mut c = cfg(SystemConfig::ricc(), nodes, iters);
+        c.halo = halo;
+        run_himeno_with_faults_mode(Variant::ClMpi, c, FaultPlan::none(), mode)
+    };
+    let (ref_sum, ref_gosa) = reference_checksum(GridSize::Xs, iters);
+    let base = run(HaloMode::Plane, ExecMode::Threads);
+    assert!((base.checksum - ref_sum).abs() / ref_sum < 1e-10);
+    for pack in [
+        PackMode::HostPack,
+        PackMode::DevicePack,
+        PackMode::PipelinedPack,
+    ] {
+        for exec in [ExecMode::Threads, ExecMode::Events] {
+            let r = run(HaloMode::Datatype(pack), exec);
+            assert_eq!(
+                r.checksum.to_bits(),
+                base.checksum.to_bits(),
+                "{} halo / {exec:?}: checksum must be bitwise identical",
+                pack.name()
+            );
+            assert_eq!(
+                r.gosa.to_bits(),
+                base.gosa.to_bits(),
+                "{} halo / {exec:?}: gosa must be bitwise identical",
+                pack.name()
+            );
+            assert!(
+                (r.checksum - ref_sum).abs() / ref_sum < 1e-10
+                    && (r.gosa - ref_gosa).abs() / ref_gosa < 1e-9,
+                "{} halo / {exec:?}: must match the serial reference",
+                pack.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn device_pack_halo_beats_host_pack_halo() {
+    // The interior face of an Xs plane is 31 noncontiguous rows, so the
+    // host-pack path stages 31 PCIe hops per exchange while device-pack
+    // runs one pack kernel and a single hop. Device-pack must win.
+    // (Full-plane stays the default: for a face this small and nearly
+    // dense, the extra pack/unpack kernel launches cost more than the
+    // shell bytes they avoid sending.)
+    let iters = 4;
+    let time = |halo: HaloMode| {
+        let mut c = cfg(SystemConfig::cichlid(), 4, iters);
+        c.halo = halo;
+        run_himeno(Variant::ClMpi, c).elapsed_ns
+    };
+    let host = time(HaloMode::Datatype(PackMode::HostPack));
+    let device = time(HaloMode::Datatype(PackMode::DevicePack));
+    assert!(
+        device < host,
+        "device-pack face ({device}) must beat host-pack face ({host})"
     );
 }

@@ -19,6 +19,13 @@ struct DeviceInner {
     /// (the concurrency these GPUs actually offer is compute/DMA overlap,
     /// which the separate PCIe timelines already model).
     compute: Link,
+    /// The pack engine: the dedicated stream the runtime's datatype
+    /// pack/unpack kernels run on (TEMPI-style), serialized among
+    /// themselves but overlapping application kernels. Kept separate from
+    /// `compute` so only the transfer engine's actor ever reserves it —
+    /// two unordered actors sharing one FIFO timeline would make the
+    /// schedule depend on wall-clock interleaving.
+    pack: Link,
 }
 
 /// A compute device within a context. Cheap to clone.
@@ -51,6 +58,11 @@ impl Device {
     /// The compute-engine timeline (kernels serialize on it).
     pub fn compute_link(&self) -> &Link {
         &self.inner.compute
+    }
+
+    /// The pack-engine timeline (runtime datatype pack/unpack kernels).
+    pub fn pack_link(&self) -> &Link {
+        &self.inner.pack
     }
 }
 
@@ -91,6 +103,7 @@ impl Context {
                         h2d: Link::new(clock.clone(), pcie_link),
                         d2h: Link::new(clock.clone(), pcie_link),
                         compute: Link::new(clock.clone(), engine),
+                        pack: Link::new(clock.clone(), engine),
                     }),
                 }
             })

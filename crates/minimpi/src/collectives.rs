@@ -141,7 +141,10 @@ impl Comm {
             let mut acc = contrib.to_vec();
             for _ in 0..self.size() - 1 {
                 let res = self.recv(actor, None, Some(COLL_REDUCE));
-                op.fold(&mut acc, &crate::datatype::bytes_to_f64(&res.data));
+                let vals = crate::datatype::try_bytes_to_f64(&res.data).unwrap_or_else(|e| {
+                    panic!("reduce: contribution from rank {}: {e}", res.status.source)
+                });
+                op.fold(&mut acc, &vals);
             }
             Some(acc)
         } else {
@@ -170,7 +173,8 @@ impl Comm {
             }
             None => {
                 let data = self.bcast_tagged(actor, 0, None, COLL_ALLREDUCE);
-                crate::datatype::bytes_to_f64(&data)
+                crate::datatype::try_bytes_to_f64(&data)
+                    .unwrap_or_else(|e| panic!("allreduce: broadcast result: {e}"))
             }
         }
     }

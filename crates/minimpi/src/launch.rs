@@ -106,7 +106,16 @@ where
         .collect();
     let outputs: Vec<R> = handles
         .into_iter()
-        .map(|h| h.join().unwrap_or_else(|_| panic!("a rank panicked")))
+        .map(|h| {
+            let name = h.thread().name().unwrap_or("<unnamed rank>").to_owned();
+            h.join().unwrap_or_else(|payload| {
+                // Re-raise the rank's own panic payload so the original
+                // assertion message (not a generic wrapper) reaches the
+                // harness; the thread name says which rank died.
+                eprintln!("minimpi: {name} panicked; propagating its panic");
+                std::panic::resume_unwind(payload)
+            })
+        })
         .collect();
     // Event mode: the ranks' drop paths only *signal* their machines
     // (queue shutdowns, engine drains) — the shard workers process those
@@ -425,6 +434,26 @@ mod tests {
     }
 
     #[test]
+    fn split_extreme_color_is_not_undefined() {
+        // Regression: `Some(i32::MIN)` used to collide with the internal
+        // `None` sentinel and silently drop the rank from every child.
+        let res = run_world_sized(ClusterSpec::ricc(), 4, |p| {
+            let color = if p.rank() < 2 { Some(i32::MIN) } else { None };
+            let sub = p.comm.split(&p.actor, color, p.rank() as i32);
+            match (&sub, p.rank()) {
+                (Some(c), 0 | 1) => {
+                    assert_eq!(c.size(), 2, "i32::MIN is a real color");
+                    assert_eq!(c.rank(), p.rank());
+                }
+                (None, 2 | 3) => {}
+                other => panic!("unexpected split outcome for rank {}", other.1),
+            }
+            sub.is_some()
+        });
+        assert_eq!(res.outputs, vec![true, true, false, false]);
+    }
+
+    #[test]
     fn split_collectives_work_within_child() {
         let res = run_world_sized(ClusterSpec::ricc(), 6, |p| {
             let color = (p.rank() / 3) as i32; // {0,1,2} and {3,4,5}
@@ -598,7 +627,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "a rank panicked")]
+    #[should_panic(expected = "message of 128 bytes truncated into 16-byte buffer")]
     fn recv_into_truncation_panics() {
         run_world_sized(ClusterSpec::cichlid(), 2, |p| {
             if p.rank() == 0 {

@@ -43,7 +43,7 @@ mod p2p;
 mod world;
 
 pub use collectives::ReduceOp;
-pub use datatype::Datatype;
+pub use datatype::{CommittedType, Datatype, DatatypeError, DerivedType};
 pub use launch::{
     run_world, run_world_faulty, run_world_faulty_mode, run_world_sized, WorldResult,
 };

@@ -227,10 +227,14 @@ impl Comm {
     /// `(key, parent rank)`. Collective over all members. `None` color
     /// (`MPI_UNDEFINED`) yields `None`.
     pub fn split(&self, actor: &simtime::Actor, color: Option<i32>, key: i32) -> Option<Comm> {
-        // Gather (color, key, global rank) from every member.
+        // Gather (has-color, color, key, global rank) from every member.
+        // A dedicated flag byte distinguishes `None` (MPI_UNDEFINED) from
+        // every concrete color value — including `Some(i32::MIN)`, which a
+        // sentinel encoding would silently misread as undefined.
         let mine = {
-            let mut b = Vec::with_capacity(16);
-            b.extend_from_slice(&color.unwrap_or(i32::MIN).to_ne_bytes());
+            let mut b = Vec::with_capacity(17);
+            b.push(color.is_some() as u8);
+            b.extend_from_slice(&color.unwrap_or(0).to_ne_bytes());
             b.extend_from_slice(&key.to_ne_bytes());
             b.extend_from_slice(&(self.rank as u64).to_ne_bytes());
             b
@@ -243,10 +247,11 @@ impl Comm {
         let mut members: Vec<(i32, Rank)> = all
             .iter()
             .filter_map(|b| {
-                let c = i32::from_ne_bytes(b[0..4].try_into().expect("color"));
-                let k = i32::from_ne_bytes(b[4..8].try_into().expect("key"));
-                let g = u64::from_ne_bytes(b[8..16].try_into().expect("rank")) as Rank;
-                (c == my_color).then_some((k, g))
+                let has = b[0] != 0;
+                let c = i32::from_ne_bytes(b[1..5].try_into().expect("color"));
+                let k = i32::from_ne_bytes(b[5..9].try_into().expect("key"));
+                let g = u64::from_ne_bytes(b[9..17].try_into().expect("rank")) as Rank;
+                (has && c == my_color).then_some((k, g))
             })
             .collect();
         members.sort_unstable();

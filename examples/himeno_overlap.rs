@@ -14,6 +14,7 @@ fn main() {
         sys: SystemConfig::cichlid(),
         nodes: 4,
         strategy: None,
+        halo: Default::default(),
     };
     println!("Himeno S, Cichlid, 4 nodes — communication is exposed here (Fig. 9(a) regime)\n");
     for variant in [Variant::Serial, Variant::HandOptimized, Variant::ClMpi] {

@@ -100,6 +100,7 @@ fn himeno_fig9a_ordering_holds_end_to_end() {
         sys: SystemConfig::cichlid(),
         nodes: 4,
         strategy: None,
+        halo: Default::default(),
     };
     let serial = run_himeno(Variant::Serial, cfg.clone());
     let hand = run_himeno(Variant::HandOptimized, cfg.clone());
@@ -122,6 +123,7 @@ fn event_chain_ablation_shows_blocking_cost() {
         sys: SystemConfig::cichlid(),
         nodes: 4,
         strategy: None,
+        halo: Default::default(),
     };
     let free = run_himeno(Variant::ClMpi, cfg.clone());
     let blocked = run_himeno(Variant::ClMpiBlocked, cfg);

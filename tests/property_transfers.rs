@@ -180,6 +180,7 @@ fn himeno_m_numerics_survive_one_percent_drop() {
         sys: SystemConfig::cichlid(),
         nodes: 2,
         strategy: None,
+        halo: Default::default(),
     };
     let clean = run_himeno_with_faults(Variant::ClMpi, cfg(), FaultPlan::none());
     assert_eq!(clean.fault_counts.dropped(), 0);
