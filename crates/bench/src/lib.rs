@@ -72,6 +72,56 @@ pub fn measure_p2p(
     }
 }
 
+/// Measure `reps` serialized one-sided puts of `size` bytes from rank
+/// `origin` into rank `target`'s window over `sys`, in a `world`-rank
+/// job. Every rank participates in the epoch-closing fences
+/// (`MPI_Win_fence` is collective); only the origin moves payload. The
+/// pair selects the wire: co-located ranks of a CXL pod claim the
+/// shared pool port, any other pair takes the NIC-routed RMA path.
+pub fn measure_rma(
+    sys: &SystemConfig,
+    world: usize,
+    origin: usize,
+    target: usize,
+    size: usize,
+    reps: usize,
+) -> BandwidthPoint {
+    let size = size.max(1);
+    let sys2 = sys.clone();
+    let res = run_world_sized(sys.cluster.clone(), world, move |p: Process| {
+        let rt = ClMpi::new(&p, sys2.clone());
+        let q = rt.context().create_queue(0, format!("r{}", p.rank()));
+        let buf = rt.context().create_buffer(size);
+        let win = rt
+            .expose_buffer_as_window(&buf, size, &p.actor)
+            .expect("window");
+        p.comm.barrier(&p.actor);
+        let t0 = p.actor.now_ns();
+        for _ in 0..reps {
+            let mut gate = Vec::new();
+            if p.rank() == origin {
+                let e = rt
+                    .enqueue_put_buffer(&q, &win, false, 0, 0, size, target, &[], &p.actor)
+                    .expect("put");
+                gate.push(e);
+            }
+            let f = rt
+                .enqueue_win_fence(&win, false, &gate, &p.actor)
+                .expect("fence");
+            f.wait_result(&p.actor).expect("fence sync");
+        }
+        rt.shutdown(&p.actor);
+        p.actor.now_ns() - t0
+    });
+    let elapsed = res.outputs.iter().copied().max().unwrap_or(1).max(1);
+    let per = (elapsed / reps as u64).max(1);
+    BandwidthPoint {
+        size,
+        mbps: size as f64 * 1e3 / per as f64, // bytes/ns → MB/s
+        per_transfer_ns: per,
+    }
+}
+
 /// Minimal wall-clock micro-benchmark harness (replaces the external
 /// `criterion` dependency so the workspace builds with zero network
 /// access). Warms up twice, takes `samples` timed runs, and prints a

@@ -163,6 +163,125 @@ impl AdaptiveSelector {
     }
 }
 
+/// The one-sided analogue of [`AdaptiveSelector`]: a tuner over the wire
+/// route of a window put, keyed on **(peer node distance, message-size
+/// class)** — in practice keyed by the peer rank's node, since the win of
+/// the RMA path depends entirely on whether the peer shares a CXL pool.
+/// A co-located peer's 1 MiB class locks `Rma` (the pool port at 28 GB/s
+/// dwarfs the NIC); a cross-pod peer's class locks a NIC-side strategy.
+/// Probe, observe, failure-retirement and all-fail fallback semantics are
+/// identical to the transfer selector.
+pub struct PeerSelector {
+    candidates: Vec<TransferStrategy>,
+    classes: Arc<Mutex<BTreeMap<(usize, u32), ClassState>>>,
+}
+
+impl PeerSelector {
+    /// Tuner over the standard one-sided candidate set for `sys`: the
+    /// class-routed RMA path plus the three NIC-side emulations.
+    pub fn for_system(sys: &SystemConfig) -> Self {
+        Self::with_candidates(vec![
+            TransferStrategy::Rma,
+            TransferStrategy::Pinned,
+            TransferStrategy::Mapped,
+            TransferStrategy::Pipelined(sys.default_pipeline_block),
+        ])
+    }
+
+    /// Tuner over an explicit candidate set (must be concrete strategies).
+    pub fn with_candidates(candidates: Vec<TransferStrategy>) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        assert!(
+            !candidates.contains(&TransferStrategy::Auto),
+            "candidates must be concrete"
+        );
+        PeerSelector {
+            candidates,
+            classes: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// The strategy to use for a `size`-byte one-sided transfer to `peer`.
+    pub fn choose(&self, peer: usize, size: usize) -> TransferStrategy {
+        let key = (peer, size_class(size));
+        let mut st = self.classes.lock();
+        let cs = st.entry(key).or_insert_with(|| ClassState {
+            pending: self.candidates.clone(),
+            ..Default::default()
+        });
+        if let Some(w) = cs.winner {
+            return w;
+        }
+        cs.pending
+            .first()
+            .copied()
+            .unwrap_or_else(|| self.candidates[0])
+    }
+
+    /// Feed back a measured duration for a transfer to `peer`.
+    pub fn observe(&self, peer: usize, size: usize, strategy: TransferStrategy, dur_ns: SimNs) {
+        let key = (peer, size_class(size));
+        let mut st = self.classes.lock();
+        let Some(cs) = st.get_mut(&key) else { return };
+        if cs.winner.is_some() {
+            return;
+        }
+        if let Some(pos) = cs.pending.iter().position(|&s| s == strategy) {
+            cs.pending.remove(pos);
+            cs.observed.push((strategy, dur_ns));
+        }
+        if cs.pending.is_empty() {
+            cs.winner = cs
+                .observed
+                .iter()
+                .min_by_key(|(_, ns)| *ns)
+                .map(|(s, _)| *s);
+        }
+    }
+
+    /// Feed back a permanent probe failure (retry budget exhausted or the
+    /// peer's node died). Retirement and all-fail fallback semantics match
+    /// [`AdaptiveSelector::observe_failure`].
+    pub fn observe_failure(&self, peer: usize, size: usize, strategy: TransferStrategy) {
+        let key = (peer, size_class(size));
+        let mut st = self.classes.lock();
+        let Some(cs) = st.get_mut(&key) else { return };
+        if cs.winner.is_some() {
+            return;
+        }
+        if let Some(pos) = cs.pending.iter().position(|&s| s == strategy) {
+            cs.pending.remove(pos);
+            cs.failed.push(strategy);
+        }
+        if cs.pending.is_empty() {
+            cs.winner = cs
+                .observed
+                .iter()
+                .min_by_key(|(_, ns)| *ns)
+                .map(|(s, _)| *s)
+                .or(Some(self.candidates[0]));
+        }
+    }
+
+    /// Strategies retired for `(peer, size)`'s class (diagnostics).
+    pub fn failures_for(&self, peer: usize, size: usize) -> Vec<TransferStrategy> {
+        self.classes
+            .lock()
+            .get(&(peer, size_class(size)))
+            .map(|c| c.failed.clone())
+            .unwrap_or_default()
+    }
+
+    /// The locked-in winner for `(peer, size)`'s class, if probing
+    /// finished.
+    pub fn winner_for(&self, peer: usize, size: usize) -> Option<TransferStrategy> {
+        self.classes
+            .lock()
+            .get(&(peer, size_class(size)))
+            .and_then(|c| c.winner)
+    }
+}
+
 #[derive(Default)]
 struct CollClassState {
     pending: Vec<CollTuning>,
@@ -416,6 +535,31 @@ mod tests {
         // Every candidate failed: lock the primary rather than looping.
         assert_eq!(sel.winner_for(1 << 20), Some(TransferStrategy::Pinned));
         assert_eq!(sel.choose(1 << 20), TransferStrategy::Pinned);
+    }
+
+    #[test]
+    fn peer_selector_tunes_each_peer_independently() {
+        let sel =
+            PeerSelector::with_candidates(vec![TransferStrategy::Rma, TransferStrategy::Pinned]);
+        // Peer 1 (co-located): the RMA probe measures faster.
+        assert_eq!(sel.choose(1, 1 << 20), TransferStrategy::Rma);
+        sel.observe(1, 1 << 20, TransferStrategy::Rma, 100);
+        sel.observe(1, 1 << 20, sel.choose(1, 1 << 20), 900);
+        // Peer 7 (cross-pod): the NIC-side strategy wins.
+        sel.observe(7, 1 << 20, sel.choose(7, 1 << 20), 900);
+        sel.observe(7, 1 << 20, sel.choose(7, 1 << 20), 100);
+        assert_eq!(sel.winner_for(1, 1 << 20), Some(TransferStrategy::Rma));
+        assert_eq!(sel.winner_for(7, 1 << 20), Some(TransferStrategy::Pinned));
+    }
+
+    #[test]
+    fn peer_selector_retires_failed_probe() {
+        let sel =
+            PeerSelector::with_candidates(vec![TransferStrategy::Rma, TransferStrategy::Pinned]);
+        sel.observe_failure(3, 1 << 20, sel.choose(3, 1 << 20));
+        assert_eq!(sel.failures_for(3, 1 << 20), vec![TransferStrategy::Rma]);
+        sel.observe(3, 1 << 20, sel.choose(3, 1 << 20), 50);
+        assert_eq!(sel.winner_for(3, 1 << 20), Some(TransferStrategy::Pinned));
     }
 
     #[test]

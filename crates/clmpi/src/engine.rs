@@ -45,7 +45,10 @@ use minicl::{
     Buffer, ClError, ClResult, Device, Event, HostBuffer, UserEvent, WaitListStatus,
     CL_MPI_TRANSFER_ERROR, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST,
 };
-use minimpi::{CommittedType, Datatype, DropReason, MpiError, Rank, RecvResult, Request, Tag};
+use minimpi::{
+    CommittedType, Datatype, DropReason, MpiError, Rank, RecvResult, ReduceOp, Request, RmaHandle,
+    RmaPoll, RmaRoute, Tag, Win, RMA_PATIENCE_NS,
+};
 use simtime::plock::Mutex;
 use simtime::{
     Actor, Completion, CompletionState, MachineHandle, MachineStep, Monitor, OpSpan, SimActor,
@@ -1024,8 +1027,8 @@ impl EngineOp for SendOp {
                                     }
                                 }
                             }
-                            TransferStrategy::Auto => {
-                                unreachable!("strategy resolved before dispatch")
+                            TransferStrategy::Auto | TransferStrategy::Rma => {
+                                unreachable!("strategy resolved before dispatch; rma is one-sided")
                             }
                         };
                         tr.current = Some((chunk, spans));
@@ -1408,8 +1411,8 @@ impl EngineOp for RecvOp {
                             TransferStrategy::Pinned | TransferStrategy::Pipelined(_) => {
                                 pcie.pin_setup_ns
                             }
-                            TransferStrategy::Auto => {
-                                unreachable!("strategy resolved before dispatch")
+                            TransferStrategy::Auto | TransferStrategy::Rma => {
+                                unreachable!("strategy resolved before dispatch; rma is one-sided")
                             }
                         };
                         self.state = RecvState::Setup {
@@ -1476,7 +1479,7 @@ impl EngineOp for RecvOp {
                                     end: h2d.end,
                                 };
                             }
-                            TransferStrategy::Auto => unreachable!(),
+                            TransferStrategy::Auto | TransferStrategy::Rma => unreachable!(),
                         }
                     } else if let Some(at) = req.known_completion() {
                         // Matched, in flight: the arrival instant is
@@ -2028,6 +2031,996 @@ impl EngineOp for EventFromRequestOp {
                     .set_complete(now)
                     .expect("request event completed once");
                 Step::Done
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// One-sided window machines (MPI_CL_MEM exposed as MPI_Win)
+// ----------------------------------------------------------------------
+//
+// These machines drive `minimpi`'s non-blocking RMA handles from the
+// engine. Liveness note: a handle's grant only lands when *someone*
+// pumps the fabric arbiter past the reservation's earliest instant, and
+// for one-sided traffic the issuing machine is usually the only pumper
+// — so a machine with a pending flight always parks with an explicit
+// time hint. Before the first grant the wire-claim earliest is known
+// exactly; after a retransmit has been re-posted, the claim instant is
+// arbiter-internal, so the machine falls back to a fixed virtual
+// polling quantum.
+
+/// Virtual polling cadence for an RMA flight whose next wake instant is
+/// unknowable from outside the arbiter (post-retransmit).
+const RMA_POLL_QUANTUM_NS: SimNs = 100_000;
+
+/// One in-flight one-sided op plus the bookkeeping needed to park
+/// precisely and to convert retransmit deltas into drop/retry spans.
+struct RmaFlight {
+    handle: RmaHandle,
+    /// Wire-claim earliest of the initial post: the park target before
+    /// the first grant (one tick later the pump's strict `earliest <
+    /// now` test admits it).
+    earliest: SimNs,
+    /// Attempts already converted into drop/retry child spans.
+    attempts_seen: u32,
+    done_at: Option<SimNs>,
+}
+
+impl RmaFlight {
+    fn new(handle: RmaHandle, earliest: SimNs) -> Self {
+        RmaFlight {
+            handle,
+            earliest,
+            attempts_seen: 0,
+            done_at: None,
+        }
+    }
+
+    /// Convert retransmits since the last step into drop + retry child
+    /// spans and fault counters — the one-sided analogue of
+    /// [`ReliableChunkSend`]'s accounting. The handle does not retain
+    /// per-attempt wire times or reasons (a `NodeDown` drop is terminal,
+    /// never a retry, so retried drops are counted as random loss), and
+    /// the spans are instantaneous at the observing instant.
+    fn note_attempts(&mut self, inner: &Inner, ids: &mut ChildIds, now: SimNs) {
+        let target = self.handle.target();
+        while self.attempts_seen < self.handle.attempts() {
+            self.attempts_seen += 1;
+            if let Some(stats) = inner.stats.lock().as_ref() {
+                stats.note_drop(DropReason::Random);
+                stats.note_retry();
+            }
+            record_child(
+                inner,
+                ids,
+                "net",
+                format!("rma-drop#{}→r{target}", self.attempts_seen),
+                "drop",
+                now,
+                now,
+                self.handle.len() as u64,
+                false,
+            );
+            record_child(
+                inner,
+                ids,
+                "net",
+                format!("rma-retry#{}→r{target}", self.attempts_seen),
+                "retry",
+                now,
+                now,
+                self.handle.len() as u64,
+                true,
+            );
+        }
+    }
+}
+
+/// Collective verdict of one polling pass over a machine's flights.
+enum FlightsVerdict {
+    /// Every flight delivered; `at` is the last arrival instant.
+    Done { at: SimNs },
+    /// Some flight failed terminally (first failure in issue order).
+    Failed { err: MpiError, at: SimNs },
+    /// Still in flight; `wake` is the earliest useful re-poll instant
+    /// (strictly future).
+    Pending { wake: SimNs },
+}
+
+/// Drive every unfinished flight once at `now`.
+fn poll_flights(
+    inner: &Inner,
+    ids: &mut ChildIds,
+    flights: &mut [RmaFlight],
+    now: SimNs,
+) -> FlightsVerdict {
+    let mut done_at = 0;
+    let mut wake: Option<SimNs> = None;
+    let mut failed: Option<(MpiError, SimNs)> = None;
+    for f in flights.iter_mut() {
+        if let Some(at) = f.done_at {
+            done_at = done_at.max(at);
+            continue;
+        }
+        let verdict = f.handle.poll(now);
+        f.note_attempts(inner, ids, now);
+        match verdict {
+            RmaPoll::Done { at } => {
+                f.done_at = Some(at);
+                done_at = done_at.max(at);
+            }
+            RmaPoll::Failed { err, at } => {
+                if failed.is_none() {
+                    failed = Some((err, at));
+                }
+            }
+            RmaPoll::Pending => {
+                let next = if f.handle.attempts() == 0 {
+                    now.max(f.earliest) + 1
+                } else {
+                    now + RMA_POLL_QUANTUM_NS
+                };
+                wake = Some(wake.map_or(next, |w: SimNs| w.min(next)));
+            }
+        }
+    }
+    if let Some((err, at)) = failed {
+        FlightsVerdict::Failed {
+            err,
+            at: at.max(now),
+        }
+    } else if let Some(wake) = wake {
+        FlightsVerdict::Pending { wake }
+    } else {
+        FlightsVerdict::Done { at: done_at }
+    }
+}
+
+/// Terminal-failure accounting shared by the one-sided machines: a dead
+/// target is a ULFM-class process failure, anything else a transfer
+/// failure.
+fn note_rma_failure(inner: &Inner, ids: &mut ChildIds, err: &MpiError, target: Rank, at: SimNs) {
+    if matches!(err, MpiError::ProcFailed { .. }) {
+        if let Some(stats) = inner.stats.lock().as_ref() {
+            stats.note_proc_failure();
+        }
+        record_failure(inner, ids, target, at);
+    } else if let Some(stats) = inner.stats.lock().as_ref() {
+        stats.note_failure();
+    }
+}
+
+/// States shared by the put machine (accumulate has an extra staging
+/// phase and its own enum).
+enum PutState {
+    WaitDeps,
+    Transfer { t0: SimNs, flights: Vec<RmaFlight> },
+    Finish { done_at: SimNs },
+    Done,
+}
+
+/// `clEnqueuePutBuffer`: one-sided write of a device-buffer range into a
+/// peer rank's exposed window — wait list → per-chunk d2h staging +
+/// routed wire flights → completion at the last flight's arrival.
+///
+/// The resolved strategy picks the *wire lowering*, which is what the
+/// per-(peer, size) tuner sweeps:
+///
+/// * `Rma` — stage once, then the fabric's class-routed one-sided
+///   transport carries it (loopback, CXL pool port, or NIC).
+/// * `Pinned` — stage once, force the NIC path (two-sided emulation).
+/// * `Pipelined(b)` — per-chunk staging on the forced NIC path; chunk
+///   k's wire time overlaps chunk k+1's staging, as on the send path.
+/// * `Mapped` — no staging: one fused stream of duration
+///   max(injection, PCIe mapped stream) forced onto the NIC path.
+pub(crate) struct PutOp {
+    inner: Arc<Inner>,
+    device: Device,
+    win: Win,
+    buf: Buffer,
+    offset: usize,
+    win_offset: usize,
+    size: usize,
+    target: Rank,
+    strategy: TransferStrategy,
+    wait: Vec<Event>,
+    ue: UserEvent,
+    label: String,
+    ids: ChildIds,
+    submit_ns: SimNs,
+    state: PutState,
+}
+
+impl PutOp {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        device: Device,
+        win: Win,
+        buf: Buffer,
+        offset: usize,
+        win_offset: usize,
+        size: usize,
+        target: Rank,
+        strategy: TransferStrategy,
+        wait: Vec<Event>,
+        ue: UserEvent,
+        ids: ChildIds,
+        submit_ns: SimNs,
+    ) -> Self {
+        let label = format!("clmpi-put-r{}-to-{}", inner.comm.rank(), target);
+        PutOp {
+            inner,
+            device,
+            win,
+            buf,
+            offset,
+            win_offset,
+            size,
+            target,
+            strategy,
+            wait,
+            ue,
+            label,
+            ids,
+            submit_ns,
+            state: PutState::WaitDeps,
+        }
+    }
+
+    /// Stage and post every chunk of the put according to the strategy
+    /// lowering. All reservations are made at `t0`; overlap between
+    /// staging and wire time falls out of the resource timelines.
+    fn arm(&mut self, t0: SimNs) -> ClResult<Vec<RmaFlight>> {
+        let pcie = self.device.spec().pcie;
+        let plan = ResolvedStrategy::plan(self.strategy, self.size);
+        let mut flights = Vec::with_capacity(plan.chunks.len());
+        let mut first = true;
+        for &(coff, clen) in &plan.chunks {
+            let (wire_earliest, route) = match self.strategy {
+                TransferStrategy::Mapped => {
+                    let stream = (clen as f64 * 1e9 / pcie.mapped_bps).round() as SimNs;
+                    let fused = self.inner.cfg.cluster.link.injection_ns(clen).max(stream);
+                    (t0 + pcie.map_setup_ns, RmaRoute::NicDuration(fused))
+                }
+                TransferStrategy::Rma
+                | TransferStrategy::Pinned
+                | TransferStrategy::Pipelined(_) => {
+                    let earliest = if first { t0 + pcie.pin_setup_ns } else { t0 };
+                    let d2h = self
+                        .device
+                        .d2h_link()
+                        .reserve_duration(pcie.staged_ns(clen, true), earliest);
+                    record_child(
+                        &self.inner,
+                        &mut self.ids,
+                        "dev",
+                        "d2h".into(),
+                        "stage.d2h",
+                        d2h.start,
+                        d2h.end,
+                        clen as u64,
+                        true,
+                    );
+                    let route = if self.strategy == TransferStrategy::Rma {
+                        RmaRoute::Auto
+                    } else {
+                        RmaRoute::Nic
+                    };
+                    (d2h.end, route)
+                }
+                TransferStrategy::Auto => unreachable!("strategy resolved before dispatch"),
+            };
+            first = false;
+            let bytes = self
+                .buf
+                .load(self.offset + coff, clen)
+                .expect("range checked at enqueue");
+            let h = self
+                .win
+                .put_routed(
+                    self.target,
+                    self.win_offset + coff,
+                    &bytes,
+                    route,
+                    wire_earliest,
+                )
+                .map_err(|e| {
+                    ClError::TransferFailed(format!("put to rank {}: {e}", self.target))
+                })?;
+            flights.push(RmaFlight::new(h, wire_earliest));
+        }
+        Ok(flights)
+    }
+
+    fn settle(&mut self, outcome: ClResult<()>, at: SimNs) -> Step {
+        let ok = outcome.is_ok();
+        // A transfer-level failure retires the probed lowering for this
+        // (peer, size) class; a poisoned wait list says nothing about it.
+        if !ok && !matches!(outcome, Err(ClError::EventFailed { .. })) {
+            if let Some(sel) = self.inner.rma_adaptive.lock().as_ref() {
+                sel.observe_failure(self.target, self.size, self.strategy);
+            }
+        }
+        record_envelope(
+            &self.inner,
+            &self.ids,
+            "op.put",
+            format!("put→{}@{}", self.target, self.win_offset),
+            self.submit_ns,
+            at,
+            self.size as u64,
+            ok,
+            Some(self.target),
+            None,
+        );
+        self.inner
+            .note_settled(ok, if ok { self.size as u64 } else { 0 }, 0);
+        match outcome {
+            Ok(()) => self.ue.set_complete(at).expect("put event completed once"),
+            Err(ClError::EventFailed { .. }) => self
+                .ue
+                .set_failed(at, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST)
+                .expect("put event settled once"),
+            Err(_) => self
+                .ue
+                .set_failed(at, CL_MPI_TRANSFER_ERROR)
+                .expect("put event settled once"),
+        }
+        self.state = PutState::Done;
+        Step::Done
+    }
+}
+
+impl EngineOp for PutOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, _actor: &Actor) -> Step {
+        loop {
+            match &mut self.state {
+                PutState::WaitDeps => match poll_deps(&self.wait) {
+                    WaitListStatus::Pending => return Step::Park(None),
+                    WaitListStatus::Failed { code, label } => {
+                        return self.settle(Err(ClError::EventFailed { code, label }), now);
+                    }
+                    WaitListStatus::Ready => match self.arm(now) {
+                        Ok(flights) => self.state = PutState::Transfer { t0: now, flights },
+                        Err(e) => return self.settle(Err(e), now),
+                    },
+                },
+                PutState::Transfer { t0, flights } => {
+                    let t0 = *t0;
+                    let verdict = poll_flights(&self.inner, &mut self.ids, flights, now);
+                    match verdict {
+                        FlightsVerdict::Pending { wake } => return Step::Park(Some(wake)),
+                        FlightsVerdict::Failed { err, at } => {
+                            note_rma_failure(&self.inner, &mut self.ids, &err, self.target, at);
+                            return self.settle(
+                                Err(ClError::TransferFailed(format!(
+                                    "put to rank {}: {err}",
+                                    self.target
+                                ))),
+                                at,
+                            );
+                        }
+                        FlightsVerdict::Done { at } => {
+                            let done_at = at.max(t0);
+                            if let Some(stats) = self.inner.stats.lock().as_ref() {
+                                stats.record(
+                                    "put",
+                                    &self.strategy.name(),
+                                    self.size,
+                                    done_at.saturating_sub(t0),
+                                );
+                            }
+                            if let Some(sel) = self.inner.rma_adaptive.lock().as_ref() {
+                                sel.observe(
+                                    self.target,
+                                    self.size,
+                                    self.strategy,
+                                    done_at.saturating_sub(t0),
+                                );
+                            }
+                            self.state = PutState::Finish { done_at };
+                        }
+                    }
+                }
+                PutState::Finish { done_at } => {
+                    let done_at = *done_at;
+                    if now >= done_at {
+                        return self.settle(Ok(()), done_at);
+                    }
+                    return Step::Park(Some(done_at));
+                }
+                PutState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+enum GetState {
+    WaitDeps,
+    Transfer {
+        t0: SimNs,
+        flight: RmaFlight,
+    },
+    Stage {
+        t0: SimNs,
+        data: Vec<u8>,
+        end: SimNs,
+    },
+    Done,
+}
+
+/// `clEnqueueGetBuffer`: one-sided read from a peer rank's window into a
+/// device buffer — wait list → class-routed wire flight → h2d staging →
+/// completion with the data in device memory. The window's staging
+/// memory is registered at `Win_create`, so the landing pays the staged
+/// copy but no per-transfer pin setup.
+pub(crate) struct GetOp {
+    inner: Arc<Inner>,
+    device: Device,
+    win: Win,
+    buf: Buffer,
+    offset: usize,
+    win_offset: usize,
+    size: usize,
+    target: Rank,
+    wait: Vec<Event>,
+    ue: UserEvent,
+    label: String,
+    ids: ChildIds,
+    submit_ns: SimNs,
+    state: GetState,
+}
+
+impl GetOp {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        device: Device,
+        win: Win,
+        buf: Buffer,
+        offset: usize,
+        win_offset: usize,
+        size: usize,
+        target: Rank,
+        wait: Vec<Event>,
+        ue: UserEvent,
+        ids: ChildIds,
+        submit_ns: SimNs,
+    ) -> Self {
+        let label = format!("clmpi-get-r{}-from-{}", inner.comm.rank(), target);
+        GetOp {
+            inner,
+            device,
+            win,
+            buf,
+            offset,
+            win_offset,
+            size,
+            target,
+            wait,
+            ue,
+            label,
+            ids,
+            submit_ns,
+            state: GetState::WaitDeps,
+        }
+    }
+
+    fn settle(&mut self, outcome: ClResult<()>, at: SimNs) -> Step {
+        let ok = outcome.is_ok();
+        record_envelope(
+            &self.inner,
+            &self.ids,
+            "op.get",
+            format!("get←{}@{}", self.target, self.win_offset),
+            self.submit_ns,
+            at,
+            self.size as u64,
+            ok,
+            Some(self.target),
+            None,
+        );
+        self.inner
+            .note_settled(ok, 0, if ok { self.size as u64 } else { 0 });
+        match outcome {
+            Ok(()) => self.ue.set_complete(at).expect("get event completed once"),
+            Err(ClError::EventFailed { .. }) => self
+                .ue
+                .set_failed(at, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST)
+                .expect("get event settled once"),
+            Err(_) => self
+                .ue
+                .set_failed(at, CL_MPI_TRANSFER_ERROR)
+                .expect("get event settled once"),
+        }
+        self.state = GetState::Done;
+        Step::Done
+    }
+}
+
+impl EngineOp for GetOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, _actor: &Actor) -> Step {
+        loop {
+            match &mut self.state {
+                GetState::WaitDeps => match poll_deps(&self.wait) {
+                    WaitListStatus::Pending => return Step::Park(None),
+                    WaitListStatus::Failed { code, label } => {
+                        return self.settle(Err(ClError::EventFailed { code, label }), now);
+                    }
+                    WaitListStatus::Ready => {
+                        match self.win.get(self.target, self.win_offset, self.size) {
+                            Ok(h) => {
+                                self.state = GetState::Transfer {
+                                    t0: now,
+                                    flight: RmaFlight::new(h, now),
+                                };
+                            }
+                            Err(e) => {
+                                return self.settle(
+                                    Err(ClError::TransferFailed(format!(
+                                        "get from rank {}: {e}",
+                                        self.target
+                                    ))),
+                                    now,
+                                );
+                            }
+                        }
+                    }
+                },
+                GetState::Transfer { t0, flight } => {
+                    let t0 = *t0;
+                    let verdict = poll_flights(
+                        &self.inner,
+                        &mut self.ids,
+                        std::slice::from_mut(flight),
+                        now,
+                    );
+                    match verdict {
+                        FlightsVerdict::Pending { wake } => return Step::Park(Some(wake)),
+                        FlightsVerdict::Failed { err, at } => {
+                            note_rma_failure(&self.inner, &mut self.ids, &err, self.target, at);
+                            return self.settle(
+                                Err(ClError::TransferFailed(format!(
+                                    "get from rank {}: {err}",
+                                    self.target
+                                ))),
+                                at,
+                            );
+                        }
+                        FlightsVerdict::Done { at } => {
+                            let data = flight
+                                .handle
+                                .take_data()
+                                .expect("settled get yields its payload");
+                            let pcie = self.device.spec().pcie;
+                            let h2d = self
+                                .device
+                                .h2d_link()
+                                .reserve_duration(pcie.staged_ns(data.len(), true), at.max(t0));
+                            record_child(
+                                &self.inner,
+                                &mut self.ids,
+                                "dev",
+                                "h2d".into(),
+                                "stage.h2d",
+                                h2d.start,
+                                h2d.end,
+                                data.len() as u64,
+                                true,
+                            );
+                            self.state = GetState::Stage {
+                                t0,
+                                data,
+                                end: h2d.end,
+                            };
+                        }
+                    }
+                }
+                GetState::Stage { t0, data, end } => {
+                    let (t0, end) = (*t0, *end);
+                    if now < end {
+                        return Step::Park(Some(end));
+                    }
+                    self.buf
+                        .store(self.offset, data)
+                        .expect("range checked at enqueue");
+                    if let Some(stats) = self.inner.stats.lock().as_ref() {
+                        stats.record("get", "rma", self.size, end.saturating_sub(t0));
+                    }
+                    return self.settle(Ok(()), end);
+                }
+                GetState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+enum AccState {
+    WaitDeps,
+    Stage { t0: SimNs, end: SimNs },
+    Transfer { t0: SimNs, flight: RmaFlight },
+    Finish { done_at: SimNs },
+    Done,
+}
+
+/// `clEnqueueAccumulateBuffer`: one-sided read-modify-write of f64s from
+/// a device buffer into a peer rank's window — wait list → d2h staging →
+/// class-routed wire flight applied in the arbiter's canonical grant
+/// order → completion. The operand must leave the device before the op
+/// can be posted (the fold reads the payload at grant time), so staging
+/// and wire time serialize here, unlike the put path.
+pub(crate) struct AccumulateOp {
+    inner: Arc<Inner>,
+    device: Device,
+    win: Win,
+    buf: Buffer,
+    offset: usize,
+    win_offset: usize,
+    size: usize,
+    target: Rank,
+    op: ReduceOp,
+    wait: Vec<Event>,
+    ue: UserEvent,
+    label: String,
+    ids: ChildIds,
+    submit_ns: SimNs,
+    state: AccState,
+}
+
+impl AccumulateOp {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        device: Device,
+        win: Win,
+        buf: Buffer,
+        offset: usize,
+        win_offset: usize,
+        size: usize,
+        target: Rank,
+        op: ReduceOp,
+        wait: Vec<Event>,
+        ue: UserEvent,
+        ids: ChildIds,
+        submit_ns: SimNs,
+    ) -> Self {
+        let label = format!("clmpi-acc-r{}-to-{}", inner.comm.rank(), target);
+        AccumulateOp {
+            inner,
+            device,
+            win,
+            buf,
+            offset,
+            win_offset,
+            size,
+            target,
+            op,
+            wait,
+            ue,
+            label,
+            ids,
+            submit_ns,
+            state: AccState::WaitDeps,
+        }
+    }
+
+    fn settle(&mut self, outcome: ClResult<()>, at: SimNs) -> Step {
+        let ok = outcome.is_ok();
+        record_envelope(
+            &self.inner,
+            &self.ids,
+            "op.acc",
+            format!("acc→{}@{}", self.target, self.win_offset),
+            self.submit_ns,
+            at,
+            self.size as u64,
+            ok,
+            Some(self.target),
+            None,
+        );
+        self.inner
+            .note_settled(ok, if ok { self.size as u64 } else { 0 }, 0);
+        match outcome {
+            Ok(()) => self.ue.set_complete(at).expect("acc event completed once"),
+            Err(ClError::EventFailed { .. }) => self
+                .ue
+                .set_failed(at, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST)
+                .expect("acc event settled once"),
+            Err(_) => self
+                .ue
+                .set_failed(at, CL_MPI_TRANSFER_ERROR)
+                .expect("acc event settled once"),
+        }
+        self.state = AccState::Done;
+        Step::Done
+    }
+}
+
+impl EngineOp for AccumulateOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, _actor: &Actor) -> Step {
+        loop {
+            match &mut self.state {
+                AccState::WaitDeps => match poll_deps(&self.wait) {
+                    WaitListStatus::Pending => return Step::Park(None),
+                    WaitListStatus::Failed { code, label } => {
+                        return self.settle(Err(ClError::EventFailed { code, label }), now);
+                    }
+                    WaitListStatus::Ready => {
+                        let pcie = self.device.spec().pcie;
+                        let d2h = self.device.d2h_link().reserve_duration(
+                            pcie.staged_ns(self.size, true),
+                            now + pcie.pin_setup_ns,
+                        );
+                        record_child(
+                            &self.inner,
+                            &mut self.ids,
+                            "dev",
+                            "d2h".into(),
+                            "stage.d2h",
+                            d2h.start,
+                            d2h.end,
+                            self.size as u64,
+                            true,
+                        );
+                        self.state = AccState::Stage {
+                            t0: now,
+                            end: d2h.end,
+                        };
+                    }
+                },
+                AccState::Stage { t0, end } => {
+                    let (t0, end) = (*t0, *end);
+                    if now < end {
+                        return Step::Park(Some(end));
+                    }
+                    let bytes = self
+                        .buf
+                        .load(self.offset, self.size)
+                        .expect("range checked at enqueue");
+                    match self
+                        .win
+                        .accumulate(self.target, self.win_offset, &bytes, self.op)
+                    {
+                        Ok(h) => {
+                            self.state = AccState::Transfer {
+                                t0,
+                                flight: RmaFlight::new(h, now),
+                            };
+                        }
+                        Err(e) => {
+                            return self.settle(
+                                Err(ClError::TransferFailed(format!(
+                                    "accumulate to rank {}: {e}",
+                                    self.target
+                                ))),
+                                now,
+                            );
+                        }
+                    }
+                }
+                AccState::Transfer { t0, flight } => {
+                    let t0 = *t0;
+                    let verdict = poll_flights(
+                        &self.inner,
+                        &mut self.ids,
+                        std::slice::from_mut(flight),
+                        now,
+                    );
+                    match verdict {
+                        FlightsVerdict::Pending { wake } => return Step::Park(Some(wake)),
+                        FlightsVerdict::Failed { err, at } => {
+                            note_rma_failure(&self.inner, &mut self.ids, &err, self.target, at);
+                            return self.settle(
+                                Err(ClError::TransferFailed(format!(
+                                    "accumulate to rank {}: {err}",
+                                    self.target
+                                ))),
+                                at,
+                            );
+                        }
+                        FlightsVerdict::Done { at } => {
+                            let done_at = at.max(t0);
+                            if let Some(stats) = self.inner.stats.lock().as_ref() {
+                                stats.record("acc", "rma", self.size, done_at.saturating_sub(t0));
+                            }
+                            self.state = AccState::Finish { done_at };
+                        }
+                    }
+                }
+                AccState::Finish { done_at } => {
+                    let done_at = *done_at;
+                    if now >= done_at {
+                        return self.settle(Ok(()), done_at);
+                    }
+                    return Step::Park(Some(done_at));
+                }
+                AccState::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+enum FenceState {
+    WaitDeps,
+    Drain,
+    Await {
+        start: SimNs,
+        gen: u64,
+        op_err: Option<MpiError>,
+        deadline: Option<SimNs>,
+    },
+    Done,
+}
+
+/// `clEnqueueWinFence`: close the window's current access epoch and open
+/// the next — drain this rank's pending one-sided ops, mark the fence
+/// arrival, then await every rank's matching arrival. Mirrors the
+/// blocking [`Win::fence`] exactly: op failures latched during the epoch
+/// take precedence over synchronization failures, and a patience expiry
+/// under a fault plan is classified against the laggards.
+///
+/// Parking: the drain phase polls at the fixed quantum (the pending
+/// handles' own machines park precisely; this is the backstop), and the
+/// await phase parks on notification — a peer's fence arrival is a
+/// control-block write that notifies — plus the patience deadline when a
+/// fault plan is armed.
+pub(crate) struct WinFenceOp {
+    inner: Arc<Inner>,
+    win: Win,
+    wait: Vec<Event>,
+    ue: UserEvent,
+    label: String,
+    ids: ChildIds,
+    submit_ns: SimNs,
+    state: FenceState,
+}
+
+impl WinFenceOp {
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        win: Win,
+        wait: Vec<Event>,
+        ue: UserEvent,
+        ids: ChildIds,
+        submit_ns: SimNs,
+    ) -> Self {
+        let label = format!("clmpi-win-fence-r{}", inner.comm.rank());
+        WinFenceOp {
+            inner,
+            win,
+            wait,
+            ue,
+            label,
+            ids,
+            submit_ns,
+            state: FenceState::WaitDeps,
+        }
+    }
+
+    fn settle(&mut self, outcome: ClResult<()>, at: SimNs) -> Step {
+        let ok = outcome.is_ok();
+        record_envelope(
+            &self.inner,
+            &self.ids,
+            "op.fence",
+            "win-fence".into(),
+            self.submit_ns,
+            at,
+            0,
+            ok,
+            None,
+            None,
+        );
+        self.inner.note_settled(ok, 0, 0);
+        match outcome {
+            Ok(()) => self
+                .ue
+                .set_complete(at)
+                .expect("fence event completed once"),
+            Err(ClError::EventFailed { .. }) => self
+                .ue
+                .set_failed(at, EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST)
+                .expect("fence event settled once"),
+            Err(_) => self
+                .ue
+                .set_failed(at, CL_MPI_TRANSFER_ERROR)
+                .expect("fence event settled once"),
+        }
+        self.state = FenceState::Done;
+        Step::Done
+    }
+
+    fn settle_epoch(&mut self, err: MpiError, at: SimNs) -> Step {
+        if let MpiError::ProcFailed { rank } = err {
+            if let Some(stats) = self.inner.stats.lock().as_ref() {
+                stats.note_proc_failure();
+            }
+            record_failure(&self.inner, &mut self.ids, rank, at);
+        } else if let Some(stats) = self.inner.stats.lock().as_ref() {
+            stats.note_failure();
+        }
+        self.settle(
+            Err(ClError::TransferFailed(format!("rma epoch: {err}"))),
+            at,
+        )
+    }
+}
+
+impl EngineOp for WinFenceOp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step(&mut self, now: SimNs, _actor: &Actor) -> Step {
+        loop {
+            match &mut self.state {
+                FenceState::WaitDeps => match poll_deps(&self.wait) {
+                    WaitListStatus::Pending => return Step::Park(None),
+                    WaitListStatus::Failed { code, label } => {
+                        return self.settle(Err(ClError::EventFailed { code, label }), now);
+                    }
+                    WaitListStatus::Ready => self.state = FenceState::Drain,
+                },
+                FenceState::Drain => {
+                    if !self.win.poll_pending(now) {
+                        return Step::Park(Some(now + RMA_POLL_QUANTUM_NS));
+                    }
+                    let op_err = self.win.take_epoch_err();
+                    let gen = self.win.fence_enter(now);
+                    let deadline = self
+                        .win
+                        .comm()
+                        .world()
+                        .has_faults()
+                        .then(|| now + RMA_PATIENCE_NS);
+                    self.state = FenceState::Await {
+                        start: now,
+                        gen,
+                        op_err,
+                        deadline,
+                    };
+                }
+                FenceState::Await {
+                    start,
+                    gen,
+                    op_err,
+                    deadline,
+                } => {
+                    let (start, gen, deadline) = (*start, *gen, *deadline);
+                    if self.win.fence_ready(gen) {
+                        // Epoch op failures outrank a clean sync (the
+                        // blocking fence's `op_err.map_or(sync, Err)`).
+                        return match op_err.take() {
+                            None => self.settle(Ok(()), now),
+                            Some(e) => self.settle_epoch(e, now),
+                        };
+                    }
+                    match deadline {
+                        Some(d) if now >= d => {
+                            let laggards = self.win.fence_laggards(gen);
+                            let sync = self.win.classify_stall(&laggards, now, now - start);
+                            let err = op_err.take().unwrap_or(sync);
+                            return self.settle_epoch(err, now);
+                        }
+                        Some(d) => return Step::Park(Some(d)),
+                        None => return Step::Park(None),
+                    }
+                }
+                FenceState::Done => return Step::Done,
             }
         }
     }

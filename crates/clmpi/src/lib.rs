@@ -61,13 +61,13 @@ pub mod stats;
 mod strategy;
 mod system;
 
-pub use adaptive::{AdaptiveSelector, CollectiveSelector};
+pub use adaptive::{AdaptiveSelector, CollectiveSelector, PeerSelector};
 pub use collective::{CollAlgo, CollTuning};
 pub use engine::{Engine, EngineOp, Step};
 pub use fileio::{decode_checkpoint, encode_checkpoint, SimStorage, CKPT_HEADER_LEN, CKPT_MAGIC};
 pub use obs::{chrome_trace, validate_json, ObsCounters, ObsSummary, OverlapReport, RankOverlap};
 pub use retry::RetryPolicy;
-pub use runtime::{ClMpi, ClRecvRequest, ClSendRequest, RequestOutcome};
+pub use runtime::{ClMpi, ClRecvRequest, ClSendRequest, ClWindow, RequestOutcome};
 pub use stats::{FaultStats, TransferStats};
 pub use strategy::{analytic, chunk_layout, PackMode, ResolvedStrategy, TransferStrategy};
 pub use system::SystemConfig;

@@ -355,6 +355,12 @@ pub struct RankSummary {
     /// across several wire hops, so its envelope bytes are a *logical*
     /// volume, not a wire volume.
     pub coll_bytes: u64,
+    /// Payload bytes of successful one-sided operations (`op.put`,
+    /// `op.get`, `op.acc` envelopes). Kept apart from the two-sided byte
+    /// counters like the collective volume: window traffic bypasses the
+    /// matching path, so mixing the totals would hide which transport
+    /// carried the bytes.
+    pub rma_bytes: u64,
     /// Peer-failure notifications observed (`op.failure` annotations —
     /// dead-peer detections by in-flight machines plus explicit
     /// [`crate::ClMpi::notify_proc_failure`] calls). Recovery
@@ -427,13 +433,26 @@ impl ObsSummary {
                             r.bytes_received += o.bytes;
                         } else if cat == "op.bcast" || cat == "op.allreduce" || cat == "op.reduce" {
                             r.coll_bytes += o.bytes;
+                        } else if cat == "op.put" || cat == "op.get" || cat == "op.acc" {
+                            r.rma_bytes += o.bytes;
                         }
                     } else {
                         r.ops_failed += 1;
                     }
-                    let sweep = sweeps.entry(o.rank).or_default();
-                    sweep.push((o.start, 1));
-                    sweep.push((o.end, 0));
+                    // The sweep treats envelopes as half-open [start, end)
+                    // intervals (ends sort before starts at equal
+                    // instants, so back-to-back ops don't read as
+                    // overlapping). A zero-duration envelope — e.g. a
+                    // fence that closes at its own submit instant because
+                    // every peer already arrived — therefore contributes
+                    // no overlap and must be skipped: pushing it would
+                    // process its end before its start and underflow the
+                    // depth counter.
+                    if o.start < o.end {
+                        let sweep = sweeps.entry(o.rank).or_default();
+                        sweep.push((o.start, 1));
+                        sweep.push((o.end, 0));
+                    }
                 }
                 _ => {}
             }
@@ -472,7 +491,7 @@ impl ObsSummary {
                 "    \"{rank}\": {{ \"ops\": {}, \"ops_ok\": {}, \"ops_failed\": {}, \
                  \"max_in_flight\": {}, \"chunk_drops\": {}, \"chunk_retries\": {}, \
                  \"bytes_sent\": {}, \"bytes_received\": {}, \"coll_bytes\": {}, \
-                 \"proc_failures\": {}, \"revokes\": {}, \"shrinks\": {}, \
+                 \"rma_bytes\": {}, \"proc_failures\": {}, \"revokes\": {}, \"shrinks\": {}, \
                  \"restores\": {} }}{}\n",
                 r.ops,
                 r.ops_ok,
@@ -483,6 +502,7 @@ impl ObsSummary {
                 r.bytes_sent,
                 r.bytes_received,
                 r.coll_bytes,
+                r.rma_bytes,
                 r.proc_failures,
                 r.revokes,
                 r.shrinks,
@@ -978,7 +998,16 @@ mod tests {
         assert_eq!(r1.coll_bytes, 256, "collective envelopes count apart");
         assert_eq!(r1.bytes_sent, 0, "bcast bytes never alias p2p bytes");
         assert_eq!(r1.max_in_flight, 1);
-        assert_eq!(s.total_ops, 6);
+        let mut put = op(op_id(1, 2), "r1.host", "op.put", 210, 260);
+        put.bytes = 512;
+        put.peer = Some(0);
+        t.record_op(put);
+        let s = ObsSummary::from_trace(&t);
+        let r1 = s.ranks[&1];
+        assert_eq!(r1.rma_bytes, 512, "one-sided envelopes count apart");
+        assert_eq!(r1.bytes_sent, 0, "put bytes never alias p2p bytes");
+        assert!(s.to_json().contains("\"rma_bytes\": 512"));
+        assert_eq!(s.total_ops, 7);
         // The serialized summary is valid JSON and hashes stably.
         validate_json(&s.to_json()).unwrap();
         assert_eq!(s.hash(), ObsSummary::from_trace(&t).hash());

@@ -24,13 +24,15 @@ use simtime::plock::Mutex;
 use std::sync::Arc;
 
 use minicl::{Buffer, ClError, ClResult, CommandQueue, Context, Device, Event, HostBuffer};
-use minimpi::{Comm, CommittedType, MpiError, Process, Rank, RecvResult, Request, Tag};
+use minimpi::{
+    Comm, CommittedType, MpiError, Process, Rank, RecvResult, ReduceOp, Request, Tag, Win,
+};
 use simtime::{Actor, Monitor, SimClock, SimNs, Trace};
 
 use crate::data_tag;
 use crate::engine::{
-    record_envelope, Engine, EventFromRequestOp, HostSendOp, IrecvClOp, Lowering, RecvOp,
-    ResultSlot, SendOp, SendSlot,
+    record_envelope, AccumulateOp, Engine, EventFromRequestOp, GetOp, HostSendOp, IrecvClOp,
+    Lowering, PutOp, RecvOp, ResultSlot, SendOp, SendSlot, WinFenceOp,
 };
 use crate::obs::{ChildIds, ObsCounters};
 use crate::retry::RetryPolicy;
@@ -58,6 +60,9 @@ pub(crate) struct Inner {
     pub(crate) trace: Trace,
     pub(crate) stats: Mutex<Option<crate::stats::TransferStats>>,
     pub(crate) adaptive: Mutex<Option<Arc<crate::adaptive::AdaptiveSelector>>>,
+    /// Per-(peer, size) tuner for one-sided wire lowerings; `None` means
+    /// window traffic takes the class-routed RMA path unconditionally.
+    pub(crate) rma_adaptive: Mutex<Option<Arc<crate::adaptive::PeerSelector>>>,
     /// Per-collective tuners (algorithm + chunk keyed on size × world);
     /// `None` falls back to the static heuristic.
     pub(crate) coll_bcast: Mutex<Option<Arc<crate::adaptive::CollectiveSelector>>>,
@@ -165,6 +170,7 @@ impl ClMpi {
                 trace,
                 stats: Mutex::new(None),
                 adaptive: Mutex::new(None),
+                rma_adaptive: Mutex::new(None),
                 coll_bcast: Mutex::new(None),
                 coll_allreduce: Mutex::new(None),
                 retry: Mutex::new(RetryPolicy::default()),
@@ -218,6 +224,15 @@ impl ClMpi {
     /// ([`ClMpi::set_forced_strategy`]) still takes precedence.
     pub fn set_adaptive(&self, selector: Option<Arc<crate::adaptive::AdaptiveSelector>>) {
         *self.inner.adaptive.lock() = selector;
+    }
+
+    /// Attach a per-(peer, size) tuner for one-sided window traffic (see
+    /// [`crate::adaptive::PeerSelector`]): each peer's size class probes
+    /// the RMA path against the NIC-side emulations and locks the
+    /// fastest — co-located peers converge on the pool port, remote
+    /// peers on the NIC. A forced strategy still takes precedence.
+    pub fn set_rma_adaptive(&self, selector: Option<Arc<crate::adaptive::PeerSelector>>) {
+        *self.inner.rma_adaptive.lock() = selector;
     }
 
     /// Attach a broadcast tuner (see
@@ -293,6 +308,26 @@ impl ClMpi {
             self.inner.cfg.resolve(sel.choose(size), size)
         } else {
             self.inner.cfg.resolve(TransferStrategy::Auto, size)
+        };
+        if matches!(chosen, TransferStrategy::Pipelined(_))
+            && self.inner.fault_state.lock().degraded
+        {
+            return self.inner.cfg.resolve(TransferStrategy::Pinned, size);
+        }
+        chosen
+    }
+
+    /// Strategy resolution for one-sided puts: forced > per-peer tuner >
+    /// the class-routed RMA path. Degradation maps pipelined onto pinned
+    /// exactly as on the two-sided path.
+    pub(crate) fn resolve_rma(&self, peer: Rank, size: usize) -> TransferStrategy {
+        if let Some(forced) = *self.inner.forced.lock() {
+            return self.inner.cfg.resolve(forced, size);
+        }
+        let chosen = if let Some(sel) = self.inner.rma_adaptive.lock().as_ref() {
+            self.inner.cfg.resolve(sel.choose(peer, size), size)
+        } else {
+            TransferStrategy::Rma
         };
         if matches!(chosen, TransferStrategy::Pipelined(_))
             && self.inner.fault_state.lock().degraded
@@ -906,6 +941,271 @@ impl ClMpi {
             self.inner.clock.now_ns(),
         )));
         ClRecvRequest { event, data: host }
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided window commands (`MPI_CL_MEM` exposed as `MPI_Win`)
+    // ------------------------------------------------------------------
+
+    /// Collectively expose the first `size` bytes of device buffer `buf`
+    /// as an `MPI_Win`: every rank of the communicator must call this
+    /// with its own buffer. The window's host segment is registered at
+    /// creation (the pinned staging image the wire reads and writes) and
+    /// seeded from the device buffer; the first access epoch is opened
+    /// before returning, so put/get/accumulate commands can be enqueued
+    /// immediately. Blocking (it is a collective), like `MPI_Win_create`.
+    pub fn expose_buffer_as_window(
+        &self,
+        buf: &Buffer,
+        size: usize,
+        actor: &Actor,
+    ) -> ClResult<ClWindow> {
+        buf.check_range(0, size)?;
+        let win = Win::create(&self.inner.comm, actor, size) // blocking-api: collective window creation
+            .map_err(|e| ClError::TransferFailed(format!("win_create: {e}")))?;
+        let image = buf.load(0, size).expect("range checked above");
+        win.write_local(0, &image);
+        win.fence(actor) // blocking-api: opens the first access epoch collectively
+            .map_err(|e| ClError::TransferFailed(format!("win_create fence: {e}")))?;
+        Ok(ClWindow {
+            win,
+            buf: buf.clone(),
+            size,
+        })
+    }
+
+    /// `clEnqueuePutBuffer`: one-sided write of `size` bytes at `offset`
+    /// of device buffer `buf` into `target`'s window at `win_offset`.
+    /// Gated by `wait_list`; the returned event completes when the bytes
+    /// have landed in the target's window segment. The wire lowering is
+    /// resolved per (peer, size) — see [`ClMpi::set_rma_adaptive`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_put_buffer(
+        &self,
+        queue: &CommandQueue,
+        win: &ClWindow,
+        blocking: bool,
+        offset: usize,
+        win_offset: usize,
+        size: usize,
+        target: Rank,
+        wait_list: &[Event],
+        actor: &Actor,
+    ) -> ClResult<Event> {
+        win.buf.check_range(offset, size)?;
+        self.check_win_range(win, target, win_offset, size)?;
+        let ue = self.inner.ctx.create_user_event(format!("put→{target}"));
+        let event = ue.event();
+        let strategy = self.resolve_rma(target, size);
+        let ids = self.inner.new_op();
+        self.inner.engine.submit(Box::new(PutOp::new(
+            self.inner.clone(),
+            queue.device().clone(),
+            win.win.clone(),
+            win.buf.clone(),
+            offset,
+            win_offset,
+            size,
+            target,
+            strategy,
+            wait_list.to_vec(),
+            ue,
+            ids,
+            self.inner.clock.now_ns(),
+        )));
+        if blocking {
+            event.wait(actor); // blocking-api: explicit blocking enqueue flag
+        }
+        Ok(event)
+    }
+
+    /// `clEnqueueGetBuffer`: one-sided read of `size` bytes from
+    /// `target`'s window at `win_offset` into `offset` of device buffer
+    /// `buf`. Gated by `wait_list`; the returned event completes when
+    /// the data is in device memory.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_get_buffer(
+        &self,
+        queue: &CommandQueue,
+        win: &ClWindow,
+        blocking: bool,
+        offset: usize,
+        win_offset: usize,
+        size: usize,
+        target: Rank,
+        wait_list: &[Event],
+        actor: &Actor,
+    ) -> ClResult<Event> {
+        win.buf.check_range(offset, size)?;
+        self.check_win_range(win, target, win_offset, size)?;
+        let ue = self.inner.ctx.create_user_event(format!("get←{target}"));
+        let event = ue.event();
+        let ids = self.inner.new_op();
+        self.inner.engine.submit(Box::new(GetOp::new(
+            self.inner.clone(),
+            queue.device().clone(),
+            win.win.clone(),
+            win.buf.clone(),
+            offset,
+            win_offset,
+            size,
+            target,
+            wait_list.to_vec(),
+            ue,
+            ids,
+            self.inner.clock.now_ns(),
+        )));
+        if blocking {
+            event.wait(actor); // blocking-api: explicit blocking enqueue flag
+        }
+        Ok(event)
+    }
+
+    /// `clEnqueueAccumulateBuffer`: one-sided read-modify-write of the
+    /// f64s in `(offset, size)` of device buffer `buf` into `target`'s
+    /// window at `win_offset` with `op`. Concurrent accumulates from
+    /// different ranks apply in the fabric arbiter's canonical grant
+    /// order, so the result is deterministic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_accumulate_buffer(
+        &self,
+        queue: &CommandQueue,
+        win: &ClWindow,
+        blocking: bool,
+        offset: usize,
+        win_offset: usize,
+        size: usize,
+        target: Rank,
+        op: ReduceOp,
+        wait_list: &[Event],
+        actor: &Actor,
+    ) -> ClResult<Event> {
+        win.buf.check_range(offset, size)?;
+        self.check_win_range(win, target, win_offset, size)?;
+        if !size.is_multiple_of(8) {
+            return Err(ClError::InvalidValue(format!(
+                "accumulate size {size} is not a multiple of 8 (f64 elements)"
+            )));
+        }
+        let ue = self.inner.ctx.create_user_event(format!("acc→{target}"));
+        let event = ue.event();
+        let ids = self.inner.new_op();
+        self.inner.engine.submit(Box::new(AccumulateOp::new(
+            self.inner.clone(),
+            queue.device().clone(),
+            win.win.clone(),
+            win.buf.clone(),
+            offset,
+            win_offset,
+            size,
+            target,
+            op,
+            wait_list.to_vec(),
+            ue,
+            ids,
+            self.inner.clock.now_ns(),
+        )));
+        if blocking {
+            event.wait(actor); // blocking-api: explicit blocking enqueue flag
+        }
+        Ok(event)
+    }
+
+    /// `clEnqueueWinFence`: close the window's current access epoch and
+    /// open the next. The returned event completes once every rank's
+    /// matching fence has been reached and this rank's epoch ops have
+    /// settled; an op failure latched during the epoch fails the event.
+    /// Every rank must enqueue a matching fence (it synchronizes like
+    /// `MPI_Win_fence`).
+    pub fn enqueue_win_fence(
+        &self,
+        win: &ClWindow,
+        blocking: bool,
+        wait_list: &[Event],
+        actor: &Actor,
+    ) -> ClResult<Event> {
+        let ue = self.inner.ctx.create_user_event("win-fence".to_string());
+        let event = ue.event();
+        let ids = self.inner.new_op();
+        self.inner.engine.submit(Box::new(WinFenceOp::new(
+            self.inner.clone(),
+            win.win.clone(),
+            wait_list.to_vec(),
+            ue,
+            ids,
+            self.inner.clock.now_ns(),
+        )));
+        if blocking {
+            event.wait(actor); // blocking-api: explicit blocking enqueue flag
+        }
+        Ok(event)
+    }
+
+    /// Sync `size` bytes of the window's local segment at `win_offset`
+    /// back into the shadowed device buffer at the same offset (h2d is
+    /// modeled by the enqueue path that produced the segment bytes; this
+    /// is the instantaneous control-plane view used between epochs).
+    pub fn window_to_buffer(&self, win: &ClWindow, offset: usize, size: usize) -> ClResult<()> {
+        win.buf.check_range(offset, size)?;
+        let seg = win.win.read_local();
+        if offset + size > seg.len() {
+            return Err(ClError::InvalidValue(format!(
+                "window range {offset}+{size} exceeds segment of {}",
+                seg.len()
+            )));
+        }
+        win.buf
+            .store(offset, &seg[offset..offset + size])
+            .expect("range checked above");
+        Ok(())
+    }
+
+    fn check_win_range(
+        &self,
+        win: &ClWindow,
+        target: Rank,
+        win_offset: usize,
+        size: usize,
+    ) -> ClResult<()> {
+        if target >= self.inner.comm.size() {
+            return Err(ClError::InvalidValue(format!("rank {target} out of range")));
+        }
+        let exposed = win.win.size_of(target);
+        if win_offset.checked_add(size).is_none_or(|end| end > exposed) {
+            return Err(ClError::InvalidValue(format!(
+                "window range {win_offset}+{size} exceeds rank {target}'s {exposed}-byte window"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// An `MPI_CL_MEM` device buffer exposed as an `MPI_Win` (created by
+/// [`ClMpi::expose_buffer_as_window`]): pairs the window — whose local
+/// segment is the registered host staging image the wire reads and
+/// writes — with the device buffer it shadows. Clones share the window's
+/// epoch state.
+#[derive(Clone)]
+pub struct ClWindow {
+    win: Win,
+    buf: Buffer,
+    size: usize,
+}
+
+impl ClWindow {
+    /// The underlying `minimpi` window (epoch control, local segment).
+    pub fn win(&self) -> &Win {
+        &self.win
+    }
+
+    /// The shadowed device buffer.
+    pub fn buffer(&self) -> &Buffer {
+        &self.buf
+    }
+
+    /// Exposed bytes of this rank's segment.
+    pub fn size(&self) -> usize {
+        self.size
     }
 }
 

@@ -29,6 +29,10 @@ pub enum TransferStrategy {
     /// Pipeline with the given block size in bytes (`Pipelined(0)` =
     /// runtime-chosen block).
     Pipelined(usize),
+    /// One-sided RMA: stage to the window segment and let the fabric's
+    /// class-routed transport (loopback / CXL pool port / NIC) carry it.
+    /// Only meaningful on window-backed (`MPI_CL_MEM`-as-window) paths.
+    Rma,
     /// Let the runtime choose per system and message size.
     Auto,
 }
@@ -44,6 +48,7 @@ impl TransferStrategy {
                 format!("pipelined({}M)", b >> 20)
             }
             TransferStrategy::Pipelined(b) => format!("pipelined({b}B)"),
+            TransferStrategy::Rma => "rma".into(),
             TransferStrategy::Auto => "auto".into(),
         }
     }
@@ -95,10 +100,12 @@ impl ResolvedStrategy {
     /// Plan a transfer of `size` bytes under `strategy`.
     pub fn plan(strategy: TransferStrategy, size: usize) -> Self {
         match strategy {
-            TransferStrategy::Pinned | TransferStrategy::Mapped => ResolvedStrategy {
-                strategy,
-                chunks: vec![(0, size)],
-            },
+            TransferStrategy::Pinned | TransferStrategy::Mapped | TransferStrategy::Rma => {
+                ResolvedStrategy {
+                    strategy,
+                    chunks: vec![(0, size)],
+                }
+            }
             TransferStrategy::Pipelined(block) => {
                 assert!(block > 0, "resolve Pipelined(0) via SystemConfig first");
                 ResolvedStrategy {
@@ -171,6 +178,14 @@ pub mod analytic {
                     done = h2d_end;
                 }
                 done + pcie.pin_setup_ns
+            }
+            TransferStrategy::Rma => {
+                // One-sided put into a host-resident window: device→host
+                // staging then one wire message on the pool port when the
+                // cluster has one (co-located ranks), else the NIC. No
+                // target-side h2d — the window *is* host memory.
+                let wire = sys.cluster.cxl.as_ref().map_or(net, |c| &c.link);
+                pcie.pin_setup_ns + pcie.staged_ns(size, true) + wire.message_ns(size)
             }
             TransferStrategy::Auto => transfer_ns(sys, sys.resolve(strategy, size), size),
         }

@@ -53,11 +53,27 @@ impl SystemConfig {
         }
     }
 
-    /// The preset named `name` ("cichlid" or "ricc"), case-insensitive.
+    /// CXL-Pod: 16 nodes in pods of four around CXL 2.0 memory pools,
+    /// 100GbE between pods, NVIDIA A30 devices. Small messages stay on
+    /// the pinned path (RoCE latency dwarfs pin setup on Gen4 PCIe);
+    /// one-sided window traffic rides the pool port when ranks share one.
+    pub fn cxl_pod() -> Self {
+        SystemConfig {
+            cluster: ClusterSpec::cxl_pod(),
+            device: DeviceSpec::a30(),
+            small_message_strategy: TransferStrategy::Pinned,
+            pipeline_threshold: 1 << 20,
+            default_pipeline_block: 4 << 20,
+        }
+    }
+
+    /// The preset named `name` ("cichlid", "ricc", or "cxl-pod"),
+    /// case-insensitive.
     pub fn by_name(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "cichlid" => Some(Self::cichlid()),
             "ricc" => Some(Self::ricc()),
+            "cxl-pod" | "cxl_pod" | "cxlpod" => Some(Self::cxl_pod()),
             _ => None,
         }
     }

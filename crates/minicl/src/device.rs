@@ -102,6 +102,26 @@ impl DeviceSpec {
         }
     }
 
+    /// NVIDIA A30 (Ampere) — the CXL-pod study device: PCIe Gen4 host
+    /// interface, much faster staging than the Fermi/GT200 parts, so the
+    /// wire (NIC or CXL pool port) dominates end-to-end transfer cost.
+    pub fn a30() -> Self {
+        DeviceSpec {
+            name: "NVIDIA A30",
+            mem_bw_bps: 933.0e9,
+            peak_flops: 10.3e12,
+            kernel_launch_ns: 4_000,
+            pcie: PcieModel {
+                latency_ns: 2_000,
+                pinned_bps: 24.0e9,
+                pageable_bps: 11.0e9,
+                mapped_bps: 18.0e9,
+                pin_setup_ns: 25_000,
+                map_setup_ns: 6_000,
+            },
+        }
+    }
+
     /// Duration of a memory-bound kernel that moves `bytes` through device
     /// memory (reads + writes combined).
     pub fn membound_kernel_ns(&self, bytes: usize) -> SimNs {

@@ -47,7 +47,7 @@ pub fn f64_as_bytes(v: &[f64]) -> &[u8] {
 }
 
 /// Copy bytes into a `f32` vector, reporting a misaligned (truncated)
-/// payload as [`MpiError::Truncated`] instead of panicking.
+/// payload as [`MpiError::Truncated`](crate::p2p::MpiError::Truncated) instead of panicking.
 pub fn try_bytes_to_f32(b: &[u8]) -> Result<Vec<f32>, crate::p2p::MpiError> {
     if !b.len().is_multiple_of(4) {
         return Err(crate::p2p::MpiError::Truncated {
@@ -61,7 +61,7 @@ pub fn try_bytes_to_f32(b: &[u8]) -> Result<Vec<f32>, crate::p2p::MpiError> {
 }
 
 /// Copy bytes into a `f64` vector, reporting a misaligned (truncated)
-/// payload as [`MpiError::Truncated`] instead of panicking.
+/// payload as [`MpiError::Truncated`](crate::p2p::MpiError::Truncated) instead of panicking.
 pub fn try_bytes_to_f64(b: &[u8]) -> Result<Vec<f64>, crate::p2p::MpiError> {
     if !b.len().is_multiple_of(8) {
         return Err(crate::p2p::MpiError::Truncated {

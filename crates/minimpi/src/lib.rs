@@ -14,6 +14,9 @@
 //!   [`Comm::sendrecv`], wildcard source/tag, **non-overtaking** matching
 //!   in posted order on both sides.
 //! * Requests: [`Request::wait`], [`Request::test`], [`wait_all`].
+//! * One-sided: [`Win`] windows (`Win_create`, `Put`/`Get`/`Accumulate`,
+//!   fence and passive-target lock/unlock epochs) routed through the
+//!   fabric's RMA transport — loopback, NIC, or a CXL pool port.
 //! * Collectives: [`Comm::barrier`], [`Comm::bcast`], [`Comm::reduce`],
 //!   [`Comm::allreduce`], [`Comm::gather`].
 //! * Thread safety: every call takes the calling thread's [`simtime::Actor`]
@@ -40,6 +43,7 @@ pub mod datatype;
 mod ft;
 mod launch;
 mod p2p;
+pub mod rma;
 mod world;
 
 pub use collectives::ReduceOp;
@@ -48,6 +52,7 @@ pub use launch::{
     run_world, run_world_faulty, run_world_faulty_mode, run_world_sized, WorldResult,
 };
 pub use p2p::{wait_all, wait_any, MpiError, RecvResult, Request, Status};
+pub use rma::{RmaHandle, RmaPoll, RmaRoute, Win, RMA_PATIENCE_NS, RMA_TAG_BASE};
 pub use world::{Comm, Process, World, ANY_SOURCE, ANY_TAG, MAX_USER_TAG};
 
 // Fault-plan types come from the fabric layer; re-exported so apps can

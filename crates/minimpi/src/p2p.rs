@@ -58,6 +58,35 @@ pub enum MpiError {
     /// called [`Comm::revoke`], and all subsequent fallible operations
     /// on it fail until survivors [`Comm::shrink`] to a fresh one.
     Revoked,
+    /// A window operation (`Put`/`Get`/`Accumulate`) was issued outside
+    /// any access epoch on its target: no fence has opened the window and
+    /// no passive-target lock of `target` is held (`MPI_ERR_RMA_SYNC`).
+    RmaNoEpoch {
+        /// Communicator-local target rank of the offending operation.
+        target: Rank,
+    },
+    /// `Win::lock` on a target this rank already holds locked — passive
+    /// epochs on one target do not nest (`MPI_ERR_RMA_SYNC`).
+    RmaAlreadyLocked {
+        /// Communicator-local target rank.
+        target: Rank,
+    },
+    /// `Win::unlock` on a target this rank never locked
+    /// (`MPI_ERR_RMA_SYNC`).
+    RmaNotLocked {
+        /// Communicator-local target rank.
+        target: Rank,
+    },
+    /// A window access of `[offset, offset + len)` falls outside the
+    /// target rank's exposed window of `size` bytes (`MPI_ERR_RMA_RANGE`).
+    RmaOutOfRange {
+        /// Starting byte offset into the target window.
+        offset: usize,
+        /// Access length in bytes.
+        len: usize,
+        /// Target window size in bytes.
+        size: usize,
+    },
 }
 
 impl std::fmt::Display for MpiError {
@@ -82,6 +111,22 @@ impl std::fmt::Display for MpiError {
                 write!(f, "peer rank {rank} is a failed process")
             }
             MpiError::Revoked => write!(f, "communicator has been revoked"),
+            MpiError::RmaNoEpoch { target } => {
+                write!(f, "window access to rank {target} outside any epoch")
+            }
+            MpiError::RmaAlreadyLocked { target } => {
+                write!(f, "window lock of rank {target} is already held")
+            }
+            MpiError::RmaNotLocked { target } => {
+                write!(f, "window unlock of rank {target} without a lock")
+            }
+            MpiError::RmaOutOfRange { offset, len, size } => {
+                write!(
+                    f,
+                    "window access [{offset}, {}) outside {size}-byte window",
+                    offset + len
+                )
+            }
         }
     }
 }

@@ -28,6 +28,11 @@ pub(crate) struct WorldInner {
     /// real stack runs: a revoke by any member is immediately visible on
     /// every rank, which keeps runs deterministic.
     pub revoked: Mutex<BTreeSet<u64>>,
+    /// Window registry keyed by `(context, per-comm window sequence)`:
+    /// ranks of one collective `win_create` call rendezvous on the shared
+    /// window state here (all ranks are threads of one process, so the
+    /// "window allocation exchange" is a map insert).
+    pub windows: Mutex<std::collections::BTreeMap<(u64, u64), Arc<crate::rma::WinShared>>>,
 }
 
 /// A communication world: the set of ranks plus the fabric between them.
@@ -57,6 +62,7 @@ impl World {
                 ranks,
                 trace: Trace::new(),
                 revoked: Mutex::new(BTreeSet::new()),
+                windows: Mutex::new(std::collections::BTreeMap::new()),
             }),
         }
     }
@@ -97,6 +103,12 @@ impl World {
     /// perfect fabric).
     pub fn fault_plan(&self) -> &FaultPlan {
         self.inner.fabric.fault_plan()
+    }
+
+    /// Transport class serving one-sided traffic between two (world)
+    /// ranks' nodes: loopback, NIC, or a shared CXL pool port.
+    pub fn fabric_class(&self, a: Rank, b: Rank) -> simnet::FabricClass {
+        self.inner.fabric.fabric_class(a, b)
     }
 
     /// True if (world) rank `rank`'s node is scheduled dead at virtual
@@ -153,6 +165,10 @@ pub struct Comm {
     /// space so a late message from a timed-out round cannot match a
     /// later agreement's receive.
     pub(crate) agree_seq: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    /// Per-endpoint window-creation counter: every member calls
+    /// [`crate::rma` `win_create`] in lockstep, so `(context, win_seq)`
+    /// identifies one collective window deterministically.
+    pub(crate) win_seq: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Comm {
@@ -164,6 +180,7 @@ impl Comm {
             members: None,
             split_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
             agree_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            win_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 
@@ -178,6 +195,7 @@ impl Comm {
             members: Some(std::sync::Arc::new(members)),
             split_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
             agree_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            win_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 

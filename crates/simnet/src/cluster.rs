@@ -1,13 +1,41 @@
 //! Cluster topology: nodes with per-direction NIC timelines over a shared
 //! fabric spec, with presets for the paper's two systems (Table I).
 
-use crate::fault::{FaultInjector, FaultOutcome, FaultPlan};
+use crate::fault::{DropReason, FaultInjector, FaultOutcome, FaultPlan};
 use crate::link::{reserve_pair, Link, LinkSpec, Reservation};
 use simtime::plock::Mutex;
 use simtime::{SimClock, SimNs};
 
 /// Index of a node within a cluster.
 pub type NodeId = usize;
+
+/// Optional CXL shared-memory pool attached to groups of nodes (cMPI's
+/// third fabric class): consecutive groups of `pool_nodes` nodes share one
+/// load/store memory pool with its own latency/bandwidth point.
+///
+/// One-sided (RMA) traffic between two nodes of the same pool bypasses the
+/// NIC entirely and serializes on the pool's single shared timeline — the
+/// per-pool contention point. Two-sided traffic and cross-pool RMA still
+/// ride the NIC.
+#[derive(Debug, Clone, Copy)]
+pub struct CxlSpec {
+    /// Nodes per pool; node `i` belongs to pool `i / pool_nodes`.
+    pub pool_nodes: usize,
+    /// Cost model of the pool's load/store port (shared by all members).
+    pub link: LinkSpec,
+}
+
+/// Which transport a given `(src, dst)` node pair uses for one-sided
+/// traffic (see [`Fabric::fabric_class`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricClass {
+    /// Same node: shared-memory loopback.
+    Loopback,
+    /// Different nodes, no common CXL pool: NIC tx/rx timelines.
+    Nic,
+    /// Different nodes sharing CXL pool `.0`: pool load/store port.
+    Cxl(usize),
+}
 
 /// Static description of a cluster (Table I row).
 #[derive(Debug, Clone)]
@@ -27,6 +55,8 @@ pub struct ClusterSpec {
     pub mpi: &'static str,
     /// Cost model of the interconnect, one direction per NIC.
     pub link: LinkSpec,
+    /// Optional CXL shared-memory pools (None on the Table I systems).
+    pub cxl: Option<CxlSpec>,
 }
 
 impl ClusterSpec {
@@ -47,6 +77,7 @@ impl ClusterSpec {
                 bandwidth_bps: 117.5e6,      // ~117.5 MB/s sustained
                 per_msg_overhead_ns: 30_000, // per-message software cost
             },
+            cxl: None,
         }
     }
 
@@ -70,12 +101,50 @@ impl ClusterSpec {
                 // against (Fig. 8(b)).
                 per_msg_overhead_ns: 40_000,
             },
+            cxl: None,
         }
     }
 
-    /// All Table I presets.
+    /// "CXL pod": 16 nodes in pools of 4 sharing a CXL 2.0 memory pool
+    /// (cMPI's evaluation fabric), with a RoCE NIC between pools.
+    ///
+    /// The pool port models a x8 CXL link: sub-microsecond load/store
+    /// latency and ~28 GB/s sustained, but *one* port per pool — every
+    /// window transfer inside a pool contends on the same timeline. The
+    /// NIC is an order of magnitude slower per byte, which is the gap the
+    /// one-sided RMA path exists to exploit (BENCH_rma.json).
+    pub fn cxl_pod() -> Self {
+        ClusterSpec {
+            name: "CXL-Pod",
+            nodes: 16,
+            cpu: "2x AMD EPYC 9334 (2.7 GHz)",
+            gpu: "NVIDIA A30",
+            nic: "100GbE (RoCE v2)",
+            mpi: "cMPI prototype",
+            link: LinkSpec {
+                latency_ns: 10_000,   // kernel-bypass RoCE
+                bandwidth_bps: 3.0e9, // ~3 GB/s sustained per NIC
+                per_msg_overhead_ns: 8_000,
+            },
+            cxl: Some(CxlSpec {
+                pool_nodes: 4,
+                link: LinkSpec {
+                    latency_ns: 600,          // CXL.mem load/store
+                    bandwidth_bps: 28.0e9,    // x8 CXL 2.0 port
+                    per_msg_overhead_ns: 400, // doorbell + coherence
+                },
+            }),
+        }
+    }
+
+    /// All cluster presets (Table I rows plus the CXL pod).
     pub fn presets() -> Vec<ClusterSpec> {
-        vec![Self::cichlid(), Self::ricc()]
+        vec![Self::cichlid(), Self::ricc(), Self::cxl_pod()]
+    }
+
+    /// CXL pool id of `node`, if this spec attaches pools.
+    pub fn pool_of(&self, node: NodeId) -> Option<usize> {
+        self.cxl.map(|c| node / c.pool_nodes.max(1))
     }
 }
 
@@ -91,6 +160,9 @@ pub struct Fabric {
     clock: SimClock,
     tx: Vec<Link>,
     rx: Vec<Link>,
+    /// One shared load/store timeline per CXL pool (empty without a
+    /// [`CxlSpec`]): the per-pool contention point for one-sided traffic.
+    pools: Vec<Link>,
     /// The plan the injectors run under (kept even when trivial, so
     /// higher layers can query node-down schedules cheaply).
     plan: FaultPlan,
@@ -107,6 +179,9 @@ enum DeferSize {
     Bytes(usize),
     /// An explicit window (see [`Fabric::reserve_duration`]).
     Duration(SimNs),
+    /// Payload bytes routed per node-pair fabric class (see
+    /// [`Fabric::reserve_rma`]).
+    RmaBytes(usize),
 }
 
 /// A reservation posted to the arbiter: what to claim, the instant it may
@@ -158,6 +233,13 @@ impl Fabric {
         let rx = (0..nodes)
             .map(|_| Link::new(clock.clone(), spec.link))
             .collect();
+        let pools = match spec.cxl {
+            Some(c) => {
+                let n = nodes.div_ceil(c.pool_nodes.max(1));
+                (0..n).map(|_| Link::new(clock.clone(), c.link)).collect()
+            }
+            None => Vec::new(),
+        };
         let faults = (!plan.is_none()).then(|| {
             (0..nodes)
                 .map(|i| FaultInjector::new(plan.clone(), i as u64))
@@ -168,6 +250,7 @@ impl Fabric {
             clock,
             tx,
             rx,
+            pools,
             plan,
             faults,
             defer: Mutex::new(DeferQueue::default()),
@@ -204,6 +287,47 @@ impl Fabric {
     /// True if `node` is scheduled dead at any instant of `[from, until)`.
     pub fn node_down_in(&self, node: NodeId, from: SimNs, until: SimNs) -> bool {
         self.plan.node_down_in(node, from, until)
+    }
+
+    /// Transport class of the `(src, dst)` node pair for one-sided
+    /// traffic: loopback on the same node, the shared CXL pool port when
+    /// both nodes sit in the same pool, the NIC otherwise.
+    pub fn fabric_class(&self, src: NodeId, dst: NodeId) -> FabricClass {
+        if src == dst {
+            return FabricClass::Loopback;
+        }
+        match (self.spec.pool_of(src), self.spec.pool_of(dst)) {
+            (Some(a), Some(b)) if a == b && a < self.pools.len() => FabricClass::Cxl(a),
+            _ => FabricClass::Nic,
+        }
+    }
+
+    /// Decide the fate of a one-sided transfer of flow `(src, dst, tag)`.
+    ///
+    /// The CXL load/store path has no packets to drop: random-drop and
+    /// link-jitter faults do not apply, but a scheduled node death still
+    /// does — a window op touching a dead node's memory fails with
+    /// [`DropReason::NodeDown`]. NIC-routed pairs compose with the full
+    /// [`FaultPlan`] exactly like two-sided traffic.
+    pub fn rma_fault_decision(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        tag: i32,
+        start: SimNs,
+    ) -> FaultOutcome {
+        match self.fabric_class(src, dst) {
+            FabricClass::Cxl(_) => {
+                if self.plan.node_down_at(src, start) || self.plan.node_down_at(dst, start) {
+                    FaultOutcome::Drop(DropReason::NodeDown)
+                } else {
+                    FaultOutcome::Deliver {
+                        extra_latency_ns: 0,
+                    }
+                }
+            }
+            _ => self.fault_decision(src, dst, tag, start),
+        }
     }
 
     /// Decide the fate of the next message of flow `(src, dst, tag)` whose
@@ -291,6 +415,52 @@ impl Fabric {
                 arrival: end + latency,
             }
         })
+    }
+
+    /// Reserve a one-sided (window) transfer of `bytes` from `src` to
+    /// `dst`, routed by [`Fabric::fabric_class`]: loopback stays the
+    /// shared-memory fast path, a co-located pair claims its CXL pool's
+    /// single load/store timeline (per-pool contention), and a cross-pool
+    /// pair falls back to the NIC tx/rx pair.
+    pub fn reserve_rma(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        earliest: SimNs,
+    ) -> Reservation {
+        assert!(
+            src < self.nodes() && dst < self.nodes(),
+            "node out of range"
+        );
+        match self.fabric_class(src, dst) {
+            FabricClass::Loopback => self.reserve(src, dst, bytes, earliest),
+            FabricClass::Cxl(p) => self.pools[p].reserve(bytes, earliest),
+            FabricClass::Nic => reserve_pair(&self.tx[src], &self.rx[dst], bytes, earliest),
+        }
+    }
+
+    /// [`Fabric::reserve_rma`] through the deferred-reservation arbiter
+    /// (same determinism contract as [`Fabric::reserve_deferred`]): the
+    /// pool timeline is shared by every rank of the pool, so same-instant
+    /// claims must be granted in canonical order, not OS-thread order.
+    pub fn reserve_rma_deferred(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        tag: i32,
+        bytes: usize,
+        earliest: SimNs,
+        complete: Box<dyn FnOnce(Reservation) + Send>,
+    ) {
+        self.defer_job(
+            src,
+            dst,
+            tag,
+            DeferSize::RmaBytes(bytes),
+            earliest,
+            complete,
+        )
     }
 
     /// Post a transfer to the fabric's deferred-reservation arbiter
@@ -402,6 +572,7 @@ impl Fabric {
             let r = match j.size {
                 DeferSize::Bytes(b) => self.reserve(j.src, j.dst, b, j.earliest),
                 DeferSize::Duration(d) => self.reserve_duration(j.src, j.dst, d, j.earliest),
+                DeferSize::RmaBytes(b) => self.reserve_rma(j.src, j.dst, b, j.earliest),
             };
             (j.complete)(r);
         }
@@ -474,6 +645,59 @@ mod tests {
     fn oversubscribing_preset_panics() {
         let clock = SimClock::new();
         let _ = Fabric::new(clock, ClusterSpec::cichlid(), 16);
+    }
+
+    #[test]
+    fn cxl_pairs_classify_and_outrun_the_nic() {
+        let clock = SimClock::new();
+        let f = Fabric::new(clock, ClusterSpec::cxl_pod(), 16);
+        assert_eq!(f.fabric_class(1, 1), FabricClass::Loopback);
+        assert_eq!(f.fabric_class(0, 3), FabricClass::Cxl(0));
+        assert_eq!(f.fabric_class(4, 7), FabricClass::Cxl(1));
+        assert_eq!(f.fabric_class(3, 4), FabricClass::Nic, "pool boundary");
+        let pool = f.reserve_rma(0, 1, 1 << 20, 0);
+        let nic = f.reserve(0, 1, 1 << 20, 0);
+        assert!(
+            pool.arrival * 5 < nic.arrival,
+            "pool load/store ≫ faster than the NIC: {} vs {}",
+            pool.arrival,
+            nic.arrival
+        );
+    }
+
+    #[test]
+    fn cxl_pool_port_is_a_contended_resource() {
+        let clock = SimClock::new();
+        let f = Fabric::new(clock, ClusterSpec::cxl_pod(), 8);
+        // Disjoint pairs inside one pool contend on the shared port...
+        let r1 = f.reserve_rma(0, 1, 1 << 20, 0);
+        let r2 = f.reserve_rma(2, 3, 1 << 20, 0);
+        assert_eq!(r2.start, r1.end, "one load/store port per pool");
+        // ...but a different pool's port is independent.
+        let r3 = f.reserve_rma(4, 5, 1 << 20, 0);
+        assert_eq!(r3.start, 0);
+    }
+
+    #[test]
+    fn rma_faults_skip_random_drops_but_honor_node_down() {
+        let clock = SimClock::new();
+        let plan = FaultPlan::drops(7, 1.0).with_node_down(2, 50);
+        let f = Fabric::with_faults(clock, ClusterSpec::cxl_pod(), 8, plan);
+        // Co-located pair: 100% random drop plan does not touch loads.
+        match f.rma_fault_decision(0, 1, 9, 10) {
+            FaultOutcome::Deliver { .. } => {}
+            other => panic!("CXL path must not random-drop: {other:?}"),
+        }
+        // Node death still poisons the pool path.
+        match f.rma_fault_decision(0, 2, 9, 60) {
+            FaultOutcome::Drop(DropReason::NodeDown) => {}
+            other => panic!("dead node must fail window ops: {other:?}"),
+        }
+        // Cross-pool RMA rides the NIC and inherits the drop plan.
+        match f.rma_fault_decision(0, 4, 9, 10) {
+            FaultOutcome::Drop(_) => {}
+            other => panic!("NIC-routed RMA composes with FaultPlan: {other:?}"),
+        }
     }
 
     #[test]

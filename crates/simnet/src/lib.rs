@@ -20,7 +20,7 @@ mod fault;
 mod link;
 mod mailbox;
 
-pub use cluster::{ClusterSpec, Fabric, NodeId};
+pub use cluster::{ClusterSpec, CxlSpec, Fabric, FabricClass, NodeId};
 pub use fault::{
     DropReason, FaultCounts, FaultInjector, FaultOutcome, FaultPlan, FaultPlanError, NodeDownWindow,
 };
